@@ -1,0 +1,59 @@
+// E1 — Theorem 1 query cost: O(lg n + k/B) I/Os.
+//   (a) fixed k, growing n: the additive term grows logarithmically;
+//   (b) fixed n, growing k: cost tracks k/B linearly past the base.
+
+#include "bench/common.h"
+#include "core/topk_index.h"
+#include "util/bits.h"
+
+using namespace tokra;
+using namespace tokra::bench;
+
+int main() {
+  std::printf("# E1: Theorem 1 query I/Os vs n and k\n");
+
+  Header("E1a: query I/Os vs n (k=16, B=256)",
+         {"n", "lg n", "query I/Os (avg of 20)", "I/Os / lg n"});
+  for (std::size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 64});
+    Rng rng(1);
+    auto built = core::TopkIndex::Build(&pager, RandomPoints(&rng, n));
+    auto& idx = *built;
+    std::uint64_t total = 0;
+    const int probes = 20;
+    for (int i = 0; i < probes; ++i) {
+      double a = rng.UniformDouble(0, 1e6), b = rng.UniformDouble(0, 1e6);
+      double x1 = std::min(a, b), x2 = std::max(a, b);
+      total += ColdIos(&pager, [&] { idx->TopK(x1, x2, 16).value(); });
+    }
+    double avg = static_cast<double>(total) / probes;
+    Row({U(n), U(Lg(n)), D(avg), D(avg / Lg(n))});
+  }
+
+  Header("E1b: query I/Os vs k (n=2^17, B=256)",
+         {"k", "k/B", "query I/Os (avg of 12)", "I/Os - base"});
+  {
+    em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 64});
+    Rng rng(2);
+    const std::size_t n = 1u << 17;
+    auto built = core::TopkIndex::Build(&pager, RandomPoints(&rng, n));
+    auto& idx = *built;
+    double base = 0;
+    for (std::uint64_t k : {1u, 16u, 128u, 1024u, 4096u, 16384u}) {
+      std::uint64_t total = 0;
+      const int probes = 12;
+      for (int i = 0; i < probes; ++i) {
+        double x1 = rng.UniformDouble(0, 4e5);
+        double x2 = x1 + 5e5;  // wide range so k points exist
+        total += ColdIos(&pager, [&] { idx->TopK(x1, x2, k).value(); });
+      }
+      double avg = static_cast<double>(total) / probes;
+      if (k == 1) base = avg;
+      Row({U(k), D(static_cast<double>(k) / 256.0), D(avg), D(avg - base)});
+    }
+  }
+  std::printf(
+      "\nShape check: E1a column 4 roughly constant; E1b column 4 tracks "
+      "k/B.\n");
+  return 0;
+}

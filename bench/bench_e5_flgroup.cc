@@ -1,0 +1,79 @@
+// E5 — Lemma 6: the (f,l)-structure queries and updates in O(lg_B(fl)) I/Os
+// with rank approximation within c2.
+
+#include <set>
+
+#include "bench/common.h"
+#include "flgroup/fl_group.h"
+#include "util/bits.h"
+
+using namespace tokra;
+using namespace tokra::bench;
+
+int main() {
+  std::printf("# E5: (f,l)-group structure costs and approximation\n");
+  Header("vs (f, l) at B=256",
+         {"f", "l", "lg_B(fl)", "query I/Os (cold avg)",
+          "update I/Os (amortized)", "max rank/k"});
+  for (auto [f, l] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {4, 64}, {8, 256}, {16, 1024}, {32, 2048}}) {
+    em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 32});
+    flgroup::FlGroup fg = flgroup::FlGroup::Create(&pager, {.f = f, .l = l});
+    Rng rng(7);
+    std::set<double> used;
+    std::vector<std::pair<std::uint32_t, double>> live;
+    // Fill to ~75%.
+    for (std::uint32_t i = 0; i < f; ++i) {
+      for (std::uint32_t j = 0; j < l * 3 / 4; ++j) {
+        double v;
+        do {
+          v = rng.UniformDouble(0, 1);
+        } while (!used.insert(v).second);
+        Must(fg.Insert(i, v));
+        live.emplace_back(i, v);
+      }
+    }
+    // Query cost + quality.
+    std::uint64_t q_total = 0;
+    double worst = 0;
+    const int probes = 30;
+    for (int p = 0; p < probes; ++p) {
+      std::uint32_t a1 = static_cast<std::uint32_t>(rng.Uniform(f));
+      std::uint32_t a2 =
+          a1 + static_cast<std::uint32_t>(rng.Uniform(f - a1));
+      std::uint64_t total = fg.SizeInRange(a1, a2);
+      std::uint64_t k = 1 + rng.Uniform(total);
+      double value = 0;
+      bool neg = false;
+      q_total += ColdIos(&pager, [&] {
+        auto res = fg.SelectApprox(a1, a2, k).value();
+        value = res.value;
+        neg = res.neg_inf;
+      });
+      // True rank via the live list.
+      std::uint64_t rank = 0;
+      if (neg) {
+        rank = total;
+      } else {
+        for (auto& [si, v] : live) {
+          if (si >= a1 && si <= a2 && v >= value) ++rank;
+        }
+      }
+      worst = std::max(worst, static_cast<double>(rank) / k);
+    }
+    // Update cost.
+    std::uint64_t u_total = BatchIos(&pager, [&] {
+      for (int r = 0; r < 100; ++r) {
+        auto [si, v] = live[rng.Uniform(live.size())];
+        Must(fg.Delete(si, v));
+        Must(fg.Insert(si, v));
+      }
+    });
+    Row({U(f), U(l), U(LogB(256, static_cast<std::uint64_t>(f) * l)),
+         D(static_cast<double>(q_total) / probes),
+         D(static_cast<double>(u_total) / 200), D(worst)});
+  }
+  std::printf("\nShape check: costs track lg_B(fl) (a small constant here); "
+              "ratios < c2 = 8.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E8 — space: every structure uses O(n/B) blocks; ratios flatten as n grows.
+
+#include "bench/common.h"
+#include "lemma4/structure.h"
+#include "pilot/pilot_pst.h"
+#include "st12/selector.h"
+
+using namespace tokra;
+using namespace tokra::bench;
+
+int main() {
+  std::printf("# E8: space in blocks, normalized by n/B (B=256)\n");
+  Header("blocks / (n/B)",
+         {"n", "pilot PST", "st12", "lemma4", "raw data (2 words/pt)"});
+  for (std::size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    Rng rng(10);
+    auto pts = RandomPoints(&rng, n);
+    double unit = static_cast<double>(n) / 256.0;
+
+    double pilot_ratio, st_ratio, l4_ratio;
+    {
+      em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 16});
+      auto s = pilot::PilotPst::Build(&pager, pts);
+      (void)s;
+      pilot_ratio = pager.BlocksInUse() / unit;
+    }
+    {
+      em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 16});
+      auto s = st12::ShengTaoSelector::Build(&pager, pts);
+      (void)s;
+      st_ratio = pager.BlocksInUse() / unit;
+    }
+    {
+      em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 16});
+      auto s = lemma4::Lemma4Selector::Build(
+          &pager, pts, {.fanout = 16, .l = 64, .leaf_cap = 4096});
+      (void)s;
+      l4_ratio = pager.BlocksInUse() / unit;
+    }
+    Row({U(n), D(pilot_ratio), D(st_ratio), D(l4_ratio), D(2.0 / 256 * 256)});
+  }
+  std::printf("\nShape check: each column converges to a constant (linear "
+              "space); constants reflect pre-allocated pilot/sketch blocks "
+              "as documented in DESIGN.md.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the experiment harnesses (E1..E11).
+//
+// Every experiment measures *I/Os* (the EM model's cost metric) with cold
+// caches and deterministic seeds, and prints a markdown table row-for-row
+// reproducing the claims recorded in EXPERIMENTS.md.
+
+#ifndef TOKRA_BENCH_COMMON_H_
+#define TOKRA_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "em/pager.h"
+#include "util/check.h"
+#include "util/point.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tokra::bench {
+
+/// Aborts on error — experiment harnesses have no recovery story.
+inline void Must(const Status& s) { TOKRA_CHECK(s.ok()); }
+
+inline std::vector<Point> RandomPoints(Rng* rng, std::size_t n,
+                                       double x_hi = 1e6) {
+  auto xs = rng->DistinctDoubles(n, 0.0, x_hi);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+/// Cold-cache I/O cost of one operation.
+template <typename Fn>
+std::uint64_t ColdIos(em::Pager* pager, Fn&& fn) {
+  pager->DropCache();
+  em::IoStats before = pager->stats();
+  fn();
+  return (pager->stats() - before).TotalIos();
+}
+
+/// Accumulated I/O cost of a batch (no cache drops inside: amortized view).
+template <typename Fn>
+std::uint64_t BatchIos(em::Pager* pager, Fn&& fn) {
+  em::IoStats before = pager->stats();
+  fn();
+  return (pager->stats() - before).TotalIos();
+}
+
+inline void Header(const std::string& title,
+                   const std::vector<std::string>& cols) {
+  std::printf("\n### %s\n\n|", title.c_str());
+  for (const auto& c : cols) std::printf(" %s |", c.c_str());
+  std::printf("\n|");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("---|");
+  std::printf("\n");
+}
+
+inline void Row(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const auto& c : cells) std::printf(" %s |", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string D(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+inline std::string U(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace tokra::bench
+
+#endif  // TOKRA_BENCH_COMMON_H_

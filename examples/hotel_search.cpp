@@ -1,0 +1,74 @@
+// The paper's motivating scenario (Section 1): "find the 10 best-rated
+// hotels whose prices are between 100 and 200 dollars per night".
+//
+// Points are hotels: x = nightly price, score = user rating. The example
+// simulates a live marketplace — hotels open, close, and reprice — while an
+// interactive search serves price-banded top-k queries.
+
+#include <cstdio>
+
+#include "core/topk_index.h"
+#include "em/pager.h"
+#include "util/random.h"
+
+int main() {
+  using namespace tokra;
+  em::Pager pager(em::EmOptions{.block_words = 256, .pool_frames = 32});
+  Rng rng(7);
+
+  // 50k hotels: log-normal-ish price spread, ratings jittered to stay
+  // distinct (the structure requires distinct scores; ties in a real system
+  // are broken by hotel id, exactly as footnote 1 of the paper prescribes).
+  const std::size_t n = 50000;
+  auto jitter = rng.DistinctDoubles(n, 0.0, 0.001);
+  std::vector<Point> hotels;
+  hotels.reserve(n);
+  double price_step = 0.0137;
+  for (std::size_t i = 0; i < n; ++i) {
+    double base = 40.0 + price_step * static_cast<double>(i);
+    double rating = 1.0 + rng.Uniform(40) / 10.0 + jitter[i];  // 1.0..5.0
+    hotels.push_back(Point{base, rating});
+  }
+  auto built = core::TopkIndex::Build(&pager, hotels);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  auto& index = *built;
+  std::printf("marketplace: %llu hotels indexed\n",
+              static_cast<unsigned long long>(index->size()));
+
+  auto search = [&](double lo, double hi, std::uint64_t k) {
+    pager.DropCache();
+    em::IoStats before = pager.stats();
+    auto top = index->TopK(lo, hi, k);
+    em::IoStats cost = pager.stats() - before;
+    std::printf("\n$%.0f-$%.0f, top %llu (%llu I/Os):\n", lo, hi,
+                static_cast<unsigned long long>(k),
+                static_cast<unsigned long long>(cost.TotalIos()));
+    for (const Point& h : *top) {
+      std::printf("  $%7.2f/night  rating %.2f\n", h.x, h.score);
+    }
+  };
+
+  search(100, 200, 10);  // the paper's query, verbatim
+  search(40, 60, 5);     // budget band
+  search(500, 700, 3);   // luxury band
+
+  // Market churn: 2000 closures and 2000 openings.
+  std::vector<Point> live = hotels;
+  for (int i = 0; i < 2000; ++i) {
+    std::size_t pick = rng.Uniform(live.size());
+    index->Delete(live[pick]);
+    live.erase(live.begin() + pick);
+  }
+  auto fresh_jitter = rng.DistinctDoubles(2000, 0.002, 0.003);
+  for (int i = 0; i < 2000; ++i) {
+    Point h{40.0 + rng.UniformDouble(0, 680) + fresh_jitter[i],
+            1.0 + rng.Uniform(40) / 10.0 + fresh_jitter[i]};
+    index->Insert(h);
+  }
+  std::printf("\nafter churn (2000 closures, 2000 openings):\n");
+  search(100, 200, 10);
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "aurs/aurs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tokra::aurs {
+namespace {
+
+/// The k >= m case of the appendix algorithm.
+StatusOr<double> SelectLargeK(std::span<RankedSet* const> sets,
+                              std::uint64_t k, double c, AursStats* stats) {
+  const std::size_t m = sets.size();
+  TOKRA_CHECK(k >= m);
+
+  struct PivotRec {
+    double value;
+    std::uint64_t weight;
+  };
+  std::vector<PivotRec> pivots;  // P: pivots of all rounds
+
+  std::vector<std::size_t> active(m);
+  for (std::size_t i = 0; i < m; ++i) active[i] = i;
+
+  // ceil(log_c m), at least 1 (paper convention lg_b x = max{1, log_b x}).
+  std::uint32_t rounds = 1;
+  {
+    double p = c;
+    while (p < static_cast<double>(m)) {
+      p *= c;
+      ++rounds;
+    }
+  }
+
+  double cj = c;  // c^j
+  std::uint64_t prev_ceil = 0;
+  for (std::uint32_t j = 1; j <= rounds; ++j, cj *= c) {
+    if (stats != nullptr) ++stats->rounds;
+    double rho = cj * static_cast<double>(k) / static_cast<double>(m);
+    std::uint64_t cur_ceil =
+        static_cast<std::uint64_t>(std::ceil(cj * static_cast<double>(k) /
+                                             static_cast<double>(m)));
+    std::uint64_t weight = (j == 1) ? cur_ceil : cur_ceil - prev_ceil;
+    prev_ceil = cur_ceil;
+
+    // Markers of this round, one per active set.
+    struct Marker {
+      double value;
+      std::size_t set;
+    };
+    std::vector<Marker> markers;
+    markers.reserve(active.size());
+    for (std::size_t si : active) {
+      if (stats != nullptr) ++stats->rank_calls;
+      markers.push_back(Marker{sets[si]->RankSelect(rho), si});
+    }
+
+    // The ceil(m / c^j) largest markers become pivots; their sets survive.
+    std::size_t keep = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(m) / cj));
+    keep = std::min(keep, markers.size());
+    std::partial_sort(markers.begin(), markers.begin() + keep, markers.end(),
+                      [](const Marker& a, const Marker& b) {
+                        return a.value > b.value;
+                      });
+    std::vector<std::size_t> next_active;
+    next_active.reserve(keep);
+    for (std::size_t t = 0; t < keep; ++t) {
+      pivots.push_back(PivotRec{markers[t].value, weight});
+      next_active.push_back(markers[t].set);
+    }
+    active = std::move(next_active);
+  }
+
+  // Weighted selection: the largest pivot whose prefix weight reaches k.
+  std::sort(pivots.begin(), pivots.end(),
+            [](const PivotRec& a, const PivotRec& b) {
+              return a.value > b.value;
+            });
+  std::uint64_t prefix = 0;
+  for (const PivotRec& p : pivots) {
+    prefix += p.weight;
+    if (prefix >= k) return p.value;
+  }
+  // Observation 1 guarantees a cutoff pivot has prefix weight >= k.
+  return Status::Internal("AURS: no pivot reached prefix weight k");
+}
+
+}  // namespace
+
+StatusOr<double> UnionRankSelect(std::span<RankedSet* const> sets,
+                                 std::uint64_t k, AursStats* stats,
+                                 bool strict) {
+  const std::size_t m = sets.size();
+  if (m == 0) return Status::InvalidArgument("AURS: no sets");
+  if (k < 1) return Status::InvalidArgument("AURS: k must be >= 1");
+  double c = 2.0;
+  for (RankedSet* s : sets) {
+    c = std::max(c, s->RankFactor());
+    if (s->Size() == 0) return Status::InvalidArgument("AURS: empty set");
+  }
+  if (strict) {
+    for (RankedSet* s : sets) {
+      if (static_cast<double>(k) > static_cast<double>(s->Size()) / c) {
+        return Status::InvalidArgument(
+            "AURS: condition (2) violated: k > |L_i| / c1");
+      }
+    }
+  }
+
+  if (k >= m) return SelectLargeK(sets, k, c, stats);
+
+  // Case k < m: keep only the k sets whose maximum reaches the k-th largest
+  // maximum, then run the main algorithm on them.
+  std::vector<std::pair<double, RankedSet*>> maxima;
+  maxima.reserve(m);
+  for (RankedSet* s : sets) {
+    if (stats != nullptr) ++stats->max_calls;
+    maxima.emplace_back(s->Max(), s);
+  }
+  std::partial_sort(maxima.begin(),
+                    maxima.begin() + static_cast<std::ptrdiff_t>(k),
+                    maxima.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  double v_prime = maxima[k - 1].first;
+  std::vector<RankedSet*> act;
+  act.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) act.push_back(maxima[i].second);
+  TOKRA_ASSIGN_OR_RETURN(double v,
+                         SelectLargeK(std::span<RankedSet* const>(act), k, c,
+                                      stats));
+  return std::max(v, v_prime);
+}
+
+}  // namespace tokra::aurs

@@ -1,0 +1,45 @@
+// AURS: approximate union-rank selection (Lemma 5 and the appendix).
+//
+// Given m disjoint sets accessible only via Max and approximate RankSelect,
+// and k <= (1/c1) * min |L_i|, returns an element of the union whose rank in
+// the union lies in [k, c'k] for a constant c' depending only on c1, using
+// O(m (cost_max + cost_rank)) operator calls.
+
+#ifndef TOKRA_AURS_AURS_H_
+#define TOKRA_AURS_AURS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "aurs/ranked_set.h"
+#include "util/status.h"
+
+namespace tokra::aurs {
+
+/// Operator-call counters; the caller converts these to I/Os by multiplying
+/// by its operators' costs (the lemma's O(m (cost_max + cost_rank))).
+struct AursStats {
+  std::uint32_t rounds = 0;
+  std::uint64_t rank_calls = 0;
+  std::uint64_t max_calls = 0;
+};
+
+/// The worst-case approximation factor proven in the appendix:
+/// rank(v) < c^2 (2 + 2c) k for operator constant c.
+inline double AursWorstFactor(double c) { return c * c * (2 + 2 * c); }
+
+/// Runs the appendix algorithm. All sets must be non-empty and satisfy
+/// k <= (1/c) * |L_i| where c = max RankFactor of the sets (condition (2)).
+/// Returns the selected element's value.
+///
+/// With strict=false the condition-(2) check is skipped: callers whose
+/// RankSelect clamps rho to [1, |L_i|] (e.g. Lemma 4's multi-slab sets,
+/// whose sizes the query cannot control) accept a weakened constant on the
+/// small sets in exchange for robustness; see lemma4/structure.h.
+StatusOr<double> UnionRankSelect(std::span<RankedSet* const> sets,
+                                 std::uint64_t k, AursStats* stats = nullptr,
+                                 bool strict = true);
+
+}  // namespace tokra::aurs
+
+#endif  // TOKRA_AURS_AURS_H_

@@ -1,0 +1,98 @@
+// The abstract set interface of the AURS problem (Section 3.1).
+//
+// Each set L_i is accessed only through two operators:
+//   Max        — the largest element (cost_max I/Os),
+//   RankSelect — given rho in [1, |L_i|/c1], an element whose descending
+//                rank in L_i falls in [rho, c1*rho) (cost_rank I/Os).
+// Implementations charge their I/Os through whatever storage they wrap.
+
+#ifndef TOKRA_AURS_RANKED_SET_H_
+#define TOKRA_AURS_RANKED_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/log_sketch.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace tokra::aurs {
+
+class RankedSet {
+ public:
+  virtual ~RankedSet() = default;
+
+  /// |L_i|. Known metadata; free.
+  virtual std::uint64_t Size() const = 0;
+
+  /// Largest element.
+  virtual double Max() const = 0;
+
+  /// An element whose rank in L_i lies in [rho, c1*rho), where c1 is the
+  /// implementation's approximation constant. When c1*rho exceeds |L_i| the
+  /// window is clamped to [rho, |L_i|].
+  virtual double RankSelect(double rho) const = 0;
+
+  /// The implementation's c1 (>= 2).
+  virtual double RankFactor() const = 0;
+};
+
+/// Exact in-memory implementation (c1-compatible with any c1 >= 2): returns
+/// the element of rank exactly ceil(rho). Used by tests and small examples.
+class VectorRankedSet : public RankedSet {
+ public:
+  /// `values` need not be sorted; sorted descending internally.
+  explicit VectorRankedSet(std::vector<double> values)
+      : values_(std::move(values)) {
+    std::sort(values_.begin(), values_.end(), std::greater<>());
+  }
+
+  std::uint64_t Size() const override { return values_.size(); }
+  double Max() const override {
+    TOKRA_CHECK(!values_.empty());
+    return values_[0];
+  }
+  double RankSelect(double rho) const override {
+    auto r = static_cast<std::uint64_t>(rho);
+    if (r < rho) ++r;  // ceil
+    TOKRA_CHECK(r >= 1 && r <= values_.size());
+    return values_[r - 1];
+  }
+  double RankFactor() const override { return 2.0; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Sketch-backed implementation with c1 = 4: RankSelect(rho) returns the
+/// pivot of the shallowest level whose window [2^(j-1), 2^j) sits at or
+/// above rho; that window is contained in [rho, 4*rho).
+class SketchRankedSet : public RankedSet {
+ public:
+  explicit SketchRankedSet(const sketch::LogSketch* sketch)
+      : sketch_(sketch) {}
+
+  std::uint64_t Size() const override { return sketch_->set_size(); }
+  double Max() const override {
+    TOKRA_CHECK(sketch_->levels() >= 1);
+    return sketch_->pivot(1).value;
+  }
+  double RankSelect(double rho) const override {
+    TOKRA_CHECK(rho >= 1);
+    // Smallest j with 2^(j-1) >= rho.
+    std::uint32_t j = 1;
+    while ((std::uint64_t{1} << (j - 1)) < rho) ++j;
+    TOKRA_CHECK(j <= sketch_->levels());
+    return sketch_->pivot(j).value;
+  }
+  double RankFactor() const override { return 4.0; }
+
+ private:
+  const sketch::LogSketch* sketch_;
+};
+
+}  // namespace tokra::aurs
+
+#endif  // TOKRA_AURS_RANKED_SET_H_

@@ -1,0 +1,171 @@
+#include "core/topk_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace tokra::core {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Build(
+    em::Pager* pager, std::vector<Point> points, Options options) {
+  // Enforce the distinctness assumption up front.
+  {
+    std::set<double> xs, ss;
+    for (const Point& p : points) {
+      if (!xs.insert(p.x).second) {
+        return Status::InvalidArgument("duplicate x coordinate");
+      }
+      if (!ss.insert(p.score).second) {
+        return Status::InvalidArgument("duplicate score");
+      }
+    }
+  }
+  auto idx = std::unique_ptr<TopkIndex>(new TopkIndex(pager, options));
+
+  // Section 1.2 regime rule: the ST12 component already achieves
+  // logarithmic updates when lg n <= B^(1/6); otherwise (B < lg^6 n) the
+  // Lemma 4 structure takes over for the small-k thresholds.
+  std::uint64_t n = std::max<std::uint64_t>(points.size(), 2);
+  double b16 = std::pow(static_cast<double>(pager->B()), 1.0 / 6.0);
+  switch (options.selector) {
+    case Options::Selector::kSt12:
+      idx->use_lemma4_ = false;
+      break;
+    case Options::Selector::kLemma4:
+      idx->use_lemma4_ = true;
+      break;
+    case Options::Selector::kAuto:
+      idx->use_lemma4_ = static_cast<double>(Lg(n)) > b16;
+      break;
+  }
+
+  idx->pilot_ = std::make_unique<pilot::PilotPst>(
+      pilot::PilotPst::Build(pager, points));
+  if (idx->use_lemma4_) {
+    idx->lemma4_ = std::make_unique<lemma4::Lemma4Selector>(
+        lemma4::Lemma4Selector::Build(pager, points,
+                                      options.lemma4_params));
+  } else {
+    idx->st12_ = std::make_unique<st12::ShengTaoSelector>(
+        st12::ShengTaoSelector::Build(pager, points));
+  }
+  return idx;
+}
+
+std::uint64_t TopkIndex::PilotCutoff() const {
+  std::uint64_t n = std::max<std::uint64_t>(pilot_->size(), 2);
+  std::uint64_t cutoff =
+      static_cast<std::uint64_t>(pager_->B()) * Lg(n);
+  if (use_lemma4_) {
+    // Lemma 4 supports thresholds only up to its l parameter.
+    cutoff = std::min<std::uint64_t>(cutoff, lemma4_->l());
+  }
+  return cutoff;
+}
+
+Status TopkIndex::Insert(const Point& p) {
+  TOKRA_RETURN_IF_ERROR(pilot_->Insert(p));
+  if (use_lemma4_) return lemma4_->Insert(p);
+  return st12_->Insert(p);
+}
+
+Status TopkIndex::Delete(const Point& p) {
+  TOKRA_RETURN_IF_ERROR(pilot_->Delete(p));
+  if (use_lemma4_) return lemma4_->Delete(p);
+  return st12_->Delete(p);
+}
+
+StatusOr<std::vector<Point>> TopkIndex::TopK(double x1, double x2,
+                                             std::uint64_t k,
+                                             TopkQueryStats* stats) const {
+  if (x1 > x2) return Status::InvalidArgument("x1 > x2");
+  if (k == 0) return std::vector<Point>{};
+
+  // Large k: the pilot PST answers directly at O(k/B).
+  if (k >= PilotCutoff()) {
+    if (stats != nullptr) stats->path = QueryPath::kPilotDirect;
+    return pilot_->TopK(x1, x2, k);
+  }
+  if (stats != nullptr) {
+    stats->path = use_lemma4_ ? QueryPath::kLemma4Threshold
+                              : QueryPath::kSt12Threshold;
+  }
+
+  // Approximate range k-selection -> threshold -> 3-sided report -> select.
+  // The retry loop covers the case where the approximate threshold
+  // under-delivers; each retry doubles the requested rank, capped by the
+  // large-k path. Starting the ask below k exploits the selectors' one-sided
+  // slack (returned rank >= ask): the loop converges geometrically onto a
+  // tight threshold, keeping the reported candidate volume O(k) even when
+  // the selector's approximation constant is large.
+  std::uint64_t ask = std::max<std::uint64_t>(1, k / 4);
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    StatusOr<double> thr =
+        use_lemma4_ && ask <= lemma4_->l()
+            ? lemma4_->SelectApprox(x1, x2, ask)
+            : !use_lemma4_
+                  ? st12_->SelectApprox(x1, x2, ask)
+                  : StatusOr<double>(Status::OutOfRange("beyond l"));
+    double y;
+    if (!thr.ok()) {
+      if (thr.status().code() == StatusCode::kOutOfRange) {
+        // k exceeds the range population (or the selector's l): everything
+        // in range qualifies.
+        y = -kInf;
+      } else {
+        return thr.status();
+      }
+    } else {
+      y = *thr;
+    }
+    std::vector<Point> cand;
+    TOKRA_RETURN_IF_ERROR(pilot_->Report3Sided(x1, x2, y, &cand));
+    if (stats != nullptr) {
+      stats->reported_candidates = cand.size();
+      stats->threshold_retries = attempt;
+    }
+    if (cand.size() >= k || y == -kInf) {
+      std::size_t take = std::min<std::size_t>(k, cand.size());
+      std::nth_element(cand.begin(), cand.begin() + take, cand.end(),
+                       ByScoreDesc{});
+      cand.resize(take);
+      std::sort(cand.begin(), cand.end(), ByScoreDesc{});
+      return cand;
+    }
+    ask *= 2;
+    if (ask >= PilotCutoff()) {
+      if (stats != nullptr) stats->path = QueryPath::kPilotDirect;
+      return pilot_->TopK(x1, x2, k);
+    }
+  }
+  return Status::Internal("threshold retries exhausted");
+}
+
+void TopkIndex::DestroyAll() {
+  pilot_->DestroyAll();
+  if (use_lemma4_) {
+    lemma4_->DestroyAll();
+  } else {
+    st12_->DestroyAll();
+  }
+}
+
+void TopkIndex::CheckInvariants() const {
+  pilot_->CheckInvariants();
+  if (use_lemma4_) {
+    lemma4_->CheckInvariants();
+    TOKRA_CHECK_EQ(lemma4_->size(), pilot_->size());
+  } else {
+    st12_->CheckInvariants();
+    TOKRA_CHECK_EQ(st12_->size(), pilot_->size());
+  }
+}
+
+}  // namespace tokra::core

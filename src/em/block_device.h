@@ -1,0 +1,70 @@
+// The simulated disk: an unbounded array of blocks of B words.
+
+#ifndef TOKRA_EM_BLOCK_DEVICE_H_
+#define TOKRA_EM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "em/io_stats.h"
+#include "em/options.h"
+#include "util/check.h"
+
+namespace tokra::em {
+
+/// In-memory simulation of a block disk.
+///
+/// Every Read/Write transfers exactly one block and increments the matching
+/// counter; these counters are the ground truth for all I/O measurements in
+/// the repository. The device grows on demand (the EM model's disk is
+/// unbounded).
+class BlockDevice {
+ public:
+  explicit BlockDevice(std::uint32_t block_words)
+      : block_words_(block_words) {
+    TOKRA_CHECK(block_words >= 1);
+  }
+
+  std::uint32_t block_words() const { return block_words_; }
+
+  /// Number of blocks the device currently backs.
+  BlockId NumBlocks() const { return storage_.size() / block_words_; }
+
+  /// Reads block `id` into `dst` (must hold block_words() words). One I/O.
+  void Read(BlockId id, word_t* dst) {
+    TOKRA_CHECK(id < NumBlocks());
+    ++reads_;
+    const word_t* src = &storage_[id * block_words_];
+    for (std::uint32_t i = 0; i < block_words_; ++i) dst[i] = src[i];
+  }
+
+  /// Writes `src` (block_words() words) to block `id`, growing the device if
+  /// needed. One I/O.
+  void Write(BlockId id, const word_t* src) {
+    EnsureCapacity(id + 1);
+    ++writes_;
+    word_t* dst = &storage_[id * block_words_];
+    for (std::uint32_t i = 0; i < block_words_; ++i) dst[i] = src[i];
+  }
+
+  /// Extends the device to back at least `blocks` blocks (zero-filled).
+  /// Growing is free: it models formatting, not data transfer.
+  void EnsureCapacity(BlockId blocks) {
+    if (blocks * block_words_ > storage_.size()) {
+      storage_.resize(blocks * block_words_, 0);
+    }
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::uint32_t block_words_;
+  std::vector<word_t> storage_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_BLOCK_DEVICE_H_

@@ -1,0 +1,96 @@
+#include "em/buffer_pool.h"
+
+namespace tokra::em {
+
+std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
+  TOKRA_CHECK(id != kNullBlock);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    f.tick = ++clock_;
+    ++stats_.pool_hits;
+    return it->second;
+  }
+  ++stats_.pool_misses;
+  std::uint32_t v = FindVictim();
+  Frame& f = frames_[v];
+  if (f.valid) {
+    if (f.dirty) {
+      device_->Write(f.id, f.buf.data());
+      ++stats_.writes;
+    }
+    map_.erase(f.id);
+    ++stats_.evictions;
+  }
+  f.id = id;
+  f.valid = true;
+  f.dirty = false;
+  f.pins = 1;
+  f.tick = ++clock_;
+  if (mode == PinMode::kRead) {
+    device_->Read(id, f.buf.data());
+    ++stats_.reads;
+  } else {
+    std::fill(f.buf.begin(), f.buf.end(), 0);
+    // A created frame is dirty by definition: its zeros are new content.
+    f.dirty = true;
+  }
+  map_[id] = v;
+  return v;
+}
+
+void BufferPool::Unpin(std::uint32_t frame, bool dirty) {
+  Frame& f = frames_[frame];
+  TOKRA_CHECK(f.pins > 0);
+  --f.pins;
+  if (dirty) f.dirty = true;
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      device_->Write(f.id, f.buf.data());
+      ++stats_.writes;
+      f.dirty = false;
+    }
+  }
+}
+
+void BufferPool::DropAll() {
+  FlushAll();
+  for (Frame& f : frames_) {
+    TOKRA_CHECK(f.pins == 0);  // dropping while pinned is a bug
+    f.valid = false;
+    f.id = kNullBlock;
+  }
+  map_.clear();
+}
+
+void BufferPool::Invalidate(BlockId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  Frame& f = frames_[it->second];
+  TOKRA_CHECK(f.pins == 0);
+  f.valid = false;
+  f.dirty = false;
+  f.id = kNullBlock;
+  map_.erase(it);
+}
+
+std::uint32_t BufferPool::FindVictim() {
+  std::uint32_t best = num_frames();
+  std::uint64_t best_tick = ~std::uint64_t{0};
+  for (std::uint32_t i = 0; i < num_frames(); ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) return i;  // free frame
+    if (f.pins == 0 && f.tick < best_tick) {
+      best = i;
+      best_tick = f.tick;
+    }
+  }
+  TOKRA_CHECK(best < num_frames());  // pool exhausted: too many simultaneous pins
+  return best;
+}
+
+}  // namespace tokra::em

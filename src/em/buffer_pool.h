@@ -1,0 +1,82 @@
+// LRU buffer pool: the simulated main memory of M words (M/B frames).
+
+#ifndef TOKRA_EM_BUFFER_POOL_H_
+#define TOKRA_EM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "em/block_device.h"
+#include "em/io_stats.h"
+#include "em/options.h"
+#include "util/check.h"
+
+namespace tokra::em {
+
+/// Fixed-capacity LRU pool of block frames with pin/unpin semantics.
+///
+/// A pin that misses reads the block from the device (one I/O); evicting a
+/// dirty frame writes it back (one I/O). Pinned frames are never evicted —
+/// exceeding the frame budget with pins is a programming error (the model
+/// only guarantees M = Omega(B), and every algorithm in this library pins
+/// O(1) blocks at a time).
+class BufferPool {
+ public:
+  enum class PinMode {
+    kRead,    ///< load current block contents from the device on a miss
+    kCreate,  ///< zero-fill the frame instead of reading (fresh block)
+  };
+
+  BufferPool(BlockDevice* device, std::uint32_t num_frames)
+      : device_(device), frames_(num_frames) {
+    TOKRA_CHECK(num_frames >= 2);
+    for (Frame& f : frames_) f.buf.resize(device_->block_words(), 0);
+  }
+
+  /// Pins the block, returning its frame index.
+  std::uint32_t Pin(BlockId id, PinMode mode);
+
+  /// Releases one pin; `dirty` marks the frame as modified.
+  void Unpin(std::uint32_t frame, bool dirty);
+
+  word_t* FrameData(std::uint32_t frame) { return frames_[frame].buf.data(); }
+  BlockId FrameBlock(std::uint32_t frame) const { return frames_[frame].id; }
+
+  /// Writes back all dirty frames (each one write I/O). Frames stay cached.
+  void FlushAll();
+
+  /// Flushes and empties the pool — used to measure cold-cache costs.
+  void DropAll();
+
+  /// Discards any cached copy of `id` without write-back (used on Free).
+  void Invalidate(BlockId id);
+
+  const IoStats& stats() const { return stats_; }
+  std::uint32_t num_frames() const {
+    return static_cast<std::uint32_t>(frames_.size());
+  }
+  std::uint32_t block_words() const { return device_->block_words(); }
+
+ private:
+  struct Frame {
+    BlockId id = kNullBlock;
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t pins = 0;
+    std::uint64_t tick = 0;
+    std::vector<word_t> buf;
+  };
+
+  std::uint32_t FindVictim();
+
+  BlockDevice* device_;
+  std::vector<Frame> frames_;
+  std::unordered_map<BlockId, std::uint32_t> map_;
+  std::uint64_t clock_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_BUFFER_POOL_H_

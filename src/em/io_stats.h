@@ -1,0 +1,45 @@
+// I/O accounting: the cost metric of the EM model.
+
+#ifndef TOKRA_EM_IO_STATS_H_
+#define TOKRA_EM_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tokra::em {
+
+/// Counters of simulated block transfers and cache behaviour.
+///
+/// `reads` and `writes` are the model's cost: each is one block transferred
+/// between the (simulated) disk and memory. Pool hits are free, exactly as
+/// CPU work is free in the model.
+struct IoStats {
+  std::uint64_t reads = 0;        ///< blocks read from the device
+  std::uint64_t writes = 0;       ///< blocks written to the device
+  std::uint64_t pool_hits = 0;    ///< pins served from the buffer pool
+  std::uint64_t pool_misses = 0;  ///< pins requiring a device read
+  std::uint64_t evictions = 0;    ///< frames evicted (clean or dirty)
+
+  /// Total block transfers — the paper's cost metric.
+  std::uint64_t TotalIos() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& rhs) const {
+    IoStats d;
+    d.reads = reads - rhs.reads;
+    d.writes = writes - rhs.writes;
+    d.pool_hits = pool_hits - rhs.pool_hits;
+    d.pool_misses = pool_misses - rhs.pool_misses;
+    d.evictions = evictions - rhs.evictions;
+    return d;
+  }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(reads) + " writes=" +
+           std::to_string(writes) + " hits=" + std::to_string(pool_hits) +
+           " misses=" + std::to_string(pool_misses);
+  }
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_IO_STATS_H_

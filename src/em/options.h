@@ -1,0 +1,40 @@
+// Parameters of the simulated external-memory (EM) model.
+
+#ifndef TOKRA_EM_OPTIONS_H_
+#define TOKRA_EM_OPTIONS_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tokra::em {
+
+/// One machine word of the EM model. 64 bits >= Omega(lg n) for any input this
+/// library can hold, matching the paper's word-size assumption.
+using word_t = std::uint64_t;
+
+/// Block identifier on the simulated disk.
+using BlockId = std::uint64_t;
+
+/// Sentinel for "no block".
+inline constexpr BlockId kNullBlock = ~BlockId{0};
+
+/// Aggarwal-Vitter model parameters: a memory of `M` words and a disk of
+/// blocks of `B` words. The model requires M = Omega(B); the pool keeps
+/// M/B frames.
+struct EmOptions {
+  /// B: words per block. Must be >= 8 (all node headers fit one block).
+  std::uint32_t block_words = 256;
+
+  /// M/B: number of block frames the buffer pool may hold in memory.
+  std::uint32_t pool_frames = 16;
+
+  void Validate() const {
+    TOKRA_CHECK(block_words >= 8);
+    TOKRA_CHECK(pool_frames >= 4);
+  }
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_OPTIONS_H_

@@ -1,0 +1,130 @@
+// PagedArray<T>: a fixed-capacity array of trivially-copyable records laid
+// out across pager blocks, with no record straddling a block boundary.
+//
+// This is the building block for node payloads: pilot sets, representative
+// blocks, sketch blocks, child tables. The array is a *view*: the owner keeps
+// the block-id list inside its own node block and reconstructs the view on
+// access, so no per-node state lives in RAM.
+
+#ifndef TOKRA_EM_PAGED_ARRAY_H_
+#define TOKRA_EM_PAGED_ARRAY_H_
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "em/pager.h"
+#include "util/bits.h"
+
+namespace tokra::em {
+
+template <typename T>
+class PagedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % sizeof(word_t) == 0,
+                "records must be whole words so ranks map to word offsets");
+
+ public:
+  static constexpr std::uint32_t kWordsPerElem = sizeof(T) / sizeof(word_t);
+
+  /// Elements that fit one block of `block_words` words.
+  static std::uint32_t ElemsPerBlock(std::uint32_t block_words) {
+    std::uint32_t e = block_words / kWordsPerElem;
+    TOKRA_CHECK(e >= 1);
+    return e;
+  }
+
+  /// Blocks needed for `capacity` elements.
+  static std::uint32_t BlocksFor(std::uint32_t block_words,
+                                 std::uint32_t capacity) {
+    if (capacity == 0) return 0;
+    return static_cast<std::uint32_t>(
+        CeilDiv(capacity, ElemsPerBlock(block_words)));
+  }
+
+  /// Allocates the backing blocks for `capacity` elements.
+  static std::vector<BlockId> AllocateBlocks(Pager* pager,
+                                             std::uint32_t capacity) {
+    std::vector<BlockId> ids(BlocksFor(pager->B(), capacity));
+    for (BlockId& id : ids) id = pager->Allocate();
+    return ids;
+  }
+
+  /// A view over existing blocks. `blocks` must outlive the view.
+  PagedArray(Pager* pager, std::span<const BlockId> blocks)
+      : pager_(pager),
+        blocks_(blocks),
+        per_block_(ElemsPerBlock(pager->B())) {}
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(blocks_.size()) * per_block_;
+  }
+
+  T Get(std::uint32_t i) const {
+    TOKRA_DCHECK(i < capacity());
+    PageRef page = pager_->Fetch(blocks_[i / per_block_]);
+    T out;
+    std::memcpy(static_cast<void*>(&out), page.words().data() + Offset(i),
+                sizeof(T));
+    return out;
+  }
+
+  void Set(std::uint32_t i, const T& v) {
+    TOKRA_DCHECK(i < capacity());
+    PageRef page = pager_->Fetch(blocks_[i / per_block_]);
+    std::memcpy(page.mutable_words().data() + Offset(i),
+                static_cast<const void*>(&v), sizeof(T));
+  }
+
+  /// Reads [begin, end) touching each backing block once.
+  void ReadRange(std::uint32_t begin, std::uint32_t end,
+                 std::vector<T>* out) const {
+    TOKRA_DCHECK(begin <= end && end <= capacity());
+    out->clear();
+    out->reserve(end - begin);
+    std::uint32_t i = begin;
+    while (i < end) {
+      std::uint32_t b = i / per_block_;
+      std::uint32_t last = std::min(end, (b + 1) * per_block_);
+      PageRef page = pager_->Fetch(blocks_[b]);
+      for (; i < last; ++i) {
+        T v;
+        std::memcpy(static_cast<void*>(&v), page.words().data() + Offset(i),
+                    sizeof(T));
+        out->push_back(v);
+      }
+    }
+  }
+
+  /// Writes `vals` starting at `begin`, touching each backing block once.
+  void WriteRange(std::uint32_t begin, std::span<const T> vals) {
+    TOKRA_DCHECK(begin + vals.size() <= capacity());
+    std::uint32_t i = begin;
+    std::size_t j = 0;
+    while (j < vals.size()) {
+      std::uint32_t b = i / per_block_;
+      std::uint32_t last =
+          std::min<std::uint32_t>(begin + static_cast<std::uint32_t>(vals.size()),
+                                  (b + 1) * per_block_);
+      PageRef page = pager_->Fetch(blocks_[b]);
+      for (; i < last; ++i, ++j) {
+        std::memcpy(page.mutable_words().data() + Offset(i),
+                    static_cast<const void*>(&vals[j]), sizeof(T));
+      }
+    }
+  }
+
+ private:
+  std::uint32_t Offset(std::uint32_t i) const {
+    return (i % per_block_) * kWordsPerElem;
+  }
+
+  Pager* pager_;
+  std::span<const BlockId> blocks_;
+  std::uint32_t per_block_;
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_PAGED_ARRAY_H_

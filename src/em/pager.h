@@ -1,0 +1,172 @@
+// Pager: block allocation plus pinned typed access on top of the buffer pool.
+//
+// Every persistent byte of every structure in this library lives in pager
+// blocks; the pager is the single chokepoint through which all I/O flows.
+
+#ifndef TOKRA_EM_PAGER_H_
+#define TOKRA_EM_PAGER_H_
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "em/io_stats.h"
+#include "em/options.h"
+#include "util/check.h"
+
+namespace tokra::em {
+
+class Pager;
+
+/// RAII pin on one block. Move-only; unpins on destruction.
+///
+/// Mutation marks the frame dirty so it is written back on eviction/flush.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    return *this;
+  }
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  BlockId id() const { return pool_->FrameBlock(frame_); }
+
+  /// Read-only view of the block's words.
+  std::span<const word_t> words() const {
+    return {pool_->FrameData(frame_), WordsPerBlock()};
+  }
+
+  /// Mutable view; marks the page dirty.
+  std::span<word_t> mutable_words() {
+    dirty_ = true;
+    return {pool_->FrameData(frame_), WordsPerBlock()};
+  }
+
+  word_t Get(std::size_t i) const {
+    TOKRA_DCHECK(i < WordsPerBlock());
+    return pool_->FrameData(frame_)[i];
+  }
+  void Set(std::size_t i, word_t v) {
+    TOKRA_DCHECK(i < WordsPerBlock());
+    dirty_ = true;
+    pool_->FrameData(frame_)[i] = v;
+  }
+
+  double GetDouble(std::size_t i) const { return std::bit_cast<double>(Get(i)); }
+  void SetDouble(std::size_t i, double v) { Set(i, std::bit_cast<word_t>(v)); }
+
+ private:
+  friend class Pager;
+  PageRef(BufferPool* pool, std::uint32_t frame) : pool_(pool), frame_(frame) {}
+
+  std::size_t WordsPerBlock() const;
+
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Unpin(frame_, dirty_);
+      pool_ = nullptr;
+      dirty_ = false;
+    }
+  }
+
+  BufferPool* pool_ = nullptr;
+  std::uint32_t frame_ = 0;
+  bool dirty_ = false;
+};
+
+/// Owns the device + pool; allocates and frees blocks; hands out pins.
+class Pager {
+ public:
+  explicit Pager(const EmOptions& options)
+      : options_(options),
+        device_(options.block_words),
+        pool_(&device_, options.pool_frames) {
+    options.Validate();
+  }
+
+  /// B, in words.
+  std::uint32_t B() const { return options_.block_words; }
+  const EmOptions& options() const { return options_; }
+
+  /// Allocates a zeroed block. Allocation bookkeeping is O(1) metadata and
+  /// costs no I/O; the block's first materialization to disk is charged when
+  /// its frame is evicted or flushed.
+  BlockId Allocate() {
+    BlockId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = next_block_++;
+      device_.EnsureCapacity(next_block_);
+    }
+    ++blocks_in_use_;
+    return id;
+  }
+
+  /// Returns a block to the free list; any cached copy is discarded.
+  void Free(BlockId id) {
+    TOKRA_CHECK(id != kNullBlock);
+    pool_.Invalidate(id);
+    free_list_.push_back(id);
+    TOKRA_CHECK(blocks_in_use_ > 0);
+    --blocks_in_use_;
+  }
+
+  /// Pins `id` for reading (and possibly writing). One read I/O on pool miss.
+  PageRef Fetch(BlockId id) {
+    return PageRef(&pool_, pool_.Pin(id, BufferPool::PinMode::kRead));
+  }
+
+  /// Pins `id` zero-filled without reading the device — for blocks whose
+  /// entire contents the caller is about to overwrite (e.g. fresh nodes).
+  PageRef Create(BlockId id) {
+    return PageRef(&pool_, pool_.Pin(id, BufferPool::PinMode::kCreate));
+  }
+
+  /// Space usage in blocks — the paper's space metric.
+  std::uint64_t BlocksInUse() const { return blocks_in_use_; }
+
+  /// Combined device + pool counters.
+  IoStats stats() const {
+    IoStats s = pool_.stats();
+    s.reads = device_.reads();
+    s.writes = device_.writes();
+    return s;
+  }
+
+  void FlushAll() { pool_.FlushAll(); }
+
+  /// Flushes and empties the pool: the next pins all miss (cold cache).
+  void DropCache() { pool_.DropAll(); }
+
+ private:
+  EmOptions options_;
+  BlockDevice device_;
+  BufferPool pool_;
+  std::vector<BlockId> free_list_;
+  BlockId next_block_ = 0;
+  std::uint64_t blocks_in_use_ = 0;
+};
+
+inline std::size_t PageRef::WordsPerBlock() const {
+  TOKRA_DCHECK(pool_ != nullptr);
+  return pool_->block_words();
+}
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_PAGER_H_

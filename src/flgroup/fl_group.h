@@ -1,0 +1,144 @@
+// The (f,l)-group k-selection structure of Lemma 6 (Section 4).
+//
+// Stores an (f,l)-group G = (G_1, ..., G_f) of disjoint real-value sets in
+// O(fl/B) blocks such that
+//   * a query (interval [a1,a2] of set indices, rank k) returns a value whose
+//     rank in the union of those sets lies in [k, c2*k) in O(lg_B(fl)) I/Os,
+//   * insertions and deletions cost O(lg_B(fl)) I/Os amortized.
+//
+// Composition (all block-resident, reachable from one meta block):
+//   * compressed sketch set (Section 4.1)  — O(1) blocks,
+//   * compressed prefix set (Lemma 8)      — O(1) blocks,
+//   * order-statistic B-tree on G          — rank <-> element conversion,
+//   * order-statistic B-tree on each G_i   — local-rank selection.
+//
+// The per-set maxima needed by Lemma 4's Max operator come for free: the
+// level-1 sketch pivot has rank window [1,2) = {1}, i.e. it IS the maximum.
+
+#ifndef TOKRA_FLGROUP_FL_GROUP_H_
+#define TOKRA_FLGROUP_FL_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/ostree.h"
+#include "em/pager.h"
+#include "flgroup/prefix_set.h"
+#include "sketch/packed_set.h"
+#include "sketch/select7.h"
+#include "util/status.h"
+
+namespace tokra::flgroup {
+
+class FlGroup {
+ public:
+  struct Params {
+    std::uint32_t f = 1;  ///< number of sets
+    std::uint32_t l = 1;  ///< per-set capacity
+  };
+
+  /// The approximation constant c2 of the structure (inherited from the
+  /// Lemma 7 sweep; see sketch/select7.cc).
+  static constexpr std::uint64_t kApproxFactor = sketch::kSelect7Factor;
+
+  /// Creates an empty group. Allocates the meta/sketch/prefix/handle blocks.
+  static FlGroup Create(em::Pager* pager, Params params);
+
+  /// Reopens from a persisted meta-block id.
+  static FlGroup Open(em::Pager* pager, em::BlockId meta);
+
+  em::BlockId meta_block() const { return meta_; }
+  std::uint32_t f() const { return params_.f; }
+  std::uint32_t l() const { return params_.l; }
+
+  /// |G_i|. O(1) I/Os (sketch block).
+  std::uint32_t SetSize(std::uint32_t i) const;
+
+  /// Sum of |G_i| over [a1, a2]. O(1) I/Os.
+  std::uint64_t SizeInRange(std::uint32_t a1, std::uint32_t a2) const;
+
+  /// Inserts v into G_i. Values must be distinct across the whole group.
+  /// O(lg_B(fl)) I/Os amortized.
+  Status Insert(std::uint32_t i, double v);
+
+  /// Deletes v from G_i. O(lg_B(fl)) I/Os amortized.
+  Status Delete(std::uint32_t i, double v);
+
+  struct SelectResult {
+    bool neg_inf = false;  ///< -infinity answer (union smaller than 2k)
+    double value = 0;
+  };
+
+  /// The Section 3.2 query: a value whose rank in U_{i in [a1,a2]} G_i lies
+  /// in [k, c2*k), or -infinity. Requires 1 <= k <= SizeInRange(a1,a2).
+  /// O(lg_B(fl)) I/Os.
+  StatusOr<SelectResult> SelectApprox(std::uint32_t a1, std::uint32_t a2,
+                                      std::uint64_t k) const;
+
+  /// Maximum of U_{i in [a1,a2]} G_i. kNotFound if all empty. O(lg_B(fl)).
+  StatusOr<double> MaxInRange(std::uint32_t a1, std::uint32_t a2) const;
+
+  /// Minimum of G_i. kNotFound if empty. O(lg_B l) I/Os. (Used by Lemma 4's
+  /// update algorithm to test whether a score enters G_u.)
+  StatusOr<double> MinOfSet(std::uint32_t i) const;
+
+  /// True iff v is in G_i. O(lg_B l) I/Os.
+  bool Contains(std::uint32_t i, double v) const;
+
+  /// Frees every block owned by the structure.
+  void DestroyAll();
+
+  /// Full validation: sketch windows + prefix ranks + trees agree. O(fl).
+  void CheckInvariants() const;
+
+ private:
+  FlGroup(em::Pager* pager, em::BlockId meta, Params params,
+          std::uint32_t p_cap)
+      : pager_(pager), meta_(meta), params_(params), p_cap_(p_cap) {}
+
+  // Meta block layout (words):
+  //  [0] f   [1] l   [2] G-tree root   [3] G-tree size
+  //  [4] #sketch blocks  [5] #prefix blocks  [6] #handle blocks
+  //  [7...] the block ids, in that order.
+  static constexpr std::size_t kMetaF = 0;
+  static constexpr std::size_t kMetaL = 1;
+  static constexpr std::size_t kMetaGRoot = 2;
+  static constexpr std::size_t kMetaGSize = 3;
+  static constexpr std::size_t kMetaNSketch = 4;
+  static constexpr std::size_t kMetaNPrefix = 5;
+  static constexpr std::size_t kMetaNHandle = 6;
+  static constexpr std::size_t kMetaIds = 7;
+
+  struct Blocks {
+    btree::OsTreeRef g_tree;
+    std::vector<em::BlockId> sketch;
+    std::vector<em::BlockId> prefix;
+    std::vector<em::BlockId> handle;
+  };
+  Blocks LoadBlocks() const;
+  void StoreGTree(btree::OsTreeRef ref);
+
+  sketch::PackedSketchSet LoadSketch(const Blocks& b) const;
+  void StoreSketch(const Blocks& b, const sketch::PackedSketchSet& s);
+  PrefixSet LoadPrefix(const Blocks& b) const;
+  void StorePrefix(const Blocks& b, const PrefixSet& p);
+
+  btree::OsTreeRef LoadSetTree(const Blocks& b, std::uint32_t i) const;
+  void StoreSetTree(const Blocks& b, std::uint32_t i, btree::OsTreeRef ref);
+
+  /// Repairs all invalid sketch levels of set i, preferring the prefix set
+  /// (free) and falling back to the B-trees (O(lg_B(fl)) per level) exactly
+  /// as Sections 4.2/4.3 prescribe.
+  Status RepairInvalidLevels(const Blocks& blocks,
+                             sketch::PackedSketchSet* sk,
+                             const PrefixSet& prefix, std::uint32_t i);
+
+  em::Pager* pager_;
+  em::BlockId meta_;
+  Params params_;
+  std::uint32_t p_cap_;
+};
+
+}  // namespace tokra::flgroup
+
+#endif  // TOKRA_FLGROUP_FL_GROUP_H_

@@ -1,0 +1,86 @@
+#include "flgroup/prefix_set.h"
+
+#include <algorithm>
+
+namespace tokra::flgroup {
+
+void PrefixSet::ApplyInsert(std::uint32_t set_i, std::uint32_t g_new,
+                            std::uint32_t r_new) {
+  TOKRA_CHECK(set_i < f_);
+  // Every stored element at or below the new one drops one global rank slot.
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    for (std::uint32_t r = 1; r <= live(i); ++r) {
+      std::size_t idx = Idx(i, r);
+      if (ranks_[idx] >= g_new) ++ranks_[idx];
+    }
+  }
+  ++sizes_[set_i];
+  if (r_new <= p_cap_) {
+    // Shift set_i's slots right from r_new; the overflow (old slot p_cap)
+    // falls out of the prefix.
+    std::uint32_t last = live(set_i);
+    for (std::uint32_t r = last; r > r_new; --r) {
+      ranks_[Idx(set_i, r)] = ranks_[Idx(set_i, r - 1)];
+    }
+    ranks_[Idx(set_i, r_new)] = g_new;
+  }
+}
+
+bool PrefixSet::ApplyDelete(std::uint32_t set_i, std::uint32_t g_old,
+                            std::uint32_t r_old) {
+  TOKRA_CHECK(set_i < f_);
+  TOKRA_CHECK(sizes_[set_i] > 0);
+  std::uint32_t old_size = sizes_[set_i];
+  std::uint32_t old_live = live(set_i);
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    for (std::uint32_t r = 1; r <= live(i); ++r) {
+      std::size_t idx = Idx(i, r);
+      if (ranks_[idx] > g_old) --ranks_[idx];
+    }
+  }
+  --sizes_[set_i];
+  if (r_old > p_cap_) return false;  // the element was outside the prefix
+  TOKRA_DCHECK(ranks_[Idx(set_i, r_old)] == g_old);
+  for (std::uint32_t r = r_old; r + 1 <= old_live; ++r) {
+    ranks_[Idx(set_i, r)] = ranks_[Idx(set_i, r + 1)];
+  }
+  // If more elements remain beyond the prefix, slot p_cap must be refilled
+  // from the trees (the single non-inferable value, per Lemma 8).
+  return old_size > p_cap_;
+}
+
+void PrefixSet::Serialize(std::span<em::word_t> out) const {
+  TOKRA_CHECK(out.size() >= WordCount());
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    out[w++] = sizes_[i];
+    for (std::uint32_t r = 1; r <= p_cap_; ++r) {
+      out[w++] = ranks_[Idx(i, r)];
+    }
+  }
+}
+
+PrefixSet PrefixSet::Deserialize(std::uint32_t f, std::uint32_t p_cap,
+                                 std::span<const em::word_t> in) {
+  PrefixSet p(f, p_cap);
+  TOKRA_CHECK(in.size() >= p.WordCount());
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    p.sizes_[i] = static_cast<std::uint32_t>(in[w++]);
+    for (std::uint32_t r = 1; r <= p_cap; ++r) {
+      p.ranks_[p.Idx(i, r)] = static_cast<std::uint32_t>(in[w++]);
+    }
+  }
+  return p;
+}
+
+void PrefixSet::CheckWellFormed() const {
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    for (std::uint32_t r = 2; r <= live(i); ++r) {
+      // Deeper local rank = smaller element = larger global rank.
+      TOKRA_CHECK(ranks_[Idx(i, r)] > ranks_[Idx(i, r - 1)]);
+    }
+  }
+}
+
+}  // namespace tokra::flgroup

@@ -1,0 +1,100 @@
+// The compressed prefix set of Lemma 8 (Section 4.4).
+//
+// For each set G_i of an (f,l)-group, the prefix P_i is its sqrt(B)*lg_B(fl)
+// largest elements. We store, for every i and every local rank
+// r in [1, |P_i|], the *global rank in G* of the element with local rank r in
+// G_i. The whole table fits in O(1) blocks, so after loading it one can read
+// any (i, r) -> global-rank mapping for free, which is exactly what Lemma 8
+// provides ("in one I/O, we can read into memory a single block, from which
+// we can obtain for free the global rank of the element with local rank r").
+//
+// Indexing by slot position r makes the paper's (global rank, local rank)
+// pair encoding implicit: the local rank IS the slot index.
+
+#ifndef TOKRA_FLGROUP_PREFIX_SET_H_
+#define TOKRA_FLGROUP_PREFIX_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/options.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace tokra::flgroup {
+
+class PrefixSet {
+ public:
+  /// The paper's prefix length: sqrt(B) * lg_B(fl).
+  static std::uint32_t PrefixCap(std::uint32_t block_words, std::uint64_t fl) {
+    std::uint32_t cap = static_cast<std::uint32_t>(
+        FloorSqrt(block_words) * LogB(block_words, fl));
+    return cap < 1 ? 1 : cap;
+  }
+
+  PrefixSet(std::uint32_t f, std::uint32_t p_cap)
+      : f_(f), p_cap_(p_cap), sizes_(f, 0),
+        ranks_(static_cast<std::size_t>(f) * p_cap, 0) {
+    TOKRA_CHECK(f >= 1 && p_cap >= 1);
+  }
+
+  std::uint32_t f() const { return f_; }
+  std::uint32_t p_cap() const { return p_cap_; }
+
+  /// |G_i| (mirrored here so the class is self-contained).
+  std::uint32_t set_size(std::uint32_t i) const { return sizes_[i]; }
+
+  /// Number of live prefix slots of set i: min(|G_i|, p_cap).
+  std::uint32_t live(std::uint32_t i) const {
+    return std::min(sizes_[i], p_cap_);
+  }
+
+  /// Global rank in G of the element with local rank r in G_i, r in
+  /// [1, live(i)]. Free once the structure is in memory.
+  std::uint32_t global_rank(std::uint32_t i, std::uint32_t r) const {
+    TOKRA_DCHECK(r >= 1 && r <= live(i));
+    return ranks_[Idx(i, r)];
+  }
+
+  void SetSlot(std::uint32_t i, std::uint32_t r, std::uint32_t g) {
+    TOKRA_DCHECK(r >= 1 && r <= live(i));
+    ranks_[Idx(i, r)] = g;
+  }
+
+  /// Rank bookkeeping for inserting into G_i an element whose post-insert
+  /// global rank is g_new and post-insert local rank is r_new.
+  void ApplyInsert(std::uint32_t i, std::uint32_t g_new, std::uint32_t r_new);
+
+  /// Rank bookkeeping for deleting from G_i the element with current global
+  /// rank g_old and local rank r_old. Returns true when the caller must
+  /// backfill the last slot (the element with local rank p_cap) from the
+  /// B-trees — the one value Lemma 8 cannot infer locally.
+  bool ApplyDelete(std::uint32_t i, std::uint32_t g_old, std::uint32_t r_old);
+
+  // --- serialization: one size word + p_cap rank words per set ---------
+  static std::uint64_t WordCount(std::uint32_t f, std::uint32_t p_cap) {
+    return static_cast<std::uint64_t>(f) * (1 + p_cap);
+  }
+  std::uint64_t WordCount() const { return WordCount(f_, p_cap_); }
+  void Serialize(std::span<em::word_t> out) const;
+  static PrefixSet Deserialize(std::uint32_t f, std::uint32_t p_cap,
+                               std::span<const em::word_t> in);
+
+  /// Test helper: slots hold strictly increasing global ranks per set.
+  void CheckWellFormed() const;
+
+ private:
+  std::size_t Idx(std::uint32_t i, std::uint32_t r) const {
+    return static_cast<std::size_t>(i) * p_cap_ + (r - 1);
+  }
+
+  std::uint32_t f_;
+  std::uint32_t p_cap_;
+  std::vector<std::uint32_t> sizes_;
+  std::vector<std::uint32_t> ranks_;
+};
+
+}  // namespace tokra::flgroup
+
+#endif  // TOKRA_FLGROUP_PREFIX_SET_H_

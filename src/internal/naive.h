@@ -1,0 +1,71 @@
+// Naive reference implementations (oracles) for tests and benches.
+
+#ifndef TOKRA_INTERNAL_NAIVE_H_
+#define TOKRA_INTERNAL_NAIVE_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "util/point.h"
+
+namespace tokra::internal {
+
+/// Top-k points of S within [x1, x2], sorted by score descending.
+/// O(n lg n) scan — correctness oracle only.
+inline std::vector<Point> NaiveTopK(std::span<const Point> s, double x1,
+                                    double x2, std::size_t k) {
+  std::vector<Point> in;
+  for (const Point& p : s) {
+    if (p.x >= x1 && p.x <= x2) in.push_back(p);
+  }
+  std::sort(in.begin(), in.end(), ByScoreDesc{});
+  if (in.size() > k) in.resize(k);
+  return in;
+}
+
+/// All points in [x1, x2] x [y, +inf), sorted by score descending.
+inline std::vector<Point> Naive3Sided(std::span<const Point> s, double x1,
+                                      double x2, double y) {
+  std::vector<Point> out;
+  for (const Point& p : s) {
+    if (p.x >= x1 && p.x <= x2 && p.score >= y) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), ByScoreDesc{});
+  return out;
+}
+
+/// |S ∩ [x1, x2]|.
+inline std::uint64_t NaiveRangeCount(std::span<const Point> s, double x1,
+                                     double x2) {
+  std::uint64_t c = 0;
+  for (const Point& p : s) {
+    if (p.x >= x1 && p.x <= x2) ++c;
+  }
+  return c;
+}
+
+/// Exact k-th largest score within [x1, x2]; requires k <= range count.
+inline double NaiveKthScoreInRange(std::span<const Point> s, double x1,
+                                   double x2, std::uint64_t k) {
+  std::vector<double> scores;
+  for (const Point& p : s) {
+    if (p.x >= x1 && p.x <= x2) scores.push_back(p.score);
+  }
+  std::sort(scores.begin(), scores.end(), std::greater<>());
+  return scores.at(k - 1);
+}
+
+/// Descending rank of `v` within the scores of S ∩ [x1, x2].
+inline std::uint64_t NaiveScoreRankInRange(std::span<const Point> s, double x1,
+                                           double x2, double v) {
+  std::uint64_t r = 0;
+  for (const Point& p : s) {
+    if (p.x >= x1 && p.x <= x2 && p.score >= v) ++r;
+  }
+  return r;
+}
+
+}  // namespace tokra::internal
+
+#endif  // TOKRA_INTERNAL_NAIVE_H_

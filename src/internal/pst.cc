@@ -1,0 +1,183 @@
+#include "internal/pst.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "select/heap_view.h"
+#include "util/check.h"
+
+namespace tokra::internal {
+
+std::uint32_t TreapPst::NewNode(const Point& p) {
+  if (!free_.empty()) {
+    std::uint32_t id = free_.back();
+    free_.pop_back();
+    nodes_[id] = Node{p, kNil, kNil, 1};
+    return id;
+  }
+  nodes_.push_back(Node{p, kNil, kNil, 1});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void TreapPst::FreeNode(std::uint32_t id) { free_.push_back(id); }
+
+void TreapPst::Pull(std::uint32_t id) {
+  Node& n = nodes_[id];
+  n.count = 1;
+  if (n.left != kNil) n.count += nodes_[n.left].count;
+  if (n.right != kNil) n.count += nodes_[n.right].count;
+}
+
+void TreapPst::Split(std::uint32_t t, double x, bool inclusive,
+                     std::uint32_t* lo, std::uint32_t* hi) {
+  if (t == kNil) {
+    *lo = *hi = kNil;
+    return;
+  }
+  Node& n = nodes_[t];
+  bool goes_low = inclusive ? (n.p.x <= x) : (n.p.x < x);
+  if (goes_low) {
+    *lo = t;
+    Split(n.right, x, inclusive, &nodes_[t].right, hi);
+    Pull(t);
+  } else {
+    *hi = t;
+    Split(n.left, x, inclusive, lo, &nodes_[t].left);
+    Pull(t);
+  }
+}
+
+std::uint32_t TreapPst::Merge(std::uint32_t a, std::uint32_t b) {
+  if (a == kNil) return b;
+  if (b == kNil) return a;
+  // Higher score on top keeps the score max-heap order.
+  if (nodes_[a].p.score > nodes_[b].p.score) {
+    nodes_[a].right = Merge(nodes_[a].right, b);
+    Pull(a);
+    return a;
+  }
+  nodes_[b].left = Merge(a, nodes_[b].left);
+  Pull(b);
+  return b;
+}
+
+Status TreapPst::Insert(const Point& p) {
+  // Reject duplicate x (BST keys must be distinct).
+  std::uint32_t cur = root_;
+  while (cur != kNil) {
+    if (nodes_[cur].p.x == p.x) return Status::AlreadyExists("duplicate x");
+    cur = p.x < nodes_[cur].p.x ? nodes_[cur].left : nodes_[cur].right;
+  }
+  std::uint32_t lo, hi;
+  Split(root_, p.x, /*inclusive=*/true, &lo, &hi);
+  root_ = Merge(Merge(lo, NewNode(p)), hi);
+  ++size_;
+  return Status::Ok();
+}
+
+Status TreapPst::Delete(double x) {
+  std::uint32_t lo, mid, hi;
+  Split(root_, x, /*inclusive=*/false, &lo, &mid);   // lo: < x
+  std::uint32_t rest;
+  Split(mid, x, /*inclusive=*/true, &mid, &rest);    // mid: == x
+  if (mid == kNil) {
+    root_ = Merge(lo, rest);
+    return Status::NotFound("x not present");
+  }
+  TOKRA_CHECK(nodes_[mid].count == 1);
+  FreeNode(mid);
+  hi = rest;
+  root_ = Merge(lo, hi);
+  --size_;
+  return Status::Ok();
+}
+
+void TreapPst::Report3Sided(double x1, double x2, double y,
+                            std::vector<Point>* out) {
+  std::uint32_t lo, mid, hi;
+  Split(root_, x1, /*inclusive=*/false, &lo, &mid);
+  Split(mid, x2, /*inclusive=*/true, &mid, &hi);
+  // `mid` holds exactly S ∩ [x1, x2]; heap order prunes at score < y.
+  std::vector<std::uint32_t> stack;
+  if (mid != kNil) stack.push_back(mid);
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (n.p.score < y) continue;  // whole subtree is below y
+    out->push_back(n.p);
+    if (n.left != kNil) stack.push_back(n.left);
+    if (n.right != kNil) stack.push_back(n.right);
+  }
+  root_ = Merge(Merge(lo, mid), hi);
+}
+
+std::vector<Point> TreapPst::TopK(double x1, double x2, std::size_t k,
+                                  select::SelectStats* stats) {
+  std::uint32_t lo, mid, hi;
+  Split(root_, x1, /*inclusive=*/false, &lo, &mid);
+  Split(mid, x2, /*inclusive=*/true, &mid, &hi);
+
+  // Local heap view over the `mid` subtreap.
+  class View : public select::HeapView {
+   public:
+    View(const std::vector<Node>& nodes, std::uint32_t root)
+        : nodes_(nodes), root_(root) {}
+    void Roots(std::vector<select::HeapNode>* out) const override {
+      if (root_ != kNil) {
+        out->push_back(select::HeapNode{root_, nodes_[root_].p.score});
+      }
+    }
+    void Children(select::NodeId id,
+                  std::vector<select::HeapNode>* out) const override {
+      const Node& n = nodes_[static_cast<std::uint32_t>(id)];
+      if (n.left != kNil) {
+        out->push_back(select::HeapNode{n.left, nodes_[n.left].p.score});
+      }
+      if (n.right != kNil) {
+        out->push_back(select::HeapNode{n.right, nodes_[n.right].p.score});
+      }
+    }
+
+   private:
+    const std::vector<Node>& nodes_;
+    std::uint32_t root_;
+  };
+
+  View view(nodes_, mid);
+  std::vector<select::HeapNode> top =
+      select::SelectTop(view, k, select::Strategy::kBestFirst, stats);
+  std::vector<Point> out;
+  out.reserve(top.size());
+  for (const select::HeapNode& n : top) {
+    out.push_back(nodes_[static_cast<std::uint32_t>(n.id)].p);
+  }
+  std::sort(out.begin(), out.end(), ByScoreDesc{});
+
+  root_ = Merge(Merge(lo, mid), hi);
+  return out;
+}
+
+void TreapPst::CheckRec(std::uint32_t id, double lo, double hi,
+                        double max_score, std::uint32_t* count) const {
+  if (id == kNil) return;
+  const Node& n = nodes_[id];
+  TOKRA_CHECK(n.p.x > lo && n.p.x < hi);
+  TOKRA_CHECK(n.p.score <= max_score);
+  std::uint32_t c = 1, cl = 0, cr = 0;
+  CheckRec(n.left, lo, n.p.x, n.p.score, &cl);
+  CheckRec(n.right, n.p.x, hi, n.p.score, &cr);
+  c += cl + cr;
+  TOKRA_CHECK_EQ(c, n.count);
+  *count = c;
+}
+
+void TreapPst::CheckInvariants() const {
+  std::uint32_t count = 0;
+  CheckRec(root_, -std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(), &count);
+  TOKRA_CHECK_EQ(count, size_);
+}
+
+}  // namespace tokra::internal

@@ -1,0 +1,79 @@
+// Internal-memory priority search tree (the Section 1.1 pointer-machine
+// baseline).
+//
+// The paper notes that combining a priority search tree [McCreight 85] with
+// Frederickson's heap selection yields an O(n)-word structure with O(lg n+k)
+// query and O(lg n) update time in internal memory. We realize it as a
+// *priority search treap*: a treap whose BST key is x and whose heap
+// priority is the score. That is simultaneously a search tree on x and a
+// max-heap on score — exactly the two orders a PST maintains — with expected
+// O(lg n) update time (randomized balance substitutes for worst-case; see
+// DESIGN.md). Top-k queries run heap selection over the x-range subtreap.
+
+#ifndef TOKRA_INTERNAL_PST_H_
+#define TOKRA_INTERNAL_PST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "select/select.h"
+#include "util/point.h"
+#include "util/status.h"
+
+namespace tokra::internal {
+
+/// In-memory top-k range reporting structure. Not I/O-aware by design: it is
+/// the RAM comparison point for experiment E10.
+class TreapPst {
+ public:
+  TreapPst() = default;
+
+  /// Inserts p. Scores and x-coordinates must be distinct. O(lg n) expected.
+  Status Insert(const Point& p);
+
+  /// Deletes the point at x. O(lg n) expected.
+  Status Delete(double x);
+
+  std::size_t size() const { return size_; }
+
+  /// All points in [x1, x2] x [y, inf). O(lg n + t) expected.
+  void Report3Sided(double x1, double x2, double y,
+                    std::vector<Point>* out);
+
+  /// The k highest-scored points in [x1, x2], score-descending.
+  /// O(lg n + k lg k) expected; `stats` receives selection counters.
+  std::vector<Point> TopK(double x1, double x2, std::size_t k,
+                          select::SelectStats* stats = nullptr);
+
+  /// Validates BST + heap orders and subtree sizes. O(n).
+  void CheckInvariants() const;
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Node {
+    Point p;
+    std::uint32_t left = kNil;
+    std::uint32_t right = kNil;
+    std::uint32_t count = 1;  // subtree size
+  };
+
+  std::uint32_t NewNode(const Point& p);
+  void FreeNode(std::uint32_t id);
+  void Pull(std::uint32_t id);
+  // Splits t into (keys <= x, keys > x) when inclusive, else (< x, >= x).
+  void Split(std::uint32_t t, double x, bool inclusive, std::uint32_t* lo,
+             std::uint32_t* hi);
+  std::uint32_t Merge(std::uint32_t a, std::uint32_t b);
+  void CheckRec(std::uint32_t id, double lo, double hi, double max_score,
+                std::uint32_t* count) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t root_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tokra::internal
+
+#endif  // TOKRA_INTERNAL_PST_H_

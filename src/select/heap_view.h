@@ -1,0 +1,69 @@
+// Abstract max-heap views for top-k selection.
+//
+// The paper (Section 2) turns subtrees of its structure into max-heaps keyed
+// by pilot-set representatives, concatenates them, and runs Frederickson's
+// selection algorithm. We abstract the heap as a *view*: a forest whose
+// node accesses may cost I/Os (the implementation charges them through the
+// pager). Selection algorithms then work on any view.
+
+#ifndef TOKRA_SELECT_HEAP_VIEW_H_
+#define TOKRA_SELECT_HEAP_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tokra::select {
+
+/// Opaque node handle; meaning is defined by the view implementation.
+using NodeId = std::uint64_t;
+
+/// A node together with its heap key.
+struct HeapNode {
+  NodeId id = 0;
+  double key = 0;
+};
+
+/// A forest of max-heaps: every child's key is <= its parent's key.
+///
+/// `Roots` and `Children` may perform I/O (charged by the implementation via
+/// its pager); selection algorithms call them O(1) times per visited node,
+/// which is what yields the paper's O(lg n + k/B) query bound.
+class HeapView {
+ public:
+  virtual ~HeapView() = default;
+
+  /// Appends the roots of the forest.
+  virtual void Roots(std::vector<HeapNode>* out) const = 0;
+
+  /// Appends the children of `node` (possibly none).
+  virtual void Children(NodeId node, std::vector<HeapNode>* out) const = 0;
+};
+
+/// In-memory heap view over an explicit adjacency list — used by tests and by
+/// the internal-memory baseline.
+class VectorHeapView : public HeapView {
+ public:
+  /// node ids are indices into `keys`; `children[i]` lists i's children.
+  VectorHeapView(std::vector<double> keys,
+                 std::vector<std::vector<NodeId>> children,
+                 std::vector<NodeId> roots)
+      : keys_(std::move(keys)),
+        children_(std::move(children)),
+        roots_(std::move(roots)) {}
+
+  void Roots(std::vector<HeapNode>* out) const override {
+    for (NodeId r : roots_) out->push_back(HeapNode{r, keys_[r]});
+  }
+  void Children(NodeId node, std::vector<HeapNode>* out) const override {
+    for (NodeId c : children_[node]) out->push_back(HeapNode{c, keys_[c]});
+  }
+
+ private:
+  std::vector<double> keys_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> roots_;
+};
+
+}  // namespace tokra::select
+
+#endif  // TOKRA_SELECT_HEAP_VIEW_H_

@@ -1,0 +1,124 @@
+#include "select/select.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tokra::select {
+namespace {
+
+/// Binary max-heap over HeapNode with comparison counting.
+class CountingHeap {
+ public:
+  explicit CountingHeap(SelectStats* stats) : stats_(stats) {}
+
+  void Push(HeapNode n) {
+    heap_.push_back(n);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      std::size_t p = (i - 1) / 2;
+      Count();
+      if (heap_[p].key >= heap_[i].key) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
+  }
+
+  HeapNode Pop() {
+    TOKRA_CHECK(!heap_.empty());
+    HeapNode top = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    while (true) {
+      std::size_t l = 2 * i + 1, r = 2 * i + 2, best = i;
+      if (l < heap_.size()) {
+        Count();
+        if (heap_[l].key > heap_[best].key) best = l;
+      }
+      if (r < heap_.size()) {
+        Count();
+        if (heap_[r].key > heap_[best].key) best = r;
+      }
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+    return top;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  void Count() {
+    if (stats_ != nullptr) ++stats_->comparisons;
+  }
+  std::vector<HeapNode> heap_;
+  SelectStats* stats_;
+};
+
+std::vector<HeapNode> BestFirst(const HeapView& view, std::size_t t,
+                                SelectStats* stats) {
+  std::vector<HeapNode> out;
+  if (t == 0) return out;
+  CountingHeap pq(stats);
+  std::vector<HeapNode> buf;
+  view.Roots(&buf);
+  for (const HeapNode& n : buf) {
+    if (stats != nullptr) ++stats->nodes_visited;
+    pq.Push(n);
+  }
+  while (!pq.empty() && out.size() < t) {
+    HeapNode n = pq.Pop();
+    out.push_back(n);
+    buf.clear();
+    view.Children(n.id, &buf);
+    for (const HeapNode& c : buf) {
+      if (stats != nullptr) ++stats->nodes_visited;
+      pq.Push(c);
+    }
+  }
+  return out;
+}
+
+std::vector<HeapNode> NaiveExtract(const HeapView& view, std::size_t t,
+                                   SelectStats* stats) {
+  // Expand the entire forest (reference / ablation baseline).
+  std::vector<HeapNode> all;
+  std::vector<HeapNode> stack;
+  view.Roots(&stack);
+  std::vector<HeapNode> buf;
+  while (!stack.empty()) {
+    HeapNode n = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    all.push_back(n);
+    buf.clear();
+    view.Children(n.id, &buf);
+    for (const HeapNode& c : buf) stack.push_back(c);
+  }
+  std::size_t take = std::min(t, all.size());
+  auto cmp = [stats](const HeapNode& a, const HeapNode& b) {
+    if (stats != nullptr) ++stats->comparisons;
+    return a.key > b.key;
+  };
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+}  // namespace
+
+std::vector<HeapNode> SelectTop(const HeapView& view, std::size_t t,
+                                Strategy strategy, SelectStats* stats) {
+  switch (strategy) {
+    case Strategy::kBestFirst:
+      return BestFirst(view, t, stats);
+    case Strategy::kNaiveExtract:
+      return NaiveExtract(view, t, stats);
+  }
+  TOKRA_CHECK(false);
+  return {};
+}
+
+}  // namespace tokra::select

@@ -1,0 +1,45 @@
+// Top-t selection from max-heap views.
+//
+// The paper invokes Frederickson's O(k)-comparison heap-selection algorithm
+// [7]. In the EM model CPU is free, and any strategy that visits O(t) heap
+// nodes achieves the same I/O bound; Frederickson only shaves the (free) CPU
+// term. We provide a best-first strategy (O(t lg t) comparisons, visits
+// exactly the t winners plus their frontier) and a naive full-extraction
+// baseline for the E10 ablation. Strategies are pluggable so a faithful
+// Frederickson can be added without touching callers. See DESIGN.md
+// (substitution table).
+
+#ifndef TOKRA_SELECT_SELECT_H_
+#define TOKRA_SELECT_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "select/heap_view.h"
+
+namespace tokra::select {
+
+/// CPU-side cost counters for the E10 ablation bench.
+struct SelectStats {
+  std::uint64_t nodes_visited = 0;  ///< heap nodes touched (drives I/O)
+  std::uint64_t comparisons = 0;    ///< key comparisons (free in EM model)
+};
+
+enum class Strategy {
+  kBestFirst,    ///< priority-queue expansion; visits t + frontier nodes
+  kNaiveExtract  ///< expands the entire forest, then selects; baseline only
+};
+
+/// Returns the `t` largest-keyed nodes of the forest (any order). If the
+/// forest has fewer than `t` nodes, returns all of them.
+///
+/// kBestFirst visits O(t + #roots) nodes; each visit performs O(1) view
+/// calls, so the I/O cost is O(t + #roots) block accesses — the bound the
+/// paper needs from Frederickson's algorithm.
+std::vector<HeapNode> SelectTop(const HeapView& view, std::size_t t,
+                                Strategy strategy = Strategy::kBestFirst,
+                                SelectStats* stats = nullptr);
+
+}  // namespace tokra::select
+
+#endif  // TOKRA_SELECT_SELECT_H_

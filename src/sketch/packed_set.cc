@@ -1,0 +1,145 @@
+#include "sketch/packed_set.h"
+
+#include <algorithm>
+
+namespace tokra::sketch {
+
+void PackedSketchSet::Serialize(std::span<em::word_t> out) const {
+  TOKRA_CHECK(out.size() >= WordCount());
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    out[w++] = sizes_[i];
+    for (std::uint32_t j = 1; j <= levels_cap_; ++j) {
+      std::size_t idx = Idx(i, j);
+      out[w++] = (static_cast<em::word_t>(g_[idx]) << 32) | r_[idx];
+    }
+  }
+}
+
+PackedSketchSet PackedSketchSet::Deserialize(std::uint32_t f,
+                                             std::uint32_t l_cap,
+                                             std::span<const em::word_t> in) {
+  PackedSketchSet s(f, l_cap);
+  TOKRA_CHECK(in.size() >= s.WordCount());
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    s.sizes_[i] = static_cast<std::uint32_t>(in[w++]);
+    for (std::uint32_t j = 1; j <= s.levels_cap_; ++j) {
+      em::word_t packed = in[w++];
+      std::size_t idx = s.Idx(i, j);
+      s.g_[idx] = static_cast<std::uint32_t>(packed >> 32);
+      s.r_[idx] = static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
+    }
+  }
+  return s;
+}
+
+PackedSketchSet::SelectResult PackedSketchSet::SelectApprox(
+    std::uint32_t a1, std::uint32_t a2, std::uint64_t k) const {
+  TOKRA_CHECK(a1 <= a2 && a2 < f_);
+  TOKRA_CHECK(k >= 1);
+  // Candidates ordered by ascending global rank == descending value; the
+  // sweep mirrors SelectFromSketches (see select7.cc for the c3=8 proof).
+  struct Cand {
+    std::uint32_t g;
+    std::uint32_t set;
+    std::uint32_t level;
+  };
+  std::vector<Cand> cands;
+  for (std::uint32_t i = a1; i <= a2; ++i) {
+    for (std::uint32_t j = 1; j <= levels(i); ++j) {
+      cands.push_back(Cand{global_rank(i, j), i, j});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.g < b.g; });
+
+  std::vector<std::uint64_t> lo(a2 - a1 + 1, 0);
+  std::uint64_t total = 0;
+  for (const Cand& c : cands) {
+    std::uint64_t contrib = std::uint64_t{1} << (c.level - 1);
+    std::uint64_t& slot = lo[c.set - a1];
+    if (contrib > slot) {
+      total += contrib - slot;
+      slot = contrib;
+    }
+    if (total >= k) return SelectResult{false, c.g, c.set, c.level};
+  }
+  return SelectResult{true, 0, 0, 0};
+}
+
+bool PackedSketchSet::ApplyInsert(std::uint32_t set_i, std::uint32_t g_new) {
+  TOKRA_CHECK(set_i < f_);
+  TOKRA_CHECK(sizes_[set_i] < l_cap_);
+  // Shift global ranks; within set_i, matching local ranks shift too.
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    for (std::uint32_t j = 1; j <= levels(i); ++j) {
+      std::size_t idx = Idx(i, j);
+      if (g_[idx] >= g_new) {
+        ++g_[idx];
+        if (i == set_i) ++r_[idx];
+      }
+    }
+  }
+  std::uint32_t old_size = sizes_[set_i]++;
+  // Expansion: |G_i| reached a power of two (incl. the 0 -> 1 case).
+  return old_size == 0 || IsPowerOfTwo(sizes_[set_i]);
+}
+
+PackedSketchSet::DeleteEffect PackedSketchSet::ApplyDelete(
+    std::uint32_t set_i, std::uint32_t g_old) {
+  TOKRA_CHECK(set_i < f_);
+  TOKRA_CHECK(sizes_[set_i] > 0);
+  DeleteEffect effect;
+  std::uint32_t levels_before = levels(set_i);
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    for (std::uint32_t j = 1; j <= levels(i); ++j) {
+      std::size_t idx = Idx(i, j);
+      if (g_[idx] == g_old) {
+        // Distinct values => only the deleted element itself matches, and it
+        // can only be a pivot of its own set.
+        TOKRA_CHECK(i == set_i);
+        effect.dangling = true;
+        effect.dangling_level = j;
+      } else if (g_[idx] > g_old) {
+        --g_[idx];
+        if (i == set_i) --r_[idx];
+      }
+    }
+  }
+  bool was_power = IsPowerOfTwo(sizes_[set_i]);
+  --sizes_[set_i];
+  if (was_power) {
+    // Shrink: the last level evaporates (windows no longer reach it).
+    effect.shrank = true;
+    if (effect.dangling && effect.dangling_level == levels_before) {
+      effect.dangling = false;  // the dangling pivot was the dropped level
+    }
+  }
+  return effect;
+}
+
+void PackedSketchSet::InvalidLevels(std::uint32_t i,
+                                    std::vector<std::uint32_t>* out) const {
+  for (std::uint32_t j = 1; j <= levels(i); ++j) {
+    std::uint64_t lo = std::uint64_t{1} << (j - 1);
+    std::uint32_t r = r_[Idx(i, j)];
+    if (r < lo || r >= 2 * lo || r > sizes_[i]) out->push_back(j);
+  }
+}
+
+void PackedSketchSet::CheckWellFormed() const {
+  std::vector<std::uint32_t> bad;
+  for (std::uint32_t i = 0; i < f_; ++i) {
+    TOKRA_CHECK(sizes_[i] <= l_cap_);
+    bad.clear();
+    InvalidLevels(i, &bad);
+    TOKRA_CHECK(bad.empty());
+    for (std::uint32_t j = 1; j <= levels(i); ++j) {
+      TOKRA_CHECK(global_rank(i, j) >= 1);
+      TOKRA_CHECK(local_rank(i, j) >= 1);
+    }
+  }
+}
+
+}  // namespace tokra::sketch

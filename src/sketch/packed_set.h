@@ -1,0 +1,146 @@
+// The compressed sketch set of Section 4.1, in rank-encoded form.
+//
+// For an (f,l)-group G = (G_1, ..., G_f), each sketch pivot is described NOT
+// by its value but by its global rank in G (union of all sets) and its local
+// rank in G_i. That makes the whole sketch set small enough to read in O(1)
+// I/Os, and — the paper's key observation — lets an insertion or deletion
+// update every pivot's ranks *in memory* with no further I/O, except for at
+// most one pivot per update (expansion / dangling).
+//
+// This class is the pure-CPU representation plus its (de)serialization; the
+// flgroup module owns the block it lives in and drives the repairs that need
+// B-trees (Section 4.2/4.3) or the prefix set (Lemma 8).
+
+#ifndef TOKRA_SKETCH_PACKED_SET_H_
+#define TOKRA_SKETCH_PACKED_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/options.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace tokra::sketch {
+
+class PackedSketchSet {
+ public:
+  /// An empty group of f sets, each of size 0, with capacity l_cap per set.
+  PackedSketchSet(std::uint32_t f, std::uint32_t l_cap)
+      : f_(f),
+        l_cap_(l_cap),
+        levels_cap_(FloorLog2(l_cap) + 1),
+        sizes_(f, 0),
+        g_(static_cast<std::size_t>(f) * levels_cap_, 0),
+        r_(static_cast<std::size_t>(f) * levels_cap_, 0) {
+    TOKRA_CHECK(f >= 1 && l_cap >= 1);
+  }
+
+  std::uint32_t f() const { return f_; }
+  std::uint32_t l_cap() const { return l_cap_; }
+  std::uint32_t levels_cap() const { return levels_cap_; }
+
+  std::uint32_t set_size(std::uint32_t i) const { return sizes_[i]; }
+
+  /// Number of live sketch levels of set i: floor(lg size)+1, or 0 if empty.
+  std::uint32_t levels(std::uint32_t i) const {
+    return sizes_[i] == 0 ? 0 : FloorLog2(sizes_[i]) + 1;
+  }
+
+  /// Global rank in G (1-based, descending) of pivot (i, level j).
+  std::uint32_t global_rank(std::uint32_t i, std::uint32_t j) const {
+    TOKRA_DCHECK(j >= 1 && j <= levels(i));
+    return g_[Idx(i, j)];
+  }
+  /// Local rank in G_i (1-based, descending) of pivot (i, level j).
+  std::uint32_t local_rank(std::uint32_t i, std::uint32_t j) const {
+    TOKRA_DCHECK(j >= 1 && j <= levels(i));
+    return r_[Idx(i, j)];
+  }
+
+  /// Overwrites pivot (i, j) — used at expansion, dangling repair, and
+  /// invalid-window repair.
+  void SetPivot(std::uint32_t i, std::uint32_t j, std::uint32_t global_rank,
+                std::uint32_t local_rank) {
+    TOKRA_DCHECK(j >= 1 && j <= levels(i));
+    g_[Idx(i, j)] = global_rank;
+    r_[Idx(i, j)] = local_rank;
+  }
+
+  // --- serialization ----------------------------------------------------
+
+  /// Words needed: one size word plus one word per level slot, per set.
+  static std::uint64_t WordCount(std::uint32_t f, std::uint32_t l_cap) {
+    return static_cast<std::uint64_t>(f) * (1 + FloorLog2(l_cap) + 1);
+  }
+  std::uint64_t WordCount() const { return WordCount(f_, l_cap_); }
+
+  void Serialize(std::span<em::word_t> out) const;
+  static PackedSketchSet Deserialize(std::uint32_t f, std::uint32_t l_cap,
+                                     std::span<const em::word_t> in);
+
+  // --- queries ------------------------------------------------------------
+
+  struct SelectResult {
+    bool neg_inf = false;
+    std::uint32_t global_rank = 0;  ///< in all of G; convert via B-tree on G
+    std::uint32_t set = 0;
+    std::uint32_t level = 0;
+  };
+
+  /// Lemma 7 selection over the union of sets [a1, a2] (0-based, inclusive):
+  /// the returned pivot's rank in that union lies in [k, 8k), or neg_inf
+  /// (legal when the union has < 2k elements). CPU-only.
+  SelectResult SelectApprox(std::uint32_t a1, std::uint32_t a2,
+                            std::uint64_t k) const;
+
+  /// Sum of |G_i| over i in [a1, a2].
+  std::uint64_t SizeInRange(std::uint32_t a1, std::uint32_t a2) const {
+    std::uint64_t t = 0;
+    for (std::uint32_t i = a1; i <= a2; ++i) t += sizes_[i];
+    return t;
+  }
+
+  // --- maintenance (Sections 4.2 / 4.3) --------------------------------
+
+  /// Applies the rank shifts for inserting an element into set i whose
+  /// post-insertion global rank is g_new. Returns true if sketch i expanded,
+  /// in which case the caller MUST immediately SetPivot(i, levels(i), ...)
+  /// with the set's minimum element (the only window-legal choice).
+  bool ApplyInsert(std::uint32_t set_i, std::uint32_t g_new);
+
+  struct DeleteEffect {
+    bool shrank = false;          ///< last level dropped
+    bool dangling = false;        ///< the deleted element was a pivot
+    std::uint32_t dangling_level = 0;  ///< level to repair if dangling
+  };
+
+  /// Applies the rank shifts for deleting the element of current global rank
+  /// g_old from set i. If the effect reports `dangling`, the caller MUST
+  /// replace that pivot (paper: local rank floor(3/2*2^(j-1)), clamped).
+  DeleteEffect ApplyDelete(std::uint32_t set_i, std::uint32_t g_old);
+
+  /// Appends the levels of sketch i whose local rank fell outside the window
+  /// [2^(j-1), 2^j). These must be repaired before the next query.
+  void InvalidLevels(std::uint32_t i, std::vector<std::uint32_t>* out) const;
+
+  /// Test helper: all windows valid, ranks within bounds.
+  void CheckWellFormed() const;
+
+ private:
+  std::size_t Idx(std::uint32_t i, std::uint32_t j) const {
+    return static_cast<std::size_t>(i) * levels_cap_ + (j - 1);
+  }
+
+  std::uint32_t f_;
+  std::uint32_t l_cap_;
+  std::uint32_t levels_cap_;
+  std::vector<std::uint32_t> sizes_;
+  std::vector<std::uint32_t> g_;
+  std::vector<std::uint32_t> r_;
+};
+
+}  // namespace tokra::sketch
+
+#endif  // TOKRA_SKETCH_PACKED_SET_H_

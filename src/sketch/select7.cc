@@ -1,0 +1,55 @@
+#include "sketch/select7.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tokra::sketch {
+
+// Correctness sketch (c3 = 8). For a value v let lo_i(v) = 2^(j-1) for the
+// deepest level j of sketch i with pivot >= v (0 if none); the window
+// invariant gives lo_i(v) <= rank_i(v) < 4*lo_i(v) (and rank_i(v) = 0 when
+// lo_i(v) = 0, since the level-1 pivot is the set maximum). Summing,
+// LO(v) <= rank(v) < 4*LO(v) in the union. We return the LARGEST pivot x
+// with LO(x) >= k, so rank(x) >= k. Crossing one pivot at most doubles one
+// set's contribution (+1 when it appears), so LO(x) <= 2*LO(x') + 1 <= 2k-1
+// where x' is the next pivot above; hence rank(x) < 4(2k-1) < 8k. If no
+// pivot reaches LO >= k, then LO at the smallest pivot — which is at least
+// half the union size — is < k, so |union| < 2k and -infinity (rank =
+// |union| in [k, 2k)) is a valid answer, matching the lemma's proviso that
+// x may be -infinity.
+Select7Result SelectFromSketches(
+    std::span<const LogSketch* const> sketches, std::uint64_t k) {
+  TOKRA_CHECK(k >= 1);
+  struct Cand {
+    double value;
+    std::uint32_t set;
+    std::uint32_t level;
+  };
+  std::vector<Cand> cands;
+  for (std::uint32_t i = 0; i < sketches.size(); ++i) {
+    const LogSketch& s = *sketches[i];
+    for (std::uint32_t j = 1; j <= s.levels(); ++j) {
+      cands.push_back(Cand{s.pivot(j).value, i, j});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.value > b.value; });
+
+  std::vector<std::uint64_t> lo(sketches.size(), 0);
+  std::uint64_t total = 0;  // LO(v), maintained incrementally as v sweeps down
+  for (const Cand& c : cands) {
+    std::uint64_t contrib = std::uint64_t{1} << (c.level - 1);
+    if (contrib > lo[c.set]) {
+      total += contrib - lo[c.set];
+      lo[c.set] = contrib;
+    }
+    if (total >= k) {
+      return Select7Result{false, c.value, c.set, c.level};
+    }
+  }
+  return Select7Result{true, 0, 0, 0};
+}
+
+}  // namespace tokra::sketch

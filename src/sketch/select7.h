@@ -1,0 +1,36 @@
+// Lemma 7: approximate union-rank selection from logarithmic sketches.
+//
+// Given sketches of m disjoint sets and k in [1, |union|], returns a value x
+// whose descending rank in the union lies in [k, c3*k] with c3 = 8 (the
+// lemma requires some constant c3 >= 2; see select7.cc for the derivation).
+// x is either an element of the union (a pivot) or -infinity.
+
+#ifndef TOKRA_SKETCH_SELECT7_H_
+#define TOKRA_SKETCH_SELECT7_H_
+
+#include <cstdint>
+#include <span>
+
+#include "sketch/log_sketch.h"
+
+namespace tokra::sketch {
+
+/// Approximation constant achieved by SelectFromSketches: rank in [k, c3*k].
+inline constexpr std::uint64_t kSelect7Factor = 8;
+
+struct Select7Result {
+  bool neg_inf = false;      ///< whole-union rank satisfied only by -inf
+  double value = 0;          ///< the chosen pivot (valid unless neg_inf)
+  std::uint32_t set_index = 0;  ///< which input sketch the pivot came from
+  std::uint32_t level = 0;      ///< which level of that sketch
+};
+
+/// Runs the Lemma 7 selection over in-memory sketches. CPU-only: the I/O cost
+/// ("O(m) I/Os") is paid by whoever loads the m sketches into memory.
+/// Requires 1 <= k; if k exceeds the union size the result is neg_inf.
+Select7Result SelectFromSketches(
+    std::span<const LogSketch* const> sketches, std::uint64_t k);
+
+}  // namespace tokra::sketch
+
+#endif  // TOKRA_SKETCH_SELECT7_H_

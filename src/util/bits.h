@@ -1,0 +1,74 @@
+// Small integer helpers used throughout the library.
+
+#ifndef TOKRA_UTIL_BITS_H_
+#define TOKRA_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tokra {
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(lg x) for x >= 1.
+constexpr std::uint32_t FloorLog2(std::uint64_t x) {
+  return x == 0 ? 0 : 63 - std::countl_zero(x);
+}
+
+/// ceil(lg x) for x >= 1.
+constexpr std::uint32_t CeilLog2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+/// The paper's lg_b(x) = max{1, log_b x}; used for all complexity targets.
+/// Computed on integers: the least h >= 1 with b^h >= x.
+constexpr std::uint32_t LogB(std::uint64_t base, std::uint64_t x) {
+  if (base < 2) base = 2;
+  std::uint32_t h = 1;
+  std::uint64_t p = base;
+  while (p < x) {
+    // Guard overflow: once p exceeds x / base the next multiply covers x.
+    if (p > x / base) return h + 1;
+    p *= base;
+    ++h;
+  }
+  return h;
+}
+
+/// max{1, lg x} with log base 2 (the paper's lg x convention).
+constexpr std::uint32_t Lg(std::uint64_t x) {
+  std::uint32_t v = CeilLog2(x);
+  return v == 0 ? 1 : v;
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool IsPowerOfTwo(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Integer sqrt (floor).
+constexpr std::uint64_t FloorSqrt(std::uint64_t x) {
+  std::uint64_t r = 0;
+  std::uint64_t bit = std::uint64_t{1} << 62;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= r + bit) {
+      x -= r + bit;
+      r = (r >> 1) + bit;
+    } else {
+      r >>= 1;
+    }
+    bit >>= 2;
+  }
+  return r;
+}
+
+}  // namespace tokra
+
+#endif  // TOKRA_UTIL_BITS_H_

@@ -1,0 +1,60 @@
+// CHECK macros for invariants and programming errors.
+//
+// TOKRA_CHECK*   — always on; use for cheap invariants whose violation means a
+//                  bug in the library, not a user error.
+// TOKRA_DCHECK*  — compiled out in NDEBUG builds; use on hot paths.
+// TOKRA_PCHECK*  — only when TOKRA_PARANOID is defined; use for expensive
+//                  whole-structure validation (e.g., Lemma 3 token accounting).
+
+#ifndef TOKRA_UTIL_CHECK_H_
+#define TOKRA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tokra::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tokra::internal
+
+#define TOKRA_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::tokra::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#define TOKRA_CHECK_EQ(a, b) TOKRA_CHECK((a) == (b))
+#define TOKRA_CHECK_NE(a, b) TOKRA_CHECK((a) != (b))
+#define TOKRA_CHECK_LT(a, b) TOKRA_CHECK((a) < (b))
+#define TOKRA_CHECK_LE(a, b) TOKRA_CHECK((a) <= (b))
+#define TOKRA_CHECK_GT(a, b) TOKRA_CHECK((a) > (b))
+#define TOKRA_CHECK_GE(a, b) TOKRA_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TOKRA_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define TOKRA_DCHECK(expr) TOKRA_CHECK(expr)
+#endif
+
+#define TOKRA_DCHECK_EQ(a, b) TOKRA_DCHECK((a) == (b))
+#define TOKRA_DCHECK_NE(a, b) TOKRA_DCHECK((a) != (b))
+#define TOKRA_DCHECK_LT(a, b) TOKRA_DCHECK((a) < (b))
+#define TOKRA_DCHECK_LE(a, b) TOKRA_DCHECK((a) <= (b))
+#define TOKRA_DCHECK_GT(a, b) TOKRA_DCHECK((a) > (b))
+#define TOKRA_DCHECK_GE(a, b) TOKRA_DCHECK((a) >= (b))
+
+#ifdef TOKRA_PARANOID
+#define TOKRA_PCHECK(expr) TOKRA_CHECK(expr)
+#else
+#define TOKRA_PCHECK(expr) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // TOKRA_UTIL_CHECK_H_

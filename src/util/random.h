@@ -1,0 +1,85 @@
+// Deterministic random generation for tests, benches and examples.
+//
+// All randomness in the repository flows through Rng seeded explicitly, so
+// every experiment and property test is reproducible bit-for-bit.
+
+#ifndef TOKRA_UTIL_RANDOM_H_
+#define TOKRA_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tokra {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG (public-domain algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) {
+    TOKRA_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                          std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v;
+    do {
+      v = Next();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// n distinct doubles, uniform in [lo, hi). Distinctness is required by the
+  /// paper's standard assumption on scores.
+  std::vector<double> DistinctDoubles(std::size_t n, double lo, double hi) {
+    std::unordered_set<double> seen;
+    std::vector<double> out;
+    out.reserve(n);
+    while (out.size() < n) {
+      double d = UniformDouble(lo, hi);
+      if (seen.insert(d).second) out.push_back(d);
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tokra
+
+#endif  // TOKRA_UTIL_RANDOM_H_

@@ -1,0 +1,150 @@
+// Status and StatusOr: exception-free error handling (Google/RocksDB idiom).
+//
+// Library code never throws. Fallible operations return Status (or StatusOr<T>
+// when they produce a value); programming errors abort via TOKRA_CHECK.
+
+#ifndef TOKRA_UTIL_STATUS_H_
+#define TOKRA_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace tokra {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a StatusCode.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// Cheap to copy in the OK case (no allocation); error statuses carry a
+/// message. Follows the absl::Status surface closely enough to be familiar.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "<CODE>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of a fallible operation that produces a T on success.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. CHECK-fails if `status` is OK.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    TOKRA_CHECK(!std::get<Status>(rep_).ok());
+  }
+  /// Constructs from a value.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the held value. CHECK-fails on error.
+  const T& value() const& {
+    TOKRA_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    TOKRA_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    TOKRA_CHECK(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define TOKRA_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::tokra::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a StatusOr expression; assigns the value or propagates the error.
+#define TOKRA_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto TOKRA_CONCAT_(_sor_, __LINE__) = (expr);      \
+  if (!TOKRA_CONCAT_(_sor_, __LINE__).ok())          \
+    return TOKRA_CONCAT_(_sor_, __LINE__).status();  \
+  lhs = std::move(TOKRA_CONCAT_(_sor_, __LINE__)).value()
+
+#define TOKRA_CONCAT_INNER_(a, b) a##b
+#define TOKRA_CONCAT_(a, b) TOKRA_CONCAT_INNER_(a, b)
+
+}  // namespace tokra
+
+#endif  // TOKRA_UTIL_STATUS_H_

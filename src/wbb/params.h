@@ -1,0 +1,73 @@
+// Weight-balanced base-tree parameters (Arge & Vitter [4]).
+//
+// Both the Lemma 1 pilot PST and the Lemma 4 / ST12 base trees follow the
+// paper's WBB discipline: a level-i node's weight (subtree key count) is
+// capped at leaf_cap * branch^i, and exceeding the cap triggers a rebuild of
+// the parent's subtree (Section 2, "Rebalancing"). This header centralizes
+// the arithmetic so the rebalancing rules are stated — and tested — once.
+
+#ifndef TOKRA_WBB_PARAMS_H_
+#define TOKRA_WBB_PARAMS_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tokra::wbb {
+
+struct WbbParams {
+  std::uint32_t branch = 4;    ///< a: branching parameter
+  std::uint32_t leaf_cap = 4;  ///< b: leaf weight cap
+
+  void Validate() const {
+    TOKRA_CHECK(branch >= 2);
+    TOKRA_CHECK(leaf_cap >= 1);
+  }
+
+  /// Weight ceiling of a level-i node: b * a^i. (The paper's |P(u)| <=
+  /// B^(i+1) with a = b = B.)
+  std::uint64_t WeightCap(std::uint32_t level) const {
+    std::uint64_t cap = leaf_cap;
+    for (std::uint32_t i = 0; i < level; ++i) cap *= branch;
+    return cap;
+  }
+
+  /// Weight floor the paper's analysis assumes: a quarter of the cap.
+  std::uint64_t WeightFloor(std::uint32_t level) const {
+    return WeightCap(level) / 4;
+  }
+
+  /// True when a level-i node of this weight violates the WBB invariant and
+  /// must trigger a rebuild at its parent.
+  bool IsOverweight(std::uint32_t level, std::uint64_t weight) const {
+    return weight > WeightCap(level);
+  }
+
+  /// Post-rebuild target weight for children of a rebuilt level: half the
+  /// cap, leaving Theta(cap) slack before the next trigger (the standard
+  /// amortization argument: Omega(a^i b) updates between rebuilds).
+  std::uint64_t RebuildChildTarget(std::uint32_t level) const {
+    std::uint64_t t = WeightCap(level) / 2;
+    return t == 0 ? 1 : t;
+  }
+
+  /// Height (levels above leaves) needed to hold n keys: the least h >= 1
+  /// with WeightCap(h) >= n.
+  std::uint32_t HeightFor(std::uint64_t n) const {
+    std::uint32_t h = 1;
+    std::uint64_t cap = static_cast<std::uint64_t>(leaf_cap) * branch;
+    while (cap < n) {
+      cap *= branch;
+      ++h;
+    }
+    return h;
+  }
+
+  /// Fanout ceiling after a rebuild: weight at most cap(level), children at
+  /// target cap(level-1)/2 => at most 2a + 1 children.
+  std::uint32_t MaxFanout() const { return 2 * branch + 1; }
+};
+
+}  // namespace tokra::wbb
+
+#endif  // TOKRA_WBB_PARAMS_H_

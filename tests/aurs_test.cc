@@ -1,0 +1,149 @@
+// Tests for AURS (Lemma 5): correctness of the appendix algorithm over both
+// exact and sketch-backed Rank operators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "aurs/aurs.h"
+#include "aurs/ranked_set.h"
+#include "sketch/log_sketch.h"
+#include "util/random.h"
+
+namespace tokra::aurs {
+namespace {
+
+std::uint64_t UnionRank(const std::vector<std::vector<double>>& sets,
+                        double v) {
+  std::uint64_t r = 0;
+  for (const auto& s : sets)
+    for (double e : s)
+      if (e >= v) ++r;
+  return r;
+}
+
+bool UnionContains(const std::vector<std::vector<double>>& sets, double v) {
+  for (const auto& s : sets)
+    for (double e : s)
+      if (e == v) return true;
+  return false;
+}
+
+TEST(AursTest, RejectsBadArguments) {
+  EXPECT_FALSE(UnionRankSelect({}, 1).ok());
+  VectorRankedSet small({1.0, 2.0});
+  RankedSet* sets[] = {&small};
+  EXPECT_FALSE(UnionRankSelect(sets, 0).ok());
+  // k > |L|/c1 violates condition (2).
+  EXPECT_FALSE(UnionRankSelect(sets, 2).ok());
+}
+
+TEST(AursTest, SingleSetSingleK) {
+  std::vector<double> vals;
+  for (int i = 1; i <= 100; ++i) vals.push_back(i);
+  VectorRankedSet s(vals);
+  RankedSet* sets[] = {&s};
+  auto res = UnionRankSelect(sets, 10);
+  ASSERT_TRUE(res.ok());
+  std::uint64_t rank = 0;
+  for (double v : vals)
+    if (v >= *res) ++rank;
+  EXPECT_GE(rank, 10u);
+  EXPECT_LE(rank, static_cast<std::uint64_t>(AursWorstFactor(2.0) * 10));
+}
+
+struct AursCase {
+  std::size_t m;
+  std::size_t min_size;
+  std::size_t max_size;
+  bool use_sketch;  // sketch-backed Rank operator (c1=4) vs exact (c1=2)
+  std::uint64_t seed;
+};
+
+class AursPropertyTest : public ::testing::TestWithParam<AursCase> {};
+
+TEST_P(AursPropertyTest, RankWithinProvenFactor) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<std::vector<double>> sets(c.m);
+  std::uint64_t min_size = ~0ull;
+  for (std::size_t i = 0; i < c.m; ++i) {
+    std::size_t sz = c.min_size + rng.Uniform(c.max_size - c.min_size + 1);
+    sets[i] = rng.DistinctDoubles(sz, i * 10.0, i * 10.0 + 9.0);
+    std::sort(sets[i].begin(), sets[i].end(), std::greater<>());
+    min_size = std::min<std::uint64_t>(min_size, sz);
+  }
+
+  std::vector<sketch::LogSketch> sketches;
+  std::vector<std::unique_ptr<RankedSet>> owners;
+  std::vector<RankedSet*> ptrs;
+  if (c.use_sketch) {
+    sketches.reserve(c.m);
+    for (auto& s : sets) sketches.push_back(sketch::LogSketch::Build(s));
+    for (auto& sk : sketches) {
+      owners.push_back(std::make_unique<SketchRankedSet>(&sk));
+    }
+  } else {
+    for (auto& s : sets) {
+      owners.push_back(std::make_unique<VectorRankedSet>(s));
+    }
+  }
+  for (auto& o : owners) ptrs.push_back(o.get());
+
+  double c1 = c.use_sketch ? 4.0 : 2.0;
+  double worst = AursWorstFactor(c1);
+  std::uint64_t k_max = static_cast<std::uint64_t>(
+      static_cast<double>(min_size) / c1);
+  for (std::uint64_t k = 1; k <= k_max; k = 2 * k + 1) {
+    AursStats stats;
+    auto res = UnionRankSelect(ptrs, k, &stats);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(UnionContains(sets, *res));
+    std::uint64_t rank = UnionRank(sets, *res);
+    EXPECT_GE(rank, k) << "k=" << k;
+    EXPECT_LE(rank, static_cast<std::uint64_t>(worst * k) + 1) << "k=" << k;
+    // Lemma 5 cost: O(m) operator calls total (geometric rounds).
+    EXPECT_LE(stats.rank_calls, 4 * c.m + 8);
+    EXPECT_LE(stats.max_calls, c.m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AursPropertyTest,
+    ::testing::Values(AursCase{1, 64, 256, false, 1},
+                      AursCase{2, 64, 128, false, 2},
+                      AursCase{8, 100, 400, false, 3},
+                      AursCase{32, 200, 300, false, 4},
+                      AursCase{8, 100, 400, true, 5},
+                      AursCase{32, 300, 900, true, 6},
+                      AursCase{64, 256, 1024, true, 7},
+                      AursCase{128, 600, 700, true, 8}),
+    [](const ::testing::TestParamInfo<AursCase>& info) {
+      return std::string(info.param.use_sketch ? "sketch" : "exact") + "m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(AursTest, SmallKUsesMaxPath) {
+  // k < m: the algorithm must consult Max and prune to k active sets.
+  Rng rng(9);
+  std::vector<std::vector<double>> sets(16);
+  std::vector<std::unique_ptr<RankedSet>> owners;
+  std::vector<RankedSet*> ptrs;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sets[i] = rng.DistinctDoubles(100, i * 10.0, i * 10.0 + 9.0);
+    owners.push_back(std::make_unique<VectorRankedSet>(sets[i]));
+    ptrs.push_back(owners.back().get());
+  }
+  AursStats stats;
+  auto res = UnionRankSelect(ptrs, 3, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(stats.max_calls, 16u);
+  std::uint64_t rank = UnionRank(sets, *res);
+  EXPECT_GE(rank, 3u);
+  EXPECT_LE(rank, static_cast<std::uint64_t>(AursWorstFactor(2.0) * 3) + 1);
+}
+
+}  // namespace
+}  // namespace tokra::aurs

@@ -1,0 +1,174 @@
+// Unit tests for the external-memory substrate: device, pool, pager, arrays.
+
+#include <gtest/gtest.h>
+
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "em/paged_array.h"
+#include "em/pager.h"
+
+namespace tokra::em {
+namespace {
+
+TEST(BlockDeviceTest, RoundTripCountsIos) {
+  BlockDevice dev(8);
+  std::vector<word_t> buf(8, 0);
+  for (int i = 0; i < 8; ++i) buf[i] = 100 + i;
+  dev.Write(3, buf.data());
+  EXPECT_EQ(dev.writes(), 1u);
+  EXPECT_EQ(dev.NumBlocks(), 4u);
+
+  std::vector<word_t> got(8, 0);
+  dev.Read(3, got.data());
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(got, buf);
+}
+
+TEST(BufferPoolTest, HitsAreFree) {
+  BlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 4);
+  std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.Unpin(fr, false);
+  EXPECT_EQ(dev.reads(), 1u);
+  // Re-pin: served from cache.
+  fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.Unpin(fr, false);
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+}
+
+TEST(BufferPoolTest, LruEvictionWritesBackDirty) {
+  BlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 2);
+  // Dirty block 0.
+  std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.FrameData(fr)[0] = 77;
+  pool.Unpin(fr, true);
+  // Fill the pool: 1, then 2 evicts LRU (block 0) and writes it back.
+  pool.Unpin(pool.Pin(1, BufferPool::PinMode::kRead), false);
+  pool.Unpin(pool.Pin(2, BufferPool::PinMode::kRead), false);
+  EXPECT_EQ(dev.writes(), 1u);
+  // Re-reading block 0 sees the written value.
+  fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  EXPECT_EQ(pool.FrameData(fr)[0], 77u);
+  pool.Unpin(fr, false);
+}
+
+TEST(BufferPoolTest, CreateModeSkipsRead) {
+  BlockDevice dev(8);
+  dev.EnsureCapacity(4);
+  BufferPool pool(&dev, 2);
+  std::uint32_t fr = pool.Pin(1, BufferPool::PinMode::kCreate);
+  EXPECT_EQ(dev.reads(), 0u);
+  EXPECT_EQ(pool.FrameData(fr)[3], 0u);  // zero-filled
+  pool.Unpin(fr, true);
+}
+
+TEST(PagerTest, AllocateFreeReuse) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
+  BlockId a = pager.Allocate();
+  BlockId b = pager.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pager.BlocksInUse(), 2u);
+  pager.Free(a);
+  EXPECT_EQ(pager.BlocksInUse(), 1u);
+  BlockId c = pager.Allocate();
+  EXPECT_EQ(c, a);  // free list reuse
+}
+
+TEST(PagerTest, PageRefPersistsThroughEviction) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
+  std::vector<BlockId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(pager.Allocate());
+  for (int i = 0; i < 32; ++i) {
+    PageRef p = pager.Create(ids[i]);
+    p.Set(0, 1000 + i);
+    p.SetDouble(1, i * 0.5);
+  }
+  pager.DropCache();
+  for (int i = 0; i < 32; ++i) {
+    PageRef p = pager.Fetch(ids[i]);
+    EXPECT_EQ(p.Get(0), 1000u + i);
+    EXPECT_EQ(p.GetDouble(1), i * 0.5);
+  }
+}
+
+TEST(PagerTest, ColdFetchCostsExactlyOneRead) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
+  BlockId id = pager.Allocate();
+  { PageRef p = pager.Create(id); p.Set(0, 9); }
+  pager.DropCache();
+  IoStats before = pager.stats();
+  { PageRef p = pager.Fetch(id); EXPECT_EQ(p.Get(0), 9u); }
+  IoStats delta = pager.stats() - before;
+  EXPECT_EQ(delta.reads, 1u);
+  EXPECT_EQ(delta.writes, 0u);
+}
+
+TEST(PagerTest, MovedPageRefDoesNotDoubleUnpin) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
+  BlockId id = pager.Allocate();
+  PageRef a = pager.Create(id);
+  PageRef b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) intentional
+  EXPECT_TRUE(b.valid());
+  b.Set(0, 5);
+}
+
+struct Rec {
+  std::uint64_t id;
+  double val;
+};
+
+TEST(PagedArrayTest, GetSetAcrossBlocks) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
+  // 16-word blocks, 2-word records -> 8 per block; 20 records -> 3 blocks.
+  auto blocks = PagedArray<Rec>::AllocateBlocks(&pager, 20);
+  EXPECT_EQ(blocks.size(), 3u);
+  PagedArray<Rec> arr(&pager, blocks);
+  EXPECT_GE(arr.capacity(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    arr.Set(i, Rec{i, i * 1.5});
+  }
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    Rec r = arr.Get(i);
+    EXPECT_EQ(r.id, i);
+    EXPECT_EQ(r.val, i * 1.5);
+  }
+}
+
+TEST(PagedArrayTest, RangeIoTouchesEachBlockOnce) {
+  Pager pager(EmOptions{.block_words = 16, .pool_frames = 8});
+  auto blocks = PagedArray<Rec>::AllocateBlocks(&pager, 64);  // 8 blocks
+  PagedArray<Rec> arr(&pager, blocks);
+  std::vector<Rec> vals;
+  for (std::uint32_t i = 0; i < 64; ++i) vals.push_back(Rec{i, 0.25 * i});
+  arr.WriteRange(0, vals);
+  pager.DropCache();
+  IoStats before = pager.stats();
+  std::vector<Rec> out;
+  arr.ReadRange(0, 64, &out);
+  IoStats delta = pager.stats() - before;
+  EXPECT_EQ(delta.reads, 8u);  // one per block, not one per element
+  ASSERT_EQ(out.size(), 64u);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[i].id, i);
+    EXPECT_EQ(out[i].val, 0.25 * i);
+  }
+}
+
+TEST(IoStatsTest, DeltaArithmetic) {
+  IoStats a{.reads = 10, .writes = 5, .pool_hits = 3, .pool_misses = 7,
+            .evictions = 2};
+  IoStats b{.reads = 4, .writes = 1, .pool_hits = 1, .pool_misses = 2,
+            .evictions = 0};
+  IoStats d = a - b;
+  EXPECT_EQ(d.reads, 6u);
+  EXPECT_EQ(d.writes, 4u);
+  EXPECT_EQ(d.TotalIos(), 10u);
+}
+
+}  // namespace
+}  // namespace tokra::em

@@ -1,0 +1,319 @@
+// Tests for logarithmic sketches, Lemma 7 selection, and the packed
+// (rank-encoded) sketch set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sketch/log_sketch.h"
+#include "sketch/packed_set.h"
+#include "sketch/select7.h"
+#include "util/random.h"
+
+namespace tokra::sketch {
+namespace {
+
+std::vector<double> SortedDesc(std::vector<double> v) {
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+TEST(LogSketchTest, EmptySet) {
+  LogSketch s = LogSketch::Build({});
+  EXPECT_EQ(s.levels(), 0u);
+  EXPECT_EQ(s.set_size(), 0u);
+  EXPECT_EQ(s.RankLowerBound(0.0), 0u);
+}
+
+TEST(LogSketchTest, LevelsCount) {
+  Rng rng(1);
+  for (std::size_t n : {1, 2, 3, 4, 7, 8, 9, 100, 1023, 1024, 1025}) {
+    auto vals = SortedDesc(rng.DistinctDoubles(n, 0, 1));
+    LogSketch s = LogSketch::Build(vals);
+    EXPECT_EQ(s.levels(), FloorLog2(n) + 1) << n;
+    s.CheckAgainst(vals);
+  }
+}
+
+TEST(LogSketchTest, RankBoundsBracketTrueRank) {
+  Rng rng(2);
+  auto vals = SortedDesc(rng.DistinctDoubles(5000, 0, 1));
+  LogSketch s = LogSketch::Build(vals);
+  for (int probe = 0; probe < 500; ++probe) {
+    double v = rng.UniformDouble(-0.1, 1.1);
+    std::uint64_t true_rank = 0;
+    for (double e : vals) {
+      if (e >= v) ++true_rank;
+    }
+    std::uint64_t lo = s.RankLowerBound(v);
+    std::uint64_t hi = s.RankUpperBound(v);
+    EXPECT_LE(lo, true_rank);
+    EXPECT_GE(hi, true_rank);
+    if (lo > 0) {
+      EXPECT_LT(hi, 4 * lo);
+    }
+  }
+}
+
+struct Lemma7Case {
+  std::size_t m;          // number of sets
+  std::size_t avg_size;   // average set size
+  std::uint64_t seed;
+};
+
+class Lemma7PropertyTest : public ::testing::TestWithParam<Lemma7Case> {};
+
+TEST_P(Lemma7PropertyTest, RankWithinFactor) {
+  auto [m, avg, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<std::vector<double>> sets(m);
+  std::vector<double> universe;
+  // Disjoint sets with skewed sizes.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t sz = 1 + rng.Uniform(2 * avg);
+    sets[i] = SortedDesc(rng.DistinctDoubles(sz, i * 1000.0,
+                                             i * 1000.0 + 999.0));
+    universe.insert(universe.end(), sets[i].begin(), sets[i].end());
+  }
+  std::sort(universe.begin(), universe.end(), std::greater<>());
+
+  std::vector<LogSketch> sketches;
+  std::vector<const LogSketch*> ptrs;
+  for (auto& s : sets) sketches.push_back(LogSketch::Build(s));
+  for (auto& s : sketches) ptrs.push_back(&s);
+
+  for (std::uint64_t k = 1; k <= universe.size(); k = k * 2 + 1) {
+    Select7Result res = SelectFromSketches(ptrs, k);
+    std::uint64_t rank;
+    if (res.neg_inf) {
+      rank = universe.size();
+    } else {
+      rank = 0;
+      for (double e : universe)
+        if (e >= res.value) ++rank;
+      // The result must be an element of the union.
+      EXPECT_TRUE(std::binary_search(universe.begin(), universe.end(),
+                                     res.value, std::greater<>()));
+    }
+    EXPECT_GE(rank, k) << "k=" << k;
+    EXPECT_LT(rank, kSelect7Factor * k) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma7PropertyTest,
+    ::testing::Values(Lemma7Case{1, 100, 11}, Lemma7Case{2, 50, 12},
+                      Lemma7Case{8, 200, 13}, Lemma7Case{32, 40, 14},
+                      Lemma7Case{64, 400, 15}, Lemma7Case{128, 10, 16}),
+    [](const ::testing::TestParamInfo<Lemma7Case>& info) {
+      return "m" + std::to_string(info.param.m) + "s" +
+             std::to_string(info.param.avg_size);
+    });
+
+TEST(Select7Test, KBeyondUnionGoesNegInf) {
+  auto vals = SortedDesc({5.0, 3.0, 1.0});
+  LogSketch s = LogSketch::Build(vals);
+  const LogSketch* p = &s;
+  auto res = SelectFromSketches({&p, 1}, 100);
+  EXPECT_TRUE(res.neg_inf);
+}
+
+// ---------------------------------------------------------------------
+// PackedSketchSet: maintain a group of sets under random inserts/deletes and
+// verify rank bookkeeping against a reference model after every operation.
+// ---------------------------------------------------------------------
+
+class PackedModel {
+ public:
+  explicit PackedModel(std::uint32_t f) : sets_(f) {}
+
+  // Returns the global descending rank the value will have after insertion.
+  std::uint32_t GlobalRankFor(double v) const {
+    std::uint32_t r = 1;
+    for (const auto& s : sets_)
+      for (double e : s)
+        if (e > v) ++r;
+    return r;
+  }
+  std::uint32_t CurrentGlobalRank(double v) const {
+    std::uint32_t r = 0;
+    for (const auto& s : sets_)
+      for (double e : s)
+        if (e >= v) ++r;
+    return r;
+  }
+  std::uint32_t LocalRank(std::uint32_t i, double v) const {
+    std::uint32_t r = 0;
+    for (double e : sets_[i])
+      if (e >= v) ++r;
+    return r;
+  }
+  void Insert(std::uint32_t i, double v) { sets_[i].insert(v); }
+  void Delete(std::uint32_t i, double v) { sets_[i].erase(v); }
+  const std::set<double>& set(std::uint32_t i) const { return sets_[i]; }
+
+  // Value of the element with local descending rank r in set i.
+  double LocalSelect(std::uint32_t i, std::uint32_t r) const {
+    auto it = sets_[i].rbegin();
+    std::advance(it, r - 1);
+    return *it;
+  }
+  // Rank in the union of sets [a1, a2].
+  std::uint64_t UnionRank(std::uint32_t a1, std::uint32_t a2, double v) const {
+    std::uint64_t r = 0;
+    for (std::uint32_t i = a1; i <= a2; ++i)
+      for (double e : sets_[i])
+        if (e >= v) ++r;
+    return r;
+  }
+  // Value of the element with the given current global rank.
+  double GlobalSelect(std::uint32_t g) const {
+    std::vector<double> all;
+    for (const auto& s : sets_) all.insert(all.end(), s.begin(), s.end());
+    std::sort(all.begin(), all.end(), std::greater<>());
+    return all.at(g - 1);
+  }
+  std::uint64_t TotalSize() const {
+    std::uint64_t t = 0;
+    for (const auto& s : sets_) t += s.size();
+    return t;
+  }
+
+ private:
+  std::vector<std::set<double>> sets_;
+};
+
+// Mirrors the flgroup repair protocol using the model as the "B-trees".
+void RepairInvalid(PackedSketchSet* ps, const PackedModel& model,
+                   std::uint32_t i) {
+  std::vector<std::uint32_t> bad;
+  ps->InvalidLevels(i, &bad);
+  for (std::uint32_t j : bad) {
+    std::uint64_t lo = std::uint64_t{1} << (j - 1);
+    std::uint32_t target = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ps->set_size(i), lo + lo / 2));
+    double v = model.LocalSelect(i, target);
+    ps->SetPivot(i, j, model.CurrentGlobalRank(v), target);
+  }
+}
+
+TEST(PackedSketchSetTest, SerializeRoundTrip) {
+  PackedSketchSet a(4, 100);
+  a.ApplyInsert(2, 1);
+  a.SetPivot(2, 1, 1, 1);
+  std::vector<em::word_t> buf(a.WordCount());
+  a.Serialize(buf);
+  PackedSketchSet b = PackedSketchSet::Deserialize(4, 100, buf);
+  EXPECT_EQ(b.set_size(2), 1u);
+  EXPECT_EQ(b.levels(2), 1u);
+  EXPECT_EQ(b.global_rank(2, 1), 1u);
+  EXPECT_EQ(b.local_rank(2, 1), 1u);
+  b.CheckWellFormed();
+}
+
+struct PackedCase {
+  std::uint32_t f;
+  std::uint32_t l_cap;
+  int ops;
+  std::uint64_t seed;
+};
+
+class PackedSketchPropertyTest : public ::testing::TestWithParam<PackedCase> {
+};
+
+TEST_P(PackedSketchPropertyTest, MaintenanceKeepsWindowsAndApproximation) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  PackedSketchSet ps(c.f, c.l_cap);
+  PackedModel model(c.f);
+
+  std::vector<std::pair<std::uint32_t, double>> live;  // (set, value)
+  std::set<double> used;
+  for (int op = 0; op < c.ops; ++op) {
+    bool do_insert = live.empty() || rng.Bernoulli(0.65);
+    if (do_insert) {
+      std::uint32_t i = static_cast<std::uint32_t>(rng.Uniform(c.f));
+      if (model.set(i).size() >= c.l_cap) continue;
+      double v;
+      do {
+        v = rng.UniformDouble(0, 1);
+      } while (!used.insert(v).second);
+      std::uint32_t g_new = model.GlobalRankFor(v);
+      bool expanded = ps.ApplyInsert(i, g_new);
+      model.Insert(i, v);
+      live.emplace_back(i, v);
+      if (expanded) {
+        // New pivot = the set minimum (paper), only window-legal choice.
+        std::uint32_t j = ps.levels(i);
+        double min_v = *model.set(i).begin();
+        ps.SetPivot(i, j, model.CurrentGlobalRank(min_v),
+                    model.LocalRank(i, min_v));
+      }
+      RepairInvalid(&ps, model, i);
+    } else {
+      std::size_t pick = rng.Uniform(live.size());
+      auto [i, v] = live[pick];
+      live.erase(live.begin() + pick);
+      std::uint32_t g_old = model.CurrentGlobalRank(v);
+      auto effect = ps.ApplyDelete(i, g_old);
+      model.Delete(i, v);
+      if (effect.dangling) {
+        std::uint32_t j = effect.dangling_level;
+        std::uint64_t lo = std::uint64_t{1} << (j - 1);
+        std::uint32_t target = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(ps.set_size(i), lo + lo / 2));
+        double rv = model.LocalSelect(i, target);
+        ps.SetPivot(i, j, model.CurrentGlobalRank(rv), target);
+      }
+      RepairInvalid(&ps, model, i);
+    }
+    ps.CheckWellFormed();
+
+    // Verify every pivot's stored ranks are exactly right vs the model.
+    for (std::uint32_t i = 0; i < c.f; ++i) {
+      for (std::uint32_t j = 1; j <= ps.levels(i); ++j) {
+        double v = model.GlobalSelect(ps.global_rank(i, j));
+        EXPECT_EQ(model.LocalRank(i, v), ps.local_rank(i, j));
+        EXPECT_TRUE(model.set(i).count(v) == 1)
+            << "pivot must belong to its own set";
+      }
+    }
+  }
+
+  // Approximate selection over random subranges.
+  for (int probe = 0; probe < 50; ++probe) {
+    std::uint32_t a1 = static_cast<std::uint32_t>(rng.Uniform(c.f));
+    std::uint32_t a2 =
+        a1 + static_cast<std::uint32_t>(rng.Uniform(c.f - a1));
+    std::uint64_t total = ps.SizeInRange(a1, a2);
+    if (total == 0) continue;
+    std::uint64_t k = 1 + rng.Uniform(total);
+    auto res = ps.SelectApprox(a1, a2, k);
+    std::uint64_t rank;
+    if (res.neg_inf) {
+      rank = total;
+    } else {
+      double v = model.GlobalSelect(res.global_rank);
+      rank = model.UnionRank(a1, a2, v);
+    }
+    EXPECT_GE(rank, k);
+    EXPECT_LT(rank, 8 * k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackedSketchPropertyTest,
+    ::testing::Values(PackedCase{1, 64, 300, 21}, PackedCase{4, 32, 400, 22},
+                      PackedCase{8, 128, 600, 23},
+                      PackedCase{16, 64, 800, 24},
+                      PackedCase{3, 16, 500, 25}),
+    [](const ::testing::TestParamInfo<PackedCase>& info) {
+      return "f" + std::to_string(info.param.f) + "l" +
+             std::to_string(info.param.l_cap) + "ops" +
+             std::to_string(info.param.ops);
+    });
+
+}  // namespace
+}  // namespace tokra::sketch

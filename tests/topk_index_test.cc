@@ -1,0 +1,161 @@
+// Integration tests for the Theorem 1 TopkIndex: all three regimes, both
+// selector components, random workloads against the naive oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/topk_index.h"
+#include "em/pager.h"
+#include "internal/naive.h"
+#include "util/random.h"
+
+namespace tokra::core {
+namespace {
+
+em::EmOptions Opts(std::uint32_t bw = 128) {
+  return em::EmOptions{.block_words = bw, .pool_frames = 64};
+}
+
+std::vector<Point> RandomPoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, 1000.0);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+void ExpectTopKEqual(const std::vector<Point>& got,
+                     const std::vector<Point>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+TEST(TopkIndexTest, RejectsDuplicates) {
+  em::Pager pager(Opts());
+  EXPECT_FALSE(TopkIndex::Build(&pager, {{1, 0.5}, {1, 0.7}}).ok());
+  EXPECT_FALSE(TopkIndex::Build(&pager, {{1, 0.5}, {2, 0.5}}).ok());
+}
+
+TEST(TopkIndexTest, EmptyIndex) {
+  em::Pager pager(Opts());
+  auto idx = TopkIndex::Build(&pager, {});
+  ASSERT_TRUE(idx.ok());
+  auto res = (*idx)->TopK(0, 10, 5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->empty());
+  (*idx)->CheckInvariants();
+}
+
+struct IdxCase {
+  std::size_t n;
+  int updates;
+  TopkIndex::Options::Selector selector;
+  std::uint64_t seed;
+};
+
+class TopkIndexPropertyTest : public ::testing::TestWithParam<IdxCase> {};
+
+TEST_P(TopkIndexPropertyTest, MatchesOracleAcrossRegimes) {
+  const auto& c = GetParam();
+  em::Pager pager(Opts());
+  Rng rng(c.seed);
+  std::vector<Point> live = RandomPoints(&rng, c.n);
+  TopkIndex::Options options;
+  options.selector = c.selector;
+  options.lemma4_params = {.fanout = 4, .l = 64, .leaf_cap = 512};
+  auto built = TopkIndex::Build(&pager, live, options);
+  ASSERT_TRUE(built.ok());
+  auto& idx = *built;
+  idx->CheckInvariants();
+
+  std::set<double> used_x, used_s;
+  for (const Point& p : live) {
+    used_x.insert(p.x);
+    used_s.insert(p.score);
+  }
+  for (int op = 0; op < c.updates; ++op) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      double x, sc;
+      do {
+        x = rng.UniformDouble(0, 1000);
+      } while (!used_x.insert(x).second);
+      do {
+        sc = rng.UniformDouble(0, 1);
+      } while (!used_s.insert(sc).second);
+      ASSERT_TRUE(idx->Insert({x, sc}).ok());
+      live.push_back({x, sc});
+    } else {
+      std::size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(idx->Delete(live[pick]).ok());
+      live.erase(live.begin() + pick);
+    }
+  }
+  idx->CheckInvariants();
+  EXPECT_EQ(idx->size(), live.size());
+
+  // Queries across the k spectrum: tiny (threshold path), middling, and
+  // huge (pilot-direct path).
+  for (int probe = 0; probe < 40; ++probe) {
+    double a = rng.UniformDouble(-10, 1010), b = rng.UniformDouble(-10, 1010);
+    double x1 = std::min(a, b), x2 = std::max(a, b);
+    for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{7},
+                            std::uint64_t{50}, std::uint64_t{5000}}) {
+      TopkQueryStats stats;
+      auto got = idx->TopK(x1, x2, k, &stats);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectTopKEqual(*got, internal::NaiveTopK(live, x1, x2, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopkIndexPropertyTest,
+    ::testing::Values(
+        IdxCase{500, 300, TopkIndex::Options::Selector::kSt12, 1},
+        IdxCase{500, 300, TopkIndex::Options::Selector::kLemma4, 2},
+        IdxCase{5000, 500, TopkIndex::Options::Selector::kSt12, 3},
+        IdxCase{5000, 500, TopkIndex::Options::Selector::kLemma4, 4},
+        IdxCase{2000, 200, TopkIndex::Options::Selector::kAuto, 5}),
+    [](const ::testing::TestParamInfo<IdxCase>& info) {
+      const char* sel =
+          info.param.selector == TopkIndex::Options::Selector::kSt12
+              ? "st12"
+              : info.param.selector == TopkIndex::Options::Selector::kLemma4
+                    ? "lemma4"
+                    : "auto";
+      return std::string(sel) + "n" + std::to_string(info.param.n);
+    });
+
+TEST(TopkIndexTest, DispatchPaths) {
+  em::Pager pager(Opts());
+  Rng rng(9);
+  auto pts = RandomPoints(&rng, 3000);
+  TopkIndex::Options options;
+  options.selector = TopkIndex::Options::Selector::kSt12;
+  auto idx = TopkIndex::Build(&pager, pts, options);
+  ASSERT_TRUE(idx.ok());
+  TopkQueryStats small_stats, large_stats;
+  ASSERT_TRUE((*idx)->TopK(100, 900, 5, &small_stats).ok());
+  EXPECT_EQ(small_stats.path, QueryPath::kSt12Threshold);
+  // k >= B lg n = 128 * 12 goes straight to the pilot structure.
+  ASSERT_TRUE((*idx)->TopK(100, 900, 3000, &large_stats).ok());
+  EXPECT_EQ(large_stats.path, QueryPath::kPilotDirect);
+}
+
+TEST(TopkIndexTest, DestroyReleasesBlocks) {
+  em::Pager pager(Opts());
+  std::uint64_t base = pager.BlocksInUse();
+  Rng rng(11);
+  auto idx = TopkIndex::Build(&pager, RandomPoints(&rng, 1000));
+  ASSERT_TRUE(idx.ok());
+  (*idx)->DestroyAll();
+  EXPECT_EQ(pager.BlocksInUse(), base);
+}
+
+}  // namespace
+}  // namespace tokra::core

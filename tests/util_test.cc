@@ -1,0 +1,147 @@
+// Unit tests for util/: Status, bit helpers, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tokra {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  TOKRA_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(BitsTest, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(BitsTest, LgIsAtLeastOne) {
+  EXPECT_EQ(Lg(1), 1u);
+  EXPECT_EQ(Lg(2), 1u);
+  EXPECT_EQ(Lg(1 << 20), 20u);
+}
+
+TEST(BitsTest, LogBMatchesDefinition) {
+  // LogB(b, x): least h >= 1 with b^h >= x.
+  EXPECT_EQ(LogB(2, 8), 3u);
+  EXPECT_EQ(LogB(2, 9), 4u);
+  EXPECT_EQ(LogB(256, 1), 1u);
+  EXPECT_EQ(LogB(256, 256), 1u);
+  EXPECT_EQ(LogB(256, 257), 2u);
+  EXPECT_EQ(LogB(256, 65536), 2u);
+  EXPECT_EQ(LogB(256, 65537), 3u);
+}
+
+TEST(BitsTest, FloorSqrt) {
+  EXPECT_EQ(FloorSqrt(0), 0u);
+  EXPECT_EQ(FloorSqrt(1), 1u);
+  EXPECT_EQ(FloorSqrt(15), 3u);
+  EXPECT_EQ(FloorSqrt(16), 4u);
+  EXPECT_EQ(FloorSqrt(1u << 20), 1024u);
+}
+
+TEST(BitsTest, PowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Uniform(17), 17u);
+}
+
+TEST(RngTest, DistinctDoublesAreDistinctAndInRange) {
+  Rng r(99);
+  auto v = r.DistinctDoubles(5000, -1.0, 1.0);
+  std::set<double> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), v.size());
+  for (double d : v) {
+    EXPECT_GE(d, -1.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tokra

@@ -1,0 +1,55 @@
+// Tests for the weight-balanced base-tree parameter rules.
+
+#include <gtest/gtest.h>
+
+#include "wbb/params.h"
+
+namespace tokra::wbb {
+namespace {
+
+TEST(WbbParamsTest, WeightCapsGrowGeometrically) {
+  WbbParams p{.branch = 8, .leaf_cap = 64};
+  p.Validate();
+  EXPECT_EQ(p.WeightCap(0), 64u);
+  EXPECT_EQ(p.WeightCap(1), 512u);
+  EXPECT_EQ(p.WeightCap(3), 32768u);
+  EXPECT_EQ(p.WeightFloor(3), 8192u);
+}
+
+TEST(WbbParamsTest, OverweightExactlyAboveCap) {
+  WbbParams p{.branch = 4, .leaf_cap = 16};
+  EXPECT_FALSE(p.IsOverweight(1, 64));
+  EXPECT_TRUE(p.IsOverweight(1, 65));
+  EXPECT_FALSE(p.IsOverweight(0, 16));
+  EXPECT_TRUE(p.IsOverweight(0, 17));
+}
+
+TEST(WbbParamsTest, RebuildTargetLeavesSlack) {
+  WbbParams p{.branch = 4, .leaf_cap = 16};
+  // Half the cap: Omega(cap) inserts must land before the next violation.
+  EXPECT_EQ(p.RebuildChildTarget(2), 128u);
+  EXPECT_GE(p.WeightCap(2) - p.RebuildChildTarget(2), p.WeightCap(2) / 2);
+}
+
+TEST(WbbParamsTest, HeightCoversN) {
+  WbbParams p{.branch = 16, .leaf_cap = 256};
+  for (std::uint64_t n : {1ull, 100ull, 4096ull, 65536ull, 1048576ull}) {
+    std::uint32_t h = p.HeightFor(n);
+    EXPECT_GE(p.WeightCap(h), n) << n;
+    if (h > 1) {
+      EXPECT_LT(p.WeightCap(h - 1), n) << n;
+    }
+  }
+}
+
+TEST(WbbParamsTest, FanoutBound) {
+  WbbParams p{.branch = 16, .leaf_cap = 64};
+  EXPECT_EQ(p.MaxFanout(), 33u);
+  // A node at its cap split into half-target children fits the bound.
+  std::uint64_t cap = p.WeightCap(2);
+  std::uint64_t target = p.RebuildChildTarget(1);
+  EXPECT_LE((cap + target - 1) / target, p.MaxFanout());
+}
+
+}  // namespace
+}  // namespace tokra::wbb
