@@ -12,6 +12,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e10_select");
   std::printf("# E10: selection ablation + internal-memory baseline\n");
   Header("pilot PST query internals vs k (n=2^16, B=128)",
          {"k", "reps selected t", "heap nodes visited", "comparisons",

@@ -11,6 +11,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e11_reduction");
   std::printf("# E11: the reduction — threshold + 3-sided report + select\n");
   Header("pipeline breakdown vs k (n=2^16, B=256, st12 selector)",
          {"k", "threshold I/Os", "report I/Os", "candidates k'", "k'/k",

@@ -10,6 +10,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e1_query");
   std::printf("# E1: Theorem 1 query I/Os vs n and k\n");
 
   Header("E1a: query I/Os vs n (k=16, B=256)",

@@ -13,6 +13,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e2_update");
   std::printf("# E2: amortized update I/Os — tokra (Lemma 4) vs [14]-style"
               " baseline\n");
   // Cold per-operation measurement with a minimal pool (M = 8B): the model

@@ -10,6 +10,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e3_pilot");
   std::printf("# E3: Lemma 1 pilot PST — query and update shapes\n");
 
   Header("query I/Os vs k around the B*lg n crossover (n=2^16, B=128)",

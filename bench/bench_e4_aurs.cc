@@ -11,6 +11,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e4_aurs");
   std::printf("# E4: AURS operator-call cost and approximation quality\n");
   Header("vs m (sketch-backed sets, c1=4)",
          {"m", "rank calls", "calls / m", "max observed rank/k",

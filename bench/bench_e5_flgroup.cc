@@ -11,6 +11,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e5_flgroup");
   std::printf("# E5: (f,l)-group structure costs and approximation\n");
   Header("vs (f, l) at B=256",
          {"f", "l", "lg_B(fl)", "query I/Os (cold avg)",

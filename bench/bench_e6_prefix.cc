@@ -11,6 +11,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e6_prefix");
   std::printf("# E6: Lemma 8 prefix set — O(1)-block batched rank lookups\n");
   Header("prefix footprint vs (f, l) at B=256",
          {"f", "l", "p_cap = sqrt(B) lg_B(fl)", "prefix words",

@@ -10,6 +10,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e7_candidates");
   std::printf("# E7: query candidate volume (Lemma 2: O(B lg n + k))\n");
   Header("n=2^16, B=128; candidates vs k",
          {"k", "|Q1|", "|Q2|", "|Q3|", "total", "phi(B lg n) + k",

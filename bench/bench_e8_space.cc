@@ -9,6 +9,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e8_space");
   std::printf("# E8: space in blocks, normalized by n/B (B=256)\n");
   Header("blocks / (n/B)",
          {"n", "pilot PST", "st12", "lemma4", "raw data (2 words/pt)"});

@@ -9,6 +9,7 @@ using namespace tokra;
 using namespace tokra::bench;
 
 int main() {
+  tokra::bench::InitJson("e9_regimes");
   std::printf("# E9: Theorem 1 dispatch across regimes (n=2^16)\n");
   Header("path taken and cost vs (B, k)",
          {"B", "k", "B lg n", "path", "query I/Os", "retries"});

@@ -7,7 +7,9 @@
 #ifndef TOKRA_BENCH_COMMON_H_
 #define TOKRA_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,106 @@ std::uint64_t BatchIos(em::Pager* pager, Fn&& fn) {
   return (pager->stats() - before).TotalIos();
 }
 
+// --------------------------------------------------------------------------
+// Machine-readable mirror of the markdown tables.
+//
+// Call InitJson("e7_candidates") once at the top of main(); every Header/Row
+// after that is also recorded and written to BENCH_<name>.json at exit, so
+// the perf trajectory can be tracked across PRs without scraping stdout.
+
+namespace detail {
+
+struct JsonTable {
+  std::string title;
+  std::vector<std::string> cols;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonState {
+  bool enabled = false;
+  std::string name;
+  std::vector<JsonTable> tables;
+};
+
+inline JsonState& State() {
+  static JsonState s;
+  return s;
+}
+
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Emits a cell as a JSON number when it parses fully as a *finite* decimal
+/// number, else a string. strtod alone would pass "inf"/"nan"/hex, which are
+/// not valid JSON tokens.
+inline std::string JsonCell(const std::string& cell) {
+  if (!cell.empty() &&
+      cell.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+    char* end = nullptr;
+    double v = std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0' && std::isfinite(v)) return cell;
+  }
+  return "\"" + JsonEscape(cell) + "\"";
+}
+
+inline void WriteJson() {
+  JsonState& st = State();
+  if (!st.enabled) return;
+  std::string path = "BENCH_" + st.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
+               JsonEscape(st.name).c_str());
+  for (std::size_t t = 0; t < st.tables.size(); ++t) {
+    const JsonTable& tab = st.tables[t];
+    std::fprintf(f, "%s\n    {\n      \"title\": \"%s\",\n      \"columns\": [",
+                 t == 0 ? "" : ",", JsonEscape(tab.title).c_str());
+    for (std::size_t i = 0; i < tab.cols.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                   JsonEscape(tab.cols[i]).c_str());
+    }
+    std::fprintf(f, "],\n      \"rows\": [");
+    for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+      std::fprintf(f, "%s\n        [", r == 0 ? "" : ",");
+      for (std::size_t i = 0; i < tab.rows[r].size(); ++i) {
+        std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                     JsonCell(tab.rows[r][i]).c_str());
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "\n      ]\n    }");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace detail
+
+/// Enables the JSON mirror; `name` becomes BENCH_<name>.json (written at
+/// process exit, in the working directory).
+inline void InitJson(const std::string& name) {
+  detail::JsonState& st = detail::State();
+  st.enabled = true;
+  st.name = name;
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(detail::WriteJson);
+  }
+}
+
 inline void Header(const std::string& title,
                    const std::vector<std::string>& cols) {
   std::printf("\n### %s\n\n|", title.c_str());
@@ -55,12 +157,16 @@ inline void Header(const std::string& title,
   std::printf("\n|");
   for (std::size_t i = 0; i < cols.size(); ++i) std::printf("---|");
   std::printf("\n");
+  detail::JsonState& st = detail::State();
+  if (st.enabled) st.tables.push_back({title, cols, {}});
 }
 
 inline void Row(const std::vector<std::string>& cells) {
   std::printf("|");
   for (const auto& c : cells) std::printf(" %s |", c.c_str());
   std::printf("\n");
+  detail::JsonState& st = detail::State();
+  if (st.enabled && !st.tables.empty()) st.tables.back().rows.push_back(cells);
 }
 
 inline std::string D(double v, int prec = 2) {

@@ -23,6 +23,15 @@ struct IoStats {
   /// Total block transfers — the paper's cost metric.
   std::uint64_t TotalIos() const { return reads + writes; }
 
+  IoStats& operator+=(const IoStats& rhs) {
+    reads += rhs.reads;
+    writes += rhs.writes;
+    pool_hits += rhs.pool_hits;
+    pool_misses += rhs.pool_misses;
+    evictions += rhs.evictions;
+    return *this;
+  }
+
   IoStats operator-(const IoStats& rhs) const {
     IoStats d;
     d.reads = reads - rhs.reads;

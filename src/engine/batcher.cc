@@ -1,0 +1,74 @@
+#include "engine/batcher.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace tokra::engine {
+
+RequestBatcher::RequestBatcher(ShardedTopkEngine* engine,
+                               std::size_t max_pending, bool auto_rebalance)
+    : engine_(engine),
+      max_pending_(max_pending),
+      auto_rebalance_(auto_rebalance) {
+  TOKRA_CHECK(engine != nullptr);
+  TOKRA_CHECK(max_pending >= 1);
+}
+
+RequestBatcher::~RequestBatcher() { Flush(); }
+
+std::future<Response> RequestBatcher::Submit(Request req) {
+  Item item;
+  item.req = std::move(req);
+  std::future<Response> fut = item.promise.get_future();
+  std::vector<Item> ready;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++stats_.requests;
+    pending_.push_back(std::move(item));
+    if (pending_.size() >= max_pending_) ready.swap(pending_);
+  }
+  if (!ready.empty()) Execute(std::move(ready));
+  return fut;
+}
+
+void RequestBatcher::Flush() {
+  std::vector<Item> ready;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ready.swap(pending_);
+  }
+  if (!ready.empty()) Execute(std::move(ready));
+}
+
+void RequestBatcher::Execute(std::vector<Item> batch) {
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (const Item& item : batch) requests.push_back(item.req);
+
+  std::vector<Response> responses;
+  engine_->ExecuteBatch(requests, &responses);
+  TOKRA_CHECK_EQ(responses.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+
+  bool rebalanced = auto_rebalance_ && engine_->MaybeRebalance();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++stats_.batches;
+    if (rebalanced) ++stats_.auto_rebalances;
+  }
+}
+
+std::size_t RequestBatcher::pending() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return pending_.size();
+}
+
+RequestBatcher::Stats RequestBatcher::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace tokra::engine

@@ -1,0 +1,77 @@
+// RequestBatcher: a coalescing front end for ShardedTopkEngine.
+//
+// Concurrent callers Submit() requests and receive futures; the batcher
+// accumulates requests and hands them to ShardedTopkEngine::ExecuteBatch in
+// one go — updates grouped per shard (one lock acquisition and one warm
+// pager pass per shard per batch), queries fanned out after. This amortizes
+// lock and pager traffic across everything that arrived in the window.
+//
+// A batch flushes when it reaches `max_pending` (inline, on the submitting
+// thread) or when a caller invokes Flush(). Batch semantics follow
+// ExecuteBatch: within a batch, updates happen-before queries, and updates
+// validate in submission order.
+
+#ifndef TOKRA_ENGINE_BATCHER_H_
+#define TOKRA_ENGINE_BATCHER_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "engine/request.h"
+#include "engine/sharded_engine.h"
+
+namespace tokra::engine {
+
+class RequestBatcher {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t auto_rebalances = 0;
+  };
+
+  /// `max_pending`: batch size that triggers an automatic flush.
+  /// `auto_rebalance`: run engine->MaybeRebalance() after each batch — the
+  /// skew hook for adversarial insert streams.
+  RequestBatcher(ShardedTopkEngine* engine, std::size_t max_pending = 256,
+                 bool auto_rebalance = false);
+
+  /// Flushes whatever is pending on destruction so no future is abandoned.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues one request; the future resolves when its batch executes.
+  /// May execute a full batch inline on this thread.
+  std::future<Response> Submit(Request req);
+
+  /// Executes everything pending now (no-op when empty).
+  void Flush();
+
+  std::size_t pending() const;
+  Stats stats() const;
+
+ private:
+  struct Item {
+    Request req;
+    std::promise<Response> promise;
+  };
+
+  /// Runs one batch on the calling thread.
+  void Execute(std::vector<Item> batch);
+
+  ShardedTopkEngine* engine_;
+  const std::size_t max_pending_;
+  const bool auto_rebalance_;
+
+  mutable std::mutex mu_;
+  std::vector<Item> pending_;
+  Stats stats_;
+};
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_BATCHER_H_

@@ -1,0 +1,85 @@
+// k-bounded tournament merge of per-shard top-k result lists.
+//
+// Each shard answers its subquery with a score-descending list; the lists
+// are exposed to select::SelectTop as a forest of chain heaps (element i's
+// only child is element i+1, so the heap property is the sort order). The
+// best-first selection then visits exactly k winners plus one frontier node
+// per shard — a tournament merge that never materializes more than the k
+// requested results, regardless of how much the shards over-deliver.
+
+#ifndef TOKRA_ENGINE_MERGE_H_
+#define TOKRA_ENGINE_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "select/heap_view.h"
+#include "select/select.h"
+#include "util/check.h"
+#include "util/point.h"
+
+namespace tokra::engine {
+
+/// HeapView over S score-descending Point lists: one chain heap per list.
+/// NodeId packs (list index << 32) | position.
+class ChainMergeView : public select::HeapView {
+ public:
+  explicit ChainMergeView(const std::vector<std::vector<Point>>* parts)
+      : parts_(parts) {
+    TOKRA_DCHECK(parts != nullptr);
+  }
+
+  void Roots(std::vector<select::HeapNode>* out) const override {
+    for (std::size_t i = 0; i < parts_->size(); ++i) {
+      if (!(*parts_)[i].empty()) {
+        out->push_back({Pack(i, 0), (*parts_)[i][0].score});
+      }
+    }
+  }
+
+  void Children(select::NodeId node, std::vector<select::HeapNode>* out)
+      const override {
+    std::size_t list = ListOf(node), pos = PosOf(node) + 1;
+    if (pos < (*parts_)[list].size()) {
+      out->push_back({Pack(list, pos), (*parts_)[list][pos].score});
+    }
+  }
+
+  const Point& At(select::NodeId node) const {
+    return (*parts_)[ListOf(node)][PosOf(node)];
+  }
+
+ private:
+  static select::NodeId Pack(std::size_t list, std::size_t pos) {
+    return (static_cast<select::NodeId>(list) << 32) |
+           static_cast<select::NodeId>(pos);
+  }
+  static std::size_t ListOf(select::NodeId id) {
+    return static_cast<std::size_t>(id >> 32);
+  }
+  static std::size_t PosOf(select::NodeId id) {
+    return static_cast<std::size_t>(id & 0xFFFFFFFFu);
+  }
+
+  const std::vector<std::vector<Point>>* parts_;
+};
+
+/// Merges score-descending per-shard lists into the global top k,
+/// score-descending. Visits O(k + #lists) elements.
+inline std::vector<Point> MergeTopK(
+    const std::vector<std::vector<Point>>& parts, std::uint64_t k,
+    select::SelectStats* stats = nullptr) {
+  ChainMergeView view(&parts);
+  std::vector<select::HeapNode> winners = select::SelectTop(
+      view, static_cast<std::size_t>(k), select::Strategy::kBestFirst, stats);
+  std::vector<Point> out;
+  out.reserve(winners.size());
+  for (const select::HeapNode& w : winners) out.push_back(view.At(w.id));
+  std::sort(out.begin(), out.end(), ByScoreDesc{});
+  return out;
+}
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_MERGE_H_

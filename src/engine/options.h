@@ -1,0 +1,52 @@
+// Configuration of the sharded concurrent query engine.
+
+#ifndef TOKRA_ENGINE_OPTIONS_H_
+#define TOKRA_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "core/topk_index.h"
+#include "em/options.h"
+#include "util/check.h"
+
+namespace tokra::engine {
+
+/// Parameters of a ShardedTopkEngine.
+///
+/// Each shard is an independent TopkIndex on its own em::Pager, so the
+/// per-shard EM parameters below describe one shard's simulated disk and
+/// buffer pool; total pool memory is num_shards * em.pool_frames frames.
+struct EngineOptions {
+  /// Number of key-range shards. Each holds ~n/S points and preserves the
+  /// paper's per-index bounds on its subrange.
+  std::uint32_t num_shards = 4;
+
+  /// Worker threads answering fanned-out shard subqueries and applying
+  /// batched per-shard update groups.
+  std::uint32_t threads = 4;
+
+  /// EM model parameters for each shard's private pager.
+  em::EmOptions em;
+
+  /// Forwarded to every shard's TopkIndex.
+  core::TopkIndex::Options index;
+
+  /// MaybeRebalance() triggers when the largest shard exceeds this multiple
+  /// of the average shard size (and rebalance_min_points is met).
+  double rebalance_skew = 4.0;
+
+  /// Minimum total points before skew-triggered rebalancing kicks in;
+  /// below this, imbalance is noise.
+  std::uint64_t rebalance_min_points = 1024;
+
+  void Validate() const {
+    TOKRA_CHECK(num_shards >= 1);
+    TOKRA_CHECK(threads >= 1);
+    TOKRA_CHECK(rebalance_skew > 1.0);
+    em.Validate();
+  }
+};
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_OPTIONS_H_

@@ -1,0 +1,54 @@
+// Request/Response protocol shared by the engine's batch path and the
+// request-batching front end.
+
+#ifndef TOKRA_ENGINE_REQUEST_H_
+#define TOKRA_ENGINE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/point.h"
+#include "util/status.h"
+
+namespace tokra::engine {
+
+/// One operation against the engine. Built via the factory helpers.
+struct Request {
+  enum class Kind { kInsert, kDelete, kTopk };
+
+  Kind kind = Kind::kTopk;
+  Point point;            ///< kInsert / kDelete payload
+  double x1 = 0, x2 = 0;  ///< kTopk range
+  std::uint64_t k = 0;    ///< kTopk result bound
+
+  static Request MakeInsert(const Point& p) {
+    Request r;
+    r.kind = Kind::kInsert;
+    r.point = p;
+    return r;
+  }
+  static Request MakeDelete(const Point& p) {
+    Request r;
+    r.kind = Kind::kDelete;
+    r.point = p;
+    return r;
+  }
+  static Request MakeTopk(double x1, double x2, std::uint64_t k) {
+    Request r;
+    r.kind = Kind::kTopk;
+    r.x1 = x1;
+    r.x2 = x2;
+    r.k = k;
+    return r;
+  }
+};
+
+/// Outcome of one Request. `points` is populated for kTopk on success.
+struct Response {
+  Status status;
+  std::vector<Point> points;
+};
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_REQUEST_H_

@@ -1,0 +1,403 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "engine/merge.h"
+#include "util/check.h"
+
+namespace tokra::engine {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ShardedTopkEngine::ShardedTopkEngine(EngineOptions options)
+    : options_(options), pool_(options.threads) {}
+
+StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Build(
+    std::vector<Point> points, EngineOptions options) {
+  options.Validate();
+  auto engine =
+      std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
+  // Global distinctness check; fills the registry.
+  for (const Point& p : points) {
+    if (!engine->by_x_.emplace(p.x, p.score).second) {
+      return Status::InvalidArgument("duplicate x coordinate");
+    }
+    if (!engine->scores_.insert(p.score).second) {
+      return Status::InvalidArgument("duplicate score");
+    }
+  }
+  TOKRA_RETURN_IF_ERROR(engine->BuildShardsLocked(std::move(points)));
+  return engine;
+}
+
+Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
+  const std::uint32_t s = options_.num_shards;
+  const std::size_t n = points.size();
+  std::sort(points.begin(), points.end(), ByXAsc{});
+
+  // Build into locals and commit only on full success, so a failed shard
+  // build (e.g. mid-Rebalance) leaves the previous topology intact instead
+  // of a shards_ array shorter than lower_bounds_.
+  std::vector<double> bounds(s, -kInf);
+  for (std::uint32_t i = 1; i < s; ++i) {
+    if (n == 0) {
+      bounds[i] = static_cast<double>(i);  // arbitrary monotone split
+    } else {
+      std::size_t cut = static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(i) * n) / s);
+      bounds[i] = cut == 0 ? points[0].x
+                           : (points[cut - 1].x + points[cut].x) / 2.0;
+    }
+  }
+  auto shard_for = [&bounds](double x) {
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), x);
+    if (it == bounds.begin()) return std::size_t{0};
+    return static_cast<std::size_t>(it - bounds.begin()) - 1;
+  };
+
+  std::vector<std::vector<Point>> chunks(s);
+  for (std::size_t i = 0; i < s; ++i) chunks[i].reserve(n / s + 1);
+  for (const Point& p : points) chunks[shard_for(p.x)].push_back(p);
+
+  std::vector<std::unique_ptr<Shard>> fresh;
+  fresh.reserve(s);
+  for (std::uint32_t i = 0; i < s; ++i) {
+    auto shard = std::make_unique<Shard>(options_.em);
+    shard->approx_size.store(chunks[i].size(), std::memory_order_relaxed);
+    auto idx = core::TopkIndex::Build(shard->pager.get(),
+                                      std::move(chunks[i]), options_.index);
+    if (!idx.ok()) return idx.status();
+    shard->index = std::move(*idx);
+    fresh.push_back(std::move(shard));
+  }
+  shards_ = std::move(fresh);
+  lower_bounds_ = std::move(bounds);
+  return Status::Ok();
+}
+
+std::size_t ShardedTopkEngine::ShardFor(double x) const {
+  auto it = std::upper_bound(lower_bounds_.begin(), lower_bounds_.end(), x);
+  // lower_bounds_[0] is -inf, so `it` is never begin() for any x >= -inf;
+  // x == -inf also lands on shard 0 because -inf is not > -inf.
+  if (it == lower_bounds_.begin()) return 0;
+  return static_cast<std::size_t>(it - lower_bounds_.begin()) - 1;
+}
+
+Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p) {
+  {
+    std::lock_guard<std::mutex> rg(registry_mu_);
+    if (by_x_.count(p.x) != 0) {
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::AlreadyExists("duplicate x coordinate");
+    }
+    if (scores_.count(p.score) != 0) {
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::AlreadyExists("duplicate score");
+    }
+    by_x_.emplace(p.x, p.score);
+    scores_.insert(p.score);
+  }
+  Status st = sh.index->Insert(p);
+  if (st.ok()) {
+    sh.approx_size.fetch_add(1, std::memory_order_relaxed);
+    n_inserts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::lock_guard<std::mutex> rg(registry_mu_);
+    by_x_.erase(p.x);
+    scores_.erase(p.score);
+  }
+  return st;
+}
+
+Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p) {
+  {
+    std::lock_guard<std::mutex> rg(registry_mu_);
+    auto it = by_x_.find(p.x);
+    if (it == by_x_.end() || it->second != p.score) {
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("no such point");
+    }
+    // Leave the entry in place until the index apply succeeds: same-x
+    // operations are excluded by the shard mutex we hold, so nobody can
+    // observe the point half-deleted, and a failed apply needs no rollback.
+  }
+  Status st = sh.index->Delete(p);
+  if (st.ok()) {
+    {
+      std::lock_guard<std::mutex> rg(registry_mu_);
+      by_x_.erase(p.x);
+      scores_.erase(p.score);
+    }
+    sh.approx_size.fetch_sub(1, std::memory_order_relaxed);
+    n_deletes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status ShardedTopkEngine::Insert(const Point& p) {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  // Shard mutex before the registry: every operation on a given x
+  // serializes on its owning shard's mutex, so a registry reservation is
+  // never observable while its index apply is still in flight.
+  Shard& sh = *shards_[ShardFor(p.x)];
+  std::lock_guard<std::mutex> g(sh.mu);
+  return InsertLocked(sh, p);
+}
+
+Status ShardedTopkEngine::Delete(const Point& p) {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  Shard& sh = *shards_[ShardFor(p.x)];
+  std::lock_guard<std::mutex> g(sh.mu);
+  return DeleteLocked(sh, p);
+}
+
+StatusOr<std::vector<Point>> ShardedTopkEngine::TopK(
+    double x1, double x2, std::uint64_t k, EngineQueryStats* stats) const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  return TopKLocked(x1, x2, k, stats, /*parallel=*/true);
+}
+
+StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
+    double x1, double x2, std::uint64_t k, EngineQueryStats* stats,
+    bool parallel) const {
+  if (x1 > x2) return Status::InvalidArgument("x1 > x2");
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (k == 0) return std::vector<Point>{};
+
+  const std::size_t s1 = ShardFor(x1), s2 = ShardFor(x2);
+  const std::size_t q = s2 - s1 + 1;
+  std::vector<std::vector<Point>> parts(q);
+  std::vector<Status> statuses(q);
+  std::vector<em::IoStats> deltas(q);
+
+  auto run_shard = [&](std::size_t j) {
+    Shard& sh = *shards_[s1 + j];
+    std::lock_guard<std::mutex> g(sh.mu);
+    em::IoStats before = sh.pager->stats();
+    auto r = sh.index->TopK(x1, x2, k);
+    if (r.ok()) {
+      parts[j] = std::move(*r);
+    } else {
+      statuses[j] = r.status();
+    }
+    deltas[j] = sh.pager->stats() - before;
+  };
+
+  if (parallel && q > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(q);
+    for (std::size_t j = 0; j < q; ++j) tasks.emplace_back([&, j] { run_shard(j); });
+    pool_.RunAll(std::move(tasks));
+  } else {
+    for (std::size_t j = 0; j < q; ++j) run_shard(j);
+  }
+
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  select::SelectStats sstats;
+  std::vector<Point> merged = MergeTopK(parts, k, &sstats);
+  if (stats != nullptr) {
+    stats->shards_queried = static_cast<std::uint32_t>(q);
+    stats->shard_candidates = 0;
+    for (const auto& part : parts) stats->shard_candidates += part.size();
+    stats->merge_nodes_visited = sstats.nodes_visited;
+    stats->io = em::IoStats{};
+    for (const em::IoStats& d : deltas) stats->io += d;
+  }
+  return merged;
+}
+
+void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
+                                     std::vector<Response>* out) {
+  out->clear();
+  out->resize(batch.size());
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 1: group updates by owning shard, preserving submission order
+  // within each group. Validation happens in phase 2 under the shard mutex
+  // (same lock discipline as direct Insert/Delete), so a concurrent direct
+  // operation can never observe a half-applied batch update. Same-x requests
+  // land in the same group and stay ordered; the only unspecified ordering
+  // is between *different shards'* groups, observable solely through
+  // same-score conflicts within one batch.
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  std::vector<std::size_t> query_idx;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].kind == Request::Kind::kTopk) {
+      query_idx.push_back(i);
+    } else {
+      groups[ShardFor(batch[i].point.x)].push_back(i);
+    }
+  }
+
+  // Phase 2: apply each shard's update group under ONE lock acquisition,
+  // shard groups in parallel across the pool.
+  std::vector<std::function<void()>> update_tasks;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    update_tasks.emplace_back([&, s] {
+      Shard& sh = *shards_[s];
+      std::lock_guard<std::mutex> g(sh.mu);
+      for (std::size_t i : groups[s]) {
+        const Request& req = batch[i];
+        (*out)[i].status = req.kind == Request::Kind::kInsert
+                               ? InsertLocked(sh, req.point)
+                               : DeleteLocked(sh, req.point);
+      }
+    });
+  }
+  pool_.RunAll(std::move(update_tasks));
+
+  // Phase 3: queries observe the whole batch's updates; they run
+  // concurrently, each serial inside (they already occupy pool threads).
+  std::vector<std::function<void()>> query_tasks;
+  query_tasks.reserve(query_idx.size());
+  for (std::size_t i : query_idx) {
+    query_tasks.emplace_back([&, i] {
+      const Request& req = batch[i];
+      auto r = TopKLocked(req.x1, req.x2, req.k, nullptr, /*parallel=*/false);
+      if (r.ok()) {
+        (*out)[i].points = std::move(*r);
+      } else {
+        (*out)[i].status = r.status();
+      }
+    });
+  }
+  pool_.RunAll(std::move(query_tasks));
+}
+
+Status ShardedTopkEngine::Rebalance() {
+  std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  return RebalanceLocked();
+}
+
+bool ShardedTopkEngine::SkewedLocked() const {
+  std::uint64_t total = 0, max_size = 0;
+  for (const auto& sh : shards_) {
+    std::uint64_t n = sh->approx_size.load(std::memory_order_relaxed);
+    total += n;
+    max_size = std::max(max_size, n);
+  }
+  if (total < options_.rebalance_min_points) return false;
+  double avg = static_cast<double>(total) / static_cast<double>(shards_.size());
+  return static_cast<double>(max_size) > options_.rebalance_skew * avg;
+}
+
+bool ShardedTopkEngine::MaybeRebalance() {
+  {
+    std::shared_lock<std::shared_mutex> tl(topology_mu_);
+    if (!SkewedLocked()) return false;
+  }
+  std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  if (!SkewedLocked()) return false;  // raced with another rebalance
+  return RebalanceLocked().ok();
+}
+
+Status ShardedTopkEngine::RebalanceLocked() {
+  std::vector<Point> all;
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->approx_size.load(std::memory_order_relaxed);
+  }
+  all.reserve(total);
+  for (const auto& sh : shards_) {
+    std::uint64_t n = sh->approx_size.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    auto r = sh->index->TopK(-kInf, kInf, n);
+    if (!r.ok()) return r.status();
+    TOKRA_CHECK_EQ(r->size(), n);
+    all.insert(all.end(), r->begin(), r->end());
+  }
+  TOKRA_RETURN_IF_ERROR(BuildShardsLocked(std::move(all)));
+  n_rebalances_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+std::uint64_t ShardedTopkEngine::size() const {
+  std::lock_guard<std::mutex> rg(registry_mu_);
+  return by_x_.size();
+}
+
+std::vector<std::uint64_t> ShardedTopkEngine::ShardSizes() const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    sizes.push_back(sh->approx_size.load(std::memory_order_relaxed));
+  }
+  return sizes;
+}
+
+std::vector<double> ShardedTopkEngine::ShardLowerBounds() const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  return lower_bounds_;
+}
+
+em::IoStats ShardedTopkEngine::AggregatedIoStats() const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  em::IoStats total;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh->mu);
+    total += sh->pager->stats();
+  }
+  return total;
+}
+
+std::uint64_t ShardedTopkEngine::BlocksInUse() const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh->mu);
+    total += sh->pager->BlocksInUse();
+  }
+  return total;
+}
+
+EngineCounters ShardedTopkEngine::counters() const {
+  EngineCounters c;
+  c.inserts = n_inserts_.load(std::memory_order_relaxed);
+  c.deletes = n_deletes_.load(std::memory_order_relaxed);
+  c.queries = n_queries_.load(std::memory_order_relaxed);
+  c.rejected = n_rejected_.load(std::memory_order_relaxed);
+  c.batches = n_batches_.load(std::memory_order_relaxed);
+  c.rebalances = n_rebalances_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ShardedTopkEngine::CheckInvariants() const {
+  std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  TOKRA_CHECK_EQ(shards_.size(), lower_bounds_.size());
+  TOKRA_CHECK(lower_bounds_[0] == -kInf);
+  TOKRA_CHECK(std::is_sorted(lower_bounds_.begin(), lower_bounds_.end()));
+
+  std::lock_guard<std::mutex> rg(registry_mu_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = *shards_[i];
+    sh.index->CheckInvariants();
+    std::uint64_t n = sh.index->size();
+    TOKRA_CHECK_EQ(n, sh.approx_size.load(std::memory_order_relaxed));
+    total += n;
+    if (n == 0) continue;
+    auto r = sh.index->TopK(-kInf, kInf, n);
+    TOKRA_CHECK(r.ok());
+    TOKRA_CHECK_EQ(r->size(), n);
+    for (const Point& p : *r) {
+      TOKRA_CHECK_EQ(ShardFor(p.x), i);  // point lives in its owning shard
+      auto it = by_x_.find(p.x);
+      TOKRA_CHECK(it != by_x_.end());
+      TOKRA_CHECK(it->second == p.score);
+    }
+  }
+  TOKRA_CHECK_EQ(total, by_x_.size());
+  TOKRA_CHECK_EQ(by_x_.size(), scores_.size());
+}
+
+}  // namespace tokra::engine

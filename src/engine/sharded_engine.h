@@ -1,0 +1,180 @@
+// ShardedTopkEngine: a concurrent, range-partitioned service layer over
+// independent TopkIndex shards.
+//
+// The key space is split into S contiguous ranges; each shard owns one range
+// as a private TopkIndex on a private em::Pager (buffer pools never contend).
+// Updates route to the owning shard under that shard's mutex; TopK fans out
+// to the overlapping shards on a fixed thread pool and merges the per-shard
+// lists with a k-bounded tournament heap (engine/merge.h, built on
+// select/heap_view.h).
+//
+// Guarantees preserved from the paper: each shard holds n_i points of its
+// subrange with the per-index bounds intact — O(n_i/B) space, O(lg_B n_i)
+// amortized updates, O(lg n_i + k/B) query I/Os — so a query touching q
+// shards costs O(sum_i lg n_i + k/B) I/Os spread across q independent
+// devices, and the merge adds O(k + q) free CPU work (see DESIGN.md).
+//
+// Concurrency model:
+//   * topology_mu_ (shared/unique): shard count and boundaries. All
+//     operations take it shared; Rebalance takes it unique.
+//   * one mutex per shard: serializes that shard's index and pager, and —
+//     because x determines its shard — totally orders all operations on any
+//     given x, so registry reservations are never observable half-applied.
+//   * registry_mu_: the exact-membership registry (x -> score), which gives
+//     the service layer safe duplicate/missing rejection that the raw
+//     TopkIndex (per the paper's distinctness assumption) does not check.
+// Lock order: topology -> shard -> registry; no path takes two shard
+// mutexes, so the engine is deadlock-free.
+
+#ifndef TOKRA_ENGINE_SHARDED_ENGINE_H_
+#define TOKRA_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/topk_index.h"
+#include "em/io_stats.h"
+#include "em/pager.h"
+#include "engine/options.h"
+#include "engine/request.h"
+#include "engine/thread_pool.h"
+#include "util/point.h"
+#include "util/status.h"
+
+namespace tokra::engine {
+
+/// Per-query observability, aggregated across the queried shards.
+struct EngineQueryStats {
+  std::uint32_t shards_queried = 0;
+  std::uint64_t shard_candidates = 0;    ///< per-shard hits fed to the merge
+  std::uint64_t merge_nodes_visited = 0; ///< tournament-heap visits (<= k+q)
+  em::IoStats io;                        ///< summed I/O delta of the query
+};
+
+/// Monotonic service counters (snapshot).
+struct EngineCounters {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t rejected = 0;   ///< duplicate inserts + missing deletes
+  std::uint64_t batches = 0;
+  std::uint64_t rebalances = 0;
+};
+
+class ShardedTopkEngine {
+ public:
+  /// Builds the engine over the initial point set (globally distinct x and
+  /// scores, as in TopkIndex::Build). Shard boundaries are chosen so the
+  /// initial points split evenly.
+  static StatusOr<std::unique_ptr<ShardedTopkEngine>> Build(
+      std::vector<Point> points, EngineOptions options);
+
+  // All public methods below are thread-safe.
+
+  /// Inserts p. kAlreadyExists on duplicate x or score (checked globally).
+  Status Insert(const Point& p);
+
+  /// Deletes p. kNotFound unless a point with exactly (p.x, p.score) exists.
+  Status Delete(const Point& p);
+
+  /// The k highest-scored points with x in [x1, x2], score-descending —
+  /// byte-identical to a single TopkIndex over the union of the shards.
+  StatusOr<std::vector<Point>> TopK(double x1, double x2, std::uint64_t k,
+                                    EngineQueryStats* stats = nullptr) const;
+
+  /// Executes a batch: updates are grouped by owning shard and applied with
+  /// ONE lock acquisition per shard (shard groups run in parallel, each
+  /// group in submission order); queries then run concurrently. Within a
+  /// batch, every update happens-before every query. Ordering between
+  /// different shards' update groups is unspecified — observable only via
+  /// same-score conflicts inside one batch. out->at(i) answers batch[i].
+  void ExecuteBatch(std::span<const Request> batch,
+                    std::vector<Response>* out);
+
+  /// Re-splits the key space so every shard holds ~n/S points. Exclusive:
+  /// waits for in-flight operations.
+  Status Rebalance();
+
+  /// Rebalance hook for skewed insert streams: rebalances iff the largest
+  /// shard exceeds rebalance_skew * average and the engine holds at least
+  /// rebalance_min_points. Returns whether a rebalance ran.
+  bool MaybeRebalance();
+
+  std::uint64_t size() const;
+  /// Fixed at Build; reads no mutable state.
+  std::uint32_t num_shards() const { return options_.num_shards; }
+  std::vector<std::uint64_t> ShardSizes() const;
+  /// Lower bound of each shard's key range; element 0 is -infinity.
+  std::vector<double> ShardLowerBounds() const;
+
+  /// Sum of all shards' pager counters. Rebalance replaces shard pagers, so
+  /// the aggregate restarts from zero after one.
+  em::IoStats AggregatedIoStats() const;
+  /// Sum of all shards' blocks in use — the paper's space metric, summed.
+  std::uint64_t BlocksInUse() const;
+  EngineCounters counters() const;
+
+  /// Validates every shard's index, the shard partition, and the registry.
+  /// O(n); exclusive.
+  void CheckInvariants() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const em::EmOptions& em)
+        : pager(std::make_unique<em::Pager>(em)) {}
+    std::unique_ptr<em::Pager> pager;
+    std::unique_ptr<core::TopkIndex> index;
+    mutable std::mutex mu;
+    std::atomic<std::uint64_t> approx_size{0};
+  };
+
+  explicit ShardedTopkEngine(EngineOptions options);
+
+  /// Index of the shard owning x. Caller holds topology_mu_.
+  std::size_t ShardFor(double x) const;
+
+  /// Validate-against-registry + apply + finalize for one update. Caller
+  /// holds topology_mu_ shared and sh.mu (which excludes every other
+  /// operation on this point's x).
+  Status InsertLocked(Shard& sh, const Point& p);
+  Status DeleteLocked(Shard& sh, const Point& p);
+
+  /// (Re)creates shards and boundaries from `points`. Caller holds
+  /// topology_mu_ exclusively (or is Build, pre-publication).
+  Status BuildShardsLocked(std::vector<Point> points);
+
+  /// Fan-out + merge. Caller holds topology_mu_ shared. `parallel` uses the
+  /// pool; batch query tasks pass false (they already run on the pool).
+  StatusOr<std::vector<Point>> TopKLocked(double x1, double x2,
+                                          std::uint64_t k,
+                                          EngineQueryStats* stats,
+                                          bool parallel) const;
+
+  Status RebalanceLocked();
+  bool SkewedLocked() const;
+
+  EngineOptions options_;
+  mutable std::shared_mutex topology_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<double> lower_bounds_;  // lower_bounds_[0] == -inf
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<double, double> by_x_;  // x -> score, exact membership
+  std::unordered_set<double> scores_;
+
+  mutable ThreadPool pool_;
+
+  mutable std::atomic<std::uint64_t> n_inserts_{0}, n_deletes_{0},
+      n_queries_{0}, n_rejected_{0}, n_batches_{0}, n_rebalances_{0};
+};
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_SHARDED_ENGINE_H_

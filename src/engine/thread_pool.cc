@@ -1,0 +1,73 @@
+#include "engine/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace tokra::engine {
+
+ThreadPool::ThreadPool(std::uint32_t threads) {
+  workers_.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_.wait(g, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  // Per-call join state; tasks hold a shared_ptr so concurrent RunAll calls
+  // never interfere.
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = tasks.size() - 1;
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    Submit([join, task = std::move(tasks[i])] {
+      task();
+      std::lock_guard<std::mutex> g(join->mu);
+      if (--join->remaining == 0) join->cv.notify_one();
+    });
+  }
+  tasks[0]();  // keep the caller productive while the pool drains
+  std::unique_lock<std::mutex> g(join->mu);
+  join->cv.wait(g, [&] { return join->remaining == 0; });
+}
+
+}  // namespace tokra::engine

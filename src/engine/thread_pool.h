@@ -1,0 +1,51 @@
+// Fixed-size worker pool for shard fan-out.
+//
+// Tasks submitted here must never block on other pool tasks (no nested
+// RunAll from inside a task): every engine task only takes shard mutexes,
+// which are held exclusively by running tasks, so the pool is deadlock-free
+// by construction.
+
+#ifndef TOKRA_ENGINE_THREAD_POOL_H_
+#define TOKRA_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tokra::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(workers_.size()); }
+
+  /// Enqueues one task. Fire-and-forget; pair with RunAll for joins.
+  void Submit(std::function<void()> fn);
+
+  /// Runs every task (on the pool, first one inline on the calling thread)
+  /// and returns when all have finished. Safe to call concurrently from
+  /// many threads; each call joins only its own tasks.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tokra::engine
+
+#endif  // TOKRA_ENGINE_THREAD_POOL_H_
