@@ -89,7 +89,10 @@ void ThroughputTable(const std::string& title, const std::vector<Point>& pts,
   for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     auto eng = ShardedTopkEngine::Build(pts, EngOpts(shards));
     Must(eng.status());
+    em::IoStats before = eng->get()->AggregatedIoStats();
     double qps = QueryThroughput(eng->get(), wl);
+    RecordIoStats(title.substr(0, 4) + " shards=" + U(shards),
+                  eng->get()->AggregatedIoStats() - before);
     if (shards == 1) base_qps = qps;
     double total = kClientThreads * kQueriesPerThread;
     Row({U(shards), U(kClientThreads), U(static_cast<std::uint64_t>(total)),
@@ -105,6 +108,7 @@ void BatchingTable(const std::vector<Point>& pts) {
     auto eng = ShardedTopkEngine::Build(pts, EngOpts(4));
     Must(eng.status());
     RequestBatcher batcher(eng->get(), /*max_pending=*/128);
+    em::IoStats io_before = eng->get()->AggregatedIoStats();
     auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     for (int t = 0; t < kClientThreads; ++t) {
@@ -136,6 +140,8 @@ void BatchingTable(const std::vector<Point>& pts) {
     for (auto& th : threads) th.join();
     double ms = WallMs(t0);
     double total = kClientThreads * kOpsPerThread;
+    RecordIoStats(mode == 0 ? "E12c direct" : "E12c batched",
+                  eng->get()->AggregatedIoStats() - io_before);
     Row({mode == 0 ? "direct" : "batched(128)",
          U(static_cast<std::uint64_t>(total)), D(ms), D(total / ms * 1000.0, 0)});
   }

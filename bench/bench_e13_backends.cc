@@ -1,0 +1,145 @@
+// E13 — storage backends: MemBlockDevice vs FileBlockDevice.
+//   (a) the simulated I/O counts are backend-independent (counting lives in
+//       the BlockDevice base class, so the EM-model cost of a workload is a
+//       property of the access sequence, not the medium);
+//   (b) wall-clock cost of cold- and warm-cache queries on each backend —
+//       the first real-hardware numbers for the Theorem 1 structure;
+//   (c) checkpoint + reopen round trip on the file backend.
+
+#include <unistd.h>
+
+#include <array>
+#include <filesystem>
+
+#include "bench/common.h"
+#include "core/topk_index.h"
+#include "em/pager.h"
+
+using namespace tokra;
+using namespace tokra::bench;
+
+namespace {
+
+constexpr std::size_t kN = 1u << 15;
+constexpr int kQueries = 64;
+
+struct RunResult {
+  em::IoStats build, cold, warm;
+  double cold_us = 0, warm_us = 0;
+};
+
+RunResult RunWorkload(const em::EmOptions& opts) {
+  RunResult res;
+  em::Pager pager(opts);
+  Rng rng(13);
+  auto points = RandomPoints(&rng, kN);
+  em::IoStats start = pager.stats();
+  auto built = core::TopkIndex::Build(&pager, std::move(points));
+  TOKRA_CHECK(built.ok());
+  auto& idx = *built;
+  pager.FlushAll();
+  res.build = pager.stats() - start;
+
+  // The same deterministic query mix, cold (cache dropped per query) then
+  // warm (shared pool across queries).
+  std::vector<std::array<double, 2>> ranges;
+  std::vector<std::uint64_t> ks;
+  for (int i = 0; i < kQueries; ++i) {
+    double a = rng.UniformDouble(0, 1e6), b = rng.UniformDouble(0, 1e6);
+    ranges.push_back({std::min(a, b), std::max(a, b)});
+    ks.push_back(1 + rng.Uniform(256));
+  }
+  em::IoStats before = pager.stats();
+  res.cold_us = WallMicros([&] {
+    for (int i = 0; i < kQueries; ++i) {
+      pager.DropCache();
+      Must(idx->TopK(ranges[i][0], ranges[i][1], ks[i]).status());
+    }
+  });
+  res.cold = pager.stats() - before;
+  before = pager.stats();
+  res.warm_us = WallMicros([&] {
+    for (int i = 0; i < kQueries; ++i) {
+      Must(idx->TopK(ranges[i][0], ranges[i][1], ks[i]).status());
+    }
+  });
+  res.warm = pager.stats() - before;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  InitJson("e13_backends");
+  std::printf("# E13: storage backends — mem vs file\n");
+
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("tokra-e13-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  em::EmOptions mem_opts{.block_words = 256, .pool_frames = 64};
+  em::EmOptions file_opts{.block_words = 256,
+                          .pool_frames = 64,
+                          .backend = em::Backend::kFile,
+                          .path = (dir / "e13.blk").string()};
+  RunResult mem = RunWorkload(mem_opts);
+  RunResult file = RunWorkload(file_opts);
+
+  Header("E13a: I/O parity (n=2^15, B=256, 64 queries)",
+         {"backend", "build I/Os", "cold query I/Os", "warm query I/Os"});
+  Row({"mem", U(mem.build.TotalIos()), U(mem.cold.TotalIos()),
+       U(mem.warm.TotalIos())});
+  Row({"file", U(file.build.TotalIos()), U(file.cold.TotalIos()),
+       U(file.warm.TotalIos())});
+  TOKRA_CHECK(mem.build.TotalIos() == file.build.TotalIos());
+  TOKRA_CHECK(mem.cold.TotalIos() == file.cold.TotalIos());
+  TOKRA_CHECK(mem.warm.TotalIos() == file.warm.TotalIos());
+
+  Header("E13b: wall time per query (us, avg of 64)",
+         {"backend", "cold cache", "warm cache"});
+  Row({"mem", D(mem.cold_us / kQueries), D(mem.warm_us / kQueries)});
+  Row({"file", D(file.cold_us / kQueries), D(file.warm_us / kQueries)});
+
+  RecordIoStats("mem build", mem.build);
+  RecordIoStats("mem cold queries", mem.cold);
+  RecordIoStats("mem warm queries", mem.warm);
+  RecordIoStats("file build", file.build);
+  RecordIoStats("file cold queries", file.cold);
+  RecordIoStats("file warm queries", file.warm);
+
+  // E13c: checkpoint + reopen on the file backend; answers must match.
+  {
+    em::Pager pager(file_opts);
+    Rng rng(14);
+    auto built = core::TopkIndex::Build(&pager, RandomPoints(&rng, kN));
+    TOKRA_CHECK(built.ok());
+    auto probe = (*built)->TopK(1e5, 9e5, 100);
+    Must(probe.status());
+    em::IoStats before = pager.stats();
+    double ckpt_us = WallMicros([&] { Must((*built)->Checkpoint()); });
+    em::IoStats ckpt_io = pager.stats() - before;
+
+    auto reopened = em::Pager::Open(file_opts);
+    Must(reopened.status());
+    StatusOr<std::unique_ptr<core::TopkIndex>> opened =
+        Status::Internal("unset");
+    double open_us =
+        WallMicros([&] { opened = core::TopkIndex::Open(reopened->get()); });
+    Must(opened.status());
+    auto probe2 = (*opened)->TopK(1e5, 9e5, 100);
+    Must(probe2.status());
+    TOKRA_CHECK(*probe == *probe2);
+
+    Header("E13c: checkpoint / reopen (n=2^15)",
+           {"checkpoint I/Os", "checkpoint ms", "open ms"});
+    Row({U(ckpt_io.TotalIos()), D(ckpt_us / 1000.0), D(open_us / 1000.0)});
+    RecordIoStats("checkpoint", ckpt_io);
+  }
+
+  fs::remove_all(dir);
+  std::printf(
+      "\nShape check: E13a rows identical; E13b file-cold slowest; E13c "
+      "reopen answers matched.\n");
+  return 0;
+}

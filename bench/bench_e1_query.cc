@@ -29,6 +29,7 @@ int main() {
     }
     double avg = static_cast<double>(total) / probes;
     Row({U(n), U(Lg(n)), D(avg), D(avg / Lg(n))});
+    RecordIoStats("E1a n=" + U(n), pager.stats());
   }
 
   Header("E1b: query I/Os vs k (n=2^17, B=256)",
@@ -52,6 +53,7 @@ int main() {
       if (k == 1) base = avg;
       Row({U(k), D(static_cast<double>(k) / 256.0), D(avg), D(avg - base)});
     }
+    RecordIoStats("E1b total", pager.stats());
   }
   std::printf(
       "\nShape check: E1a column 4 roughly constant; E1b column 4 tracks "

@@ -46,6 +46,7 @@ int main() {
     double a = static_cast<double>(l4_ios) / (2 * rounds);
     double b = static_cast<double>(st_ios) / (2 * rounds);
     Row({U(n), U(LogB(64, n)), D(a), D(b), D(b / a)});
+    RecordIoStats("n=" + U(n), pager.stats());
   }
   std::printf(
       "\nShape check: the ratio grows with lg_B n (the baseline pays an "

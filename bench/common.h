@@ -7,10 +7,12 @@
 #ifndef TOKRA_BENCH_COMMON_H_
 #define TOKRA_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "em/pager.h"
@@ -69,6 +71,7 @@ struct JsonState {
   bool enabled = false;
   std::string name;
   std::vector<JsonTable> tables;
+  std::vector<std::pair<std::string, em::IoStats>> io_rows;
 };
 
 inline JsonState& State() {
@@ -109,10 +112,27 @@ inline void WriteJson() {
   std::string path = "BENCH_" + st.name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return;
+  // The recorded per-phase I/O counters become one more table, so the JSON
+  // trajectory tracks block transfers alongside the experiment's own rows.
+  std::vector<JsonTable> tables = st.tables;
+  if (!st.io_rows.empty()) {
+    JsonTable io{"io_stats",
+                 {"phase", "reads", "writes", "pool_hits", "pool_misses",
+                  "evictions", "total_ios"},
+                 {}};
+    for (const auto& [phase, s] : st.io_rows) {
+      io.rows.push_back({phase, std::to_string(s.reads),
+                         std::to_string(s.writes), std::to_string(s.pool_hits),
+                         std::to_string(s.pool_misses),
+                         std::to_string(s.evictions),
+                         std::to_string(s.TotalIos())});
+    }
+    tables.push_back(std::move(io));
+  }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
                JsonEscape(st.name).c_str());
-  for (std::size_t t = 0; t < st.tables.size(); ++t) {
-    const JsonTable& tab = st.tables[t];
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const JsonTable& tab = tables[t];
     std::fprintf(f, "%s\n    {\n      \"title\": \"%s\",\n      \"columns\": [",
                  t == 0 ? "" : ",", JsonEscape(tab.title).c_str());
     for (std::size_t i = 0; i < tab.cols.size(); ++i) {
@@ -167,6 +187,28 @@ inline void Row(const std::vector<std::string>& cells) {
   std::printf("\n");
   detail::JsonState& st = detail::State();
   if (st.enabled && !st.tables.empty()) st.tables.back().rows.push_back(cells);
+}
+
+/// Records one phase's aggregate I/O counters. Echoed to stdout and written
+/// to BENCH_<name>.json as an "io_stats" table, so the perf trajectory
+/// tracks block transfers per phase, not just wall time.
+inline void RecordIoStats(const std::string& phase, const em::IoStats& io) {
+  std::printf("[io] %s: %s evictions=%llu total=%llu\n", phase.c_str(),
+              io.ToString().c_str(),
+              static_cast<unsigned long long>(io.evictions),
+              static_cast<unsigned long long>(io.TotalIos()));
+  detail::JsonState& st = detail::State();
+  if (st.enabled) st.io_rows.emplace_back(phase, io);
+}
+
+/// Wall-clock microseconds of fn() — for experiments comparing real
+/// backends, where time is a metric alongside the model's I/O count.
+template <typename Fn>
+double WallMicros(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
 inline std::string D(double v, int prec = 2) {

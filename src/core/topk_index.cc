@@ -11,6 +11,13 @@
 namespace tokra::core {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Meta block layout.
+constexpr em::word_t kMetaMagic = 0x544F4B52544F504BULL;  // "TOKRTOPK"
+constexpr std::size_t kWMagic = 0;
+constexpr std::size_t kWUseLemma4 = 1;
+constexpr std::size_t kWPilotMeta = 2;
+constexpr std::size_t kWSelectorMeta = 3;
 }  // namespace
 
 StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Build(
@@ -55,6 +62,60 @@ StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Build(
   } else {
     idx->st12_ = std::make_unique<st12::ShengTaoSelector>(
         st12::ShengTaoSelector::Build(pager, points));
+  }
+  idx->meta_ = pager->Allocate();
+  idx->WriteMeta();
+  return idx;
+}
+
+void TopkIndex::WriteMeta() {
+  em::PageRef mp = pager_->Create(meta_);
+  mp.Set(kWMagic, kMetaMagic);
+  mp.Set(kWUseLemma4, use_lemma4_ ? 1 : 0);
+  mp.Set(kWPilotMeta, pilot_->meta_block());
+  mp.Set(kWSelectorMeta,
+         use_lemma4_ ? lemma4_->meta_block() : st12_->meta_block());
+}
+
+Status TopkIndex::Checkpoint(std::span<const std::uint64_t> extra_roots) {
+  // Component meta-block ids are stable across updates and rebuilds, but
+  // rewrite ours anyway: it is one pool write and guards against drift.
+  WriteMeta();
+  std::vector<std::uint64_t> roots;
+  roots.reserve(1 + extra_roots.size());
+  roots.push_back(meta_);
+  roots.insert(roots.end(), extra_roots.begin(), extra_roots.end());
+  return pager_->Checkpoint(roots);
+}
+
+StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Open(em::Pager* pager) {
+  if (pager->roots().empty()) {
+    return Status::FailedPrecondition("pager has no checkpoint roots");
+  }
+  em::BlockId meta = pager->roots()[0];
+  Options options;
+  auto idx = std::unique_ptr<TopkIndex>(new TopkIndex(pager, options));
+  idx->meta_ = meta;
+  em::BlockId pilot_meta, selector_meta;
+  {
+    em::PageRef mp = pager->Fetch(meta);
+    if (mp.Get(kWMagic) != kMetaMagic) {
+      return Status::FailedPrecondition("bad TopkIndex meta block");
+    }
+    idx->use_lemma4_ = mp.Get(kWUseLemma4) != 0;
+    pilot_meta = mp.Get(kWPilotMeta);
+    selector_meta = mp.Get(kWSelectorMeta);
+  }
+  idx->options_.selector = idx->use_lemma4_ ? Options::Selector::kLemma4
+                                            : Options::Selector::kSt12;
+  idx->pilot_ = std::make_unique<pilot::PilotPst>(
+      pilot::PilotPst::Open(pager, pilot_meta));
+  if (idx->use_lemma4_) {
+    idx->lemma4_ = std::make_unique<lemma4::Lemma4Selector>(
+        lemma4::Lemma4Selector::Open(pager, selector_meta));
+  } else {
+    idx->st12_ = std::make_unique<st12::ShengTaoSelector>(
+        st12::ShengTaoSelector::Open(pager, selector_meta));
   }
   return idx;
 }
@@ -154,6 +215,10 @@ void TopkIndex::DestroyAll() {
     lemma4_->DestroyAll();
   } else {
     st12_->DestroyAll();
+  }
+  if (meta_ != em::kNullBlock) {
+    pager_->Free(meta_);
+    meta_ = em::kNullBlock;
   }
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "em/pager.h"
@@ -69,6 +70,16 @@ class TopkIndex {
     return Build(pager, std::move(points), Options());
   }
 
+  /// Reopens the index recorded by the last Checkpoint() on `pager` (which
+  /// must come from em::Pager::Open): no rebuild, O(1) I/Os.
+  static StatusOr<std::unique_ptr<TopkIndex>> Open(em::Pager* pager);
+
+  /// Persists the index through the pager's superblock: flushes every dirty
+  /// block and records this index's meta block as root 0, followed by
+  /// `extra_roots` (caller-defined words, e.g. shard metadata). After a
+  /// restart, Open() on a reopened pager restores the exact structure.
+  Status Checkpoint(std::span<const std::uint64_t> extra_roots = {});
+
   std::uint64_t size() const { return pilot_->size(); }
   QueryPath SelectorKind() const {
     return use_lemma4_ ? QueryPath::kLemma4Threshold
@@ -99,8 +110,12 @@ class TopkIndex {
   /// k at or above this goes straight to the pilot PST (B lg n rule).
   std::uint64_t PilotCutoff() const;
 
+  /// (Re)writes the meta block linking the component structures.
+  void WriteMeta();
+
   em::Pager* pager_;
   Options options_;
+  em::BlockId meta_ = em::kNullBlock;
   bool use_lemma4_ = false;
   std::unique_ptr<pilot::PilotPst> pilot_;
   std::unique_ptr<st12::ShengTaoSelector> st12_;

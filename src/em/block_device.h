@@ -1,9 +1,13 @@
-// The simulated disk: an unbounded array of blocks of B words.
+// The block device: an unbounded array of blocks of B words, behind an
+// abstract interface so the same structures run on a volatile in-memory
+// simulation (tests, benches) or a durable file (services).
 
 #ifndef TOKRA_EM_BLOCK_DEVICE_H_
 #define TOKRA_EM_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "em/io_stats.h"
@@ -12,11 +16,13 @@
 
 namespace tokra::em {
 
-/// In-memory simulation of a block disk.
+/// Abstract block disk.
 ///
 /// Every Read/Write transfers exactly one block and increments the matching
 /// counter; these counters are the ground truth for all I/O measurements in
-/// the repository. The device grows on demand (the EM model's disk is
+/// the repository. Counting lives here, in the non-virtual public methods,
+/// so every backend reports identical counts for identical access sequences
+/// by construction. The device grows on demand (the EM model's disk is
 /// unbounded).
 class BlockDevice {
  public:
@@ -24,18 +30,20 @@ class BlockDevice {
       : block_words_(block_words) {
     TOKRA_CHECK(block_words >= 1);
   }
+  virtual ~BlockDevice() = default;
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
 
   std::uint32_t block_words() const { return block_words_; }
 
   /// Number of blocks the device currently backs.
-  BlockId NumBlocks() const { return storage_.size() / block_words_; }
+  virtual BlockId NumBlocks() const = 0;
 
   /// Reads block `id` into `dst` (must hold block_words() words). One I/O.
   void Read(BlockId id, word_t* dst) {
     TOKRA_CHECK(id < NumBlocks());
     ++reads_;
-    const word_t* src = &storage_[id * block_words_];
-    for (std::uint32_t i = 0; i < block_words_; ++i) dst[i] = src[i];
+    DoRead(id, dst);
   }
 
   /// Writes `src` (block_words() words) to block `id`, growing the device if
@@ -43,27 +51,105 @@ class BlockDevice {
   void Write(BlockId id, const word_t* src) {
     EnsureCapacity(id + 1);
     ++writes_;
-    word_t* dst = &storage_[id * block_words_];
-    for (std::uint32_t i = 0; i < block_words_; ++i) dst[i] = src[i];
+    DoWrite(id, src);
+  }
+
+  /// Reads `count` consecutive blocks starting at `first` into `dst` (which
+  /// must hold count * block_words() words). Counts `count` read I/Os — the
+  /// model charges per block — but backends may fuse the transfer (one
+  /// memcpy, one pread) for sequential-scan throughput.
+  void ReadRun(BlockId first, std::uint32_t count, word_t* dst) {
+    if (count == 0) return;
+    TOKRA_CHECK(first + count <= NumBlocks());
+    reads_ += count;
+    DoReadRun(first, count, dst);
+  }
+
+  /// Writes `count` consecutive blocks starting at `first`, growing the
+  /// device if needed. Counts `count` write I/Os.
+  void WriteRun(BlockId first, std::uint32_t count, const word_t* src) {
+    if (count == 0) return;
+    EnsureCapacity(first + count);
+    writes_ += count;
+    DoWriteRun(first, count, src);
   }
 
   /// Extends the device to back at least `blocks` blocks (zero-filled).
   /// Growing is free: it models formatting, not data transfer.
-  void EnsureCapacity(BlockId blocks) {
-    if (blocks * block_words_ > storage_.size()) {
-      storage_.resize(blocks * block_words_, 0);
-    }
-  }
+  virtual void EnsureCapacity(BlockId blocks) = 0;
+
+  /// Durability barrier: everything written before Sync() survives process
+  /// death on persistent backends. No-op on volatile ones.
+  virtual void Sync() {}
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
 
+ protected:
+  virtual void DoRead(BlockId id, word_t* dst) = 0;
+  virtual void DoWrite(BlockId id, const word_t* src) = 0;
+  virtual void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      DoRead(first + i, dst + std::size_t{i} * block_words_);
+    }
+  }
+  virtual void DoWriteRun(BlockId first, std::uint32_t count,
+                          const word_t* src) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      DoWrite(first + i, src + std::size_t{i} * block_words_);
+    }
+  }
+
  private:
   std::uint32_t block_words_;
-  std::vector<word_t> storage_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 };
+
+/// In-memory backend: the EM-model simulation the repository started with.
+/// Volatile and zero-setup — the default for tests and benches.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint32_t block_words)
+      : BlockDevice(block_words) {}
+
+  BlockId NumBlocks() const override { return storage_.size() / block_words(); }
+
+  void EnsureCapacity(BlockId blocks) override {
+    if (blocks * block_words() > storage_.size()) {
+      storage_.resize(blocks * block_words(), 0);
+    }
+  }
+
+ protected:
+  void DoRead(BlockId id, word_t* dst) override {
+    std::memcpy(dst, &storage_[id * block_words()], BytesPerBlock());
+  }
+  void DoWrite(BlockId id, const word_t* src) override {
+    std::memcpy(&storage_[id * block_words()], src, BytesPerBlock());
+  }
+  // Storage is contiguous, so a run is a single memcpy.
+  void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) override {
+    std::memcpy(dst, &storage_[first * block_words()], count * BytesPerBlock());
+  }
+  void DoWriteRun(BlockId first, std::uint32_t count,
+                  const word_t* src) override {
+    std::memcpy(&storage_[first * block_words()], src, count * BytesPerBlock());
+  }
+
+ private:
+  std::size_t BytesPerBlock() const {
+    return std::size_t{block_words()} * sizeof(word_t);
+  }
+
+  std::vector<word_t> storage_;
+};
+
+/// Creates the backend `options` describes. `truncate_file` makes a file
+/// backend start empty (fresh device) instead of opening existing contents;
+/// it is ignored by the memory backend. Defined in file_block_device.cc.
+std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
+                                             bool truncate_file);
 
 }  // namespace tokra::em
 

@@ -1,0 +1,71 @@
+// Durable file backend of the block device interface.
+
+#ifndef TOKRA_EM_FILE_BLOCK_DEVICE_H_
+#define TOKRA_EM_FILE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "em/block_device.h"
+
+namespace tokra::em {
+
+/// pread/pwrite-backed block device on a regular file.
+///
+/// Block `id` occupies bytes [id * Bb, (id+1) * Bb) of the file, where
+/// Bb = block_words * sizeof(word_t), so the on-disk image is position-
+/// independent and a workload replayed against MemBlockDevice produces a
+/// word-identical layout. Growth is ftruncate — sparse and free, matching
+/// the model's zero-cost formatting. Runs are fused into single syscalls.
+///
+/// Sync() is fsync when `durable_sync` is set, else a no-op (data still
+/// reaches the file through the OS page cache on clean process exit).
+///
+/// Reads and writes use explicit offsets on one fd, so concurrent access to
+/// *distinct* blocks is safe; callers serialize per-block access (the buffer
+/// pool already does).
+class FileBlockDevice final : public BlockDevice {
+ public:
+  struct FileOptions {
+    std::string path;
+    bool truncate = true;       ///< discard any existing contents
+    bool durable_sync = false;  ///< fsync on Sync()
+  };
+
+  /// Opens (creating if needed) the backing file. CHECK-fails on I/O
+  /// errors — storage failures at this layer have no recovery story, like
+  /// the rest of em::. A size that is not a whole number of blocks is
+  /// floored; the pager's superblock validation turns the mismatch into a
+  /// proper error.
+  FileBlockDevice(std::uint32_t block_words, FileOptions options);
+  ~FileBlockDevice() override;
+
+  BlockId NumBlocks() const override { return num_blocks_; }
+  void EnsureCapacity(BlockId blocks) override;
+  void Sync() override;
+
+  const std::string& path() const { return path_; }
+
+ protected:
+  void DoRead(BlockId id, word_t* dst) override;
+  void DoWrite(BlockId id, const word_t* src) override;
+  void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) override;
+  void DoWriteRun(BlockId first, std::uint32_t count,
+                  const word_t* src) override;
+
+ private:
+  std::uint64_t BlockBytes() const {
+    return std::uint64_t{block_words()} * sizeof(word_t);
+  }
+  void PreadFull(std::uint64_t offset, void* buf, std::size_t len);
+  void PwriteFull(std::uint64_t offset, const void* buf, std::size_t len);
+
+  std::string path_;
+  int fd_ = -1;
+  bool durable_sync_ = false;
+  BlockId num_blocks_ = 0;
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_EM_FILE_BLOCK_DEVICE_H_

@@ -4,6 +4,7 @@
 #define TOKRA_EM_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "util/check.h"
 
@@ -19,6 +20,12 @@ using BlockId = std::uint64_t;
 /// Sentinel for "no block".
 inline constexpr BlockId kNullBlock = ~BlockId{0};
 
+/// Storage backend behind a pager's block device.
+enum class Backend {
+  kMem,   ///< in-memory simulation (volatile; the original seed behaviour)
+  kFile,  ///< pread/pwrite on a regular file (durable across restarts)
+};
+
 /// Aggarwal-Vitter model parameters: a memory of `M` words and a disk of
 /// blocks of `B` words. The model requires M = Omega(B); the pool keeps
 /// M/B frames.
@@ -29,9 +36,20 @@ struct EmOptions {
   /// M/B: number of block frames the buffer pool may hold in memory.
   std::uint32_t pool_frames = 16;
 
+  /// Which device implementation backs the pager.
+  Backend backend = Backend::kMem;
+
+  /// Backing file for Backend::kFile (required for that backend).
+  std::string path;
+
+  /// File backend: make Sync() an fsync, so checkpoints survive power loss
+  /// rather than just process exit. Costly; off by default.
+  bool durable_sync = false;
+
   void Validate() const {
     TOKRA_CHECK(block_words >= 8);
     TOKRA_CHECK(pool_frames >= 4);
+    TOKRA_CHECK(backend == Backend::kMem || !path.empty());
   }
 };
 

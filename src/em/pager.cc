@@ -1,0 +1,206 @@
+#include "em/pager.h"
+
+#include <filesystem>
+
+#include "util/bits.h"
+
+namespace tokra::em {
+namespace {
+
+// Superblock word layout. Roots follow the header; the free list follows
+// the roots, spilling into whole blocks claimed from the allocator when it
+// outgrows the superblock (the region is reserved — recorded in the
+// superblock and returned to the free list only when the *next* checkpoint
+// supersedes it — so post-checkpoint allocations can never overwrite the
+// spill a recovery would read).
+//
+// Two superblock slots (blocks 0 and 1) alternate by epoch, and each slot
+// carries a checksum: a crash mid-checkpoint — even a torn superblock
+// write — leaves the previous slot intact, so Open() always recovers the
+// newest *complete* checkpoint.
+constexpr word_t kSuperMagic = 0x544F4B5241504752ULL;  // "TOKRAPGR"
+constexpr word_t kSuperVersion = 2;
+constexpr std::size_t kWMagic = 0;
+constexpr std::size_t kWVersion = 1;
+constexpr std::size_t kWBlockWords = 2;
+constexpr std::size_t kWNextBlock = 3;
+constexpr std::size_t kWBlocksInUse = 4;
+constexpr std::size_t kWRootCount = 5;
+constexpr std::size_t kWFreeCount = 6;
+constexpr std::size_t kWSpillBlocks = 7;
+constexpr std::size_t kWSpillStart = 8;
+constexpr std::size_t kWEpoch = 9;
+constexpr std::size_t kWChecksum = 10;
+
+/// Mixes all superblock words except the checksum slot itself.
+word_t SuperChecksum(std::span<const word_t> words) {
+  word_t h = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i == kWChecksum) continue;
+    h ^= words[i];
+    h *= 0x2545F4914F6CDD1DULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+Pager::Pager(const EmOptions& options)
+    : Pager(options, MakeBlockDevice(options, /*truncate_file=*/true)) {
+  device_->EnsureCapacity(kReservedBlocks);  // the two superblock slots
+}
+
+Pager::Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device)
+    : options_(options),
+      device_(std::move(device)),
+      pool_(device_.get(), options.pool_frames) {
+  options.Validate();
+}
+
+Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
+  const std::uint32_t b = B();
+  if (b < kSuperHeaderWords ||
+      roots.size() > b - kSuperHeaderWords) {
+    return Status::InvalidArgument("root directory exceeds superblock");
+  }
+  pool_.FlushAll();
+
+  // The previous checkpoint's spill region becomes free the moment this
+  // checkpoint supersedes it; until then its blocks stayed reserved, so no
+  // post-checkpoint allocation could have overwritten data a recovery of
+  // the previous checkpoint would read.
+  for (std::uint32_t i = 0; i < spill_count_; ++i) {
+    free_list_.push_back(spill_start_ + i);
+  }
+  spill_count_ = 0;
+
+  std::vector<word_t> super(b, 0);
+  super[kWMagic] = kSuperMagic;
+  super[kWVersion] = kSuperVersion;
+  super[kWBlockWords] = b;
+  super[kWBlocksInUse] = blocks_in_use_;
+  super[kWRootCount] = roots.size();
+  super[kWFreeCount] = free_list_.size();
+  std::size_t w = kSuperHeaderWords;
+  for (std::uint64_t r : roots) super[w++] = r;
+
+  const std::size_t inline_cap = b - w;
+  const std::size_t n_inline = std::min(free_list_.size(), inline_cap);
+  for (std::size_t i = 0; i < n_inline; ++i) super[w++] = free_list_[i];
+
+  const std::size_t spill = free_list_.size() - n_inline;
+  const std::uint32_t spill_blocks =
+      static_cast<std::uint32_t>(CeilDiv(spill, std::size_t{b}));
+  if (spill_blocks > 0) {
+    // Claim a fresh reserved region at the high-water mark; it is excluded
+    // from blocks_in_use_ (pager-internal, not application space).
+    spill_start_ = next_block_;
+    spill_count_ = spill_blocks;
+    next_block_ += spill_blocks;
+    std::vector<word_t> buf(std::size_t{spill_blocks} * b, 0);
+    for (std::size_t i = 0; i < spill; ++i) buf[i] = free_list_[n_inline + i];
+    device_->WriteRun(spill_start_, spill_blocks, buf.data());
+  }
+  super[kWNextBlock] = next_block_;
+  super[kWSpillBlocks] = spill_blocks;
+  super[kWSpillStart] = spill_start_;
+  super[kWEpoch] = epoch_ + 1;
+  super[kWChecksum] = SuperChecksum(super);
+
+  // Barrier, superblock to the alternate slot, barrier: data and spill are
+  // durable before a superblock references them, and a torn superblock
+  // write invalidates only the new slot (bad checksum), never the old one.
+  device_->Sync();
+  device_->Write((epoch_ + 1) % kReservedBlocks, super.data());
+  device_->Sync();
+  ++epoch_;
+  roots_.assign(roots.begin(), roots.end());
+  return Status::Ok();
+}
+
+Status Pager::LoadSuperblock() {
+  const std::uint32_t b = B();
+  if (b < kSuperHeaderWords) {
+    return Status::FailedPrecondition("block too small for a superblock");
+  }
+  if (device_->NumBlocks() < 1) {
+    return Status::FailedPrecondition("device has no superblock");
+  }
+  // Read both slots; take the valid one with the highest epoch (a crash
+  // mid-checkpoint leaves at most the newest slot invalid).
+  std::vector<word_t> super;
+  word_t best_epoch = 0;
+  bool found = false;
+  for (BlockId slot = 0; slot < kReservedBlocks && slot < device_->NumBlocks();
+       ++slot) {
+    std::vector<word_t> cand(b, 0);
+    device_->Read(slot, cand.data());
+    if (cand[kWMagic] != kSuperMagic || cand[kWVersion] != kSuperVersion ||
+        cand[kWChecksum] != SuperChecksum(cand)) {
+      continue;
+    }
+    if (!found || cand[kWEpoch] > best_epoch) {
+      best_epoch = cand[kWEpoch];
+      super = std::move(cand);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no valid superblock (never checkpointed, or corrupt)");
+  }
+  if (super[kWBlockWords] != b) {
+    return Status::FailedPrecondition("block_words mismatch with checkpoint");
+  }
+  next_block_ = super[kWNextBlock];
+  blocks_in_use_ = super[kWBlocksInUse];
+  epoch_ = best_epoch;
+  const std::size_t root_count = super[kWRootCount];
+  const std::size_t free_count = super[kWFreeCount];
+  const std::uint32_t spill_blocks =
+      static_cast<std::uint32_t>(super[kWSpillBlocks]);
+  spill_start_ = super[kWSpillStart];
+  spill_count_ = spill_blocks;
+  if (root_count > b - kSuperHeaderWords) {
+    return Status::FailedPrecondition("corrupt superblock root count");
+  }
+  std::size_t w = kSuperHeaderWords;
+  roots_.assign(super.begin() + w, super.begin() + w + root_count);
+  w += root_count;
+
+  free_list_.clear();
+  free_list_.reserve(free_count);
+  const std::size_t n_inline = std::min(free_count, std::size_t{b} - w);
+  for (std::size_t i = 0; i < n_inline; ++i) free_list_.push_back(super[w++]);
+  const std::size_t spill = free_count - n_inline;
+  if (CeilDiv(spill, std::size_t{b}) != spill_blocks) {
+    return Status::FailedPrecondition("corrupt superblock free list");
+  }
+  if (spill_blocks > 0) {
+    if (spill_start_ + spill_blocks > device_->NumBlocks()) {
+      return Status::FailedPrecondition("truncated free-list spill");
+    }
+    std::vector<word_t> buf(std::size_t{spill_blocks} * b, 0);
+    device_->ReadRun(spill_start_, spill_blocks, buf.data());
+    for (std::size_t i = 0; i < spill; ++i) free_list_.push_back(buf[i]);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Pager>> Pager::Open(const EmOptions& options) {
+  options.Validate();
+  if (options.backend != Backend::kFile) {
+    return Status::InvalidArgument("Open requires the file backend");
+  }
+  if (!std::filesystem::exists(options.path)) {
+    return Status::NotFound("no such device file: " + options.path);
+  }
+  auto device = MakeBlockDevice(options, /*truncate_file=*/false);
+  auto pager =
+      std::unique_ptr<Pager>(new Pager(options, std::move(device)));
+  TOKRA_RETURN_IF_ERROR(pager->LoadSuperblock());
+  return pager;
+}
+
+}  // namespace tokra::em

@@ -2,6 +2,16 @@
 //
 // Every persistent byte of every structure in this library lives in pager
 // blocks; the pager is the single chokepoint through which all I/O flows.
+//
+// Persistence: blocks 0 and 1 of every device are reserved as two
+// alternating superblock slots. Checkpoint() flushes the pool and
+// serializes the allocator state (next block, free list, blocks-in-use)
+// plus an application root directory into the next slot (epoch + checksum
+// make the checkpoint write itself atomic); Open() restores the newest
+// complete checkpoint, so a structure whose meta-block id is recorded as a
+// root survives process restarts without rebuilding. See Checkpoint() for
+// the precise crash contract — updates between checkpoints are not yet
+// crash-protected (no WAL).
 
 #ifndef TOKRA_EM_PAGER_H_
 #define TOKRA_EM_PAGER_H_
@@ -17,6 +27,7 @@
 #include "em/io_stats.h"
 #include "em/options.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace tokra::em {
 
@@ -90,16 +101,20 @@ class PageRef {
 /// Owns the device + pool; allocates and frees blocks; hands out pins.
 class Pager {
  public:
-  explicit Pager(const EmOptions& options)
-      : options_(options),
-        device_(options.block_words),
-        pool_(&device_, options.pool_frames) {
-    options.Validate();
-  }
+  /// A fresh pager on a fresh device (a file backend truncates any existing
+  /// contents). Blocks 0 and 1 are reserved as superblock slots; allocation
+  /// starts at block 2.
+  explicit Pager(const EmOptions& options);
+
+  /// Reopens a checkpointed device, restoring the allocator state and root
+  /// directory recorded by the last Checkpoint(). File backend only (a
+  /// fresh memory device has nothing to reopen).
+  static StatusOr<std::unique_ptr<Pager>> Open(const EmOptions& options);
 
   /// B, in words.
   std::uint32_t B() const { return options_.block_words; }
   const EmOptions& options() const { return options_; }
+  BlockDevice* device() { return device_.get(); }
 
   /// Allocates a zeroed block. Allocation bookkeeping is O(1) metadata and
   /// costs no I/O; the block's first materialization to disk is charged when
@@ -111,7 +126,7 @@ class Pager {
       free_list_.pop_back();
     } else {
       id = next_block_++;
-      device_.EnsureCapacity(next_block_);
+      device_->EnsureCapacity(next_block_);
     }
     ++blocks_in_use_;
     return id;
@@ -137,14 +152,33 @@ class Pager {
     return PageRef(&pool_, pool_.Pin(id, BufferPool::PinMode::kCreate));
   }
 
+  /// Flushes the pool and serializes allocator state plus `roots` — an
+  /// application-defined directory of up to B - kSuperHeaderWords words,
+  /// typically structure meta-block ids — into the next superblock slot,
+  /// with durability barriers on either side.
+  ///
+  /// Guarantee: Open() restores the state as of the last *completed*
+  /// checkpoint. The checkpoint write sequence itself is atomic — a torn or
+  /// interrupted superblock write is detected by checksum and falls back to
+  /// the previous slot, and free-list spill blocks stay reserved until the
+  /// next checkpoint supersedes them — so checkpoint-then-exit is always
+  /// recoverable. Updates *between* checkpoints, however, mutate blocks in
+  /// place; a crash after such updates leaves the device a mix of old and
+  /// new block contents, and recovery of the previous checkpoint is not
+  /// guaranteed (a WAL is the roadmap follow-on closing that window).
+  Status Checkpoint(std::span<const std::uint64_t> roots);
+
+  /// Root directory recorded by the last Checkpoint() or restored by Open().
+  const std::vector<std::uint64_t>& roots() const { return roots_; }
+
   /// Space usage in blocks — the paper's space metric.
   std::uint64_t BlocksInUse() const { return blocks_in_use_; }
 
   /// Combined device + pool counters.
   IoStats stats() const {
     IoStats s = pool_.stats();
-    s.reads = device_.reads();
-    s.writes = device_.writes();
+    s.reads = device_->reads();
+    s.writes = device_->writes();
     return s;
   }
 
@@ -153,13 +187,32 @@ class Pager {
   /// Flushes and empties the pool: the next pins all miss (cold cache).
   void DropCache() { pool_.DropAll(); }
 
+  /// Fixed words at the head of the superblock, preceding roots and the
+  /// inline free list.
+  static constexpr std::uint32_t kSuperHeaderWords = 12;
+
+  /// Blocks reserved at the front of every device (the superblock slots).
+  static constexpr BlockId kReservedBlocks = 2;
+
  private:
+  Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device);
+
+  /// Restores allocator state + roots from the superblock. Non-OK on a
+  /// device that was never checkpointed or disagrees with `options_`.
+  Status LoadSuperblock();
+
   EmOptions options_;
-  BlockDevice device_;
+  std::unique_ptr<BlockDevice> device_;
   BufferPool pool_;
   std::vector<BlockId> free_list_;
-  BlockId next_block_ = 0;
+  BlockId next_block_ = kReservedBlocks;
   std::uint64_t blocks_in_use_ = 0;
+  std::vector<std::uint64_t> roots_;
+  // Last checkpoint's free-list spill region: reserved (excluded from both
+  // allocation and blocks_in_use_) until the next checkpoint reclaims it.
+  BlockId spill_start_ = 0;
+  std::uint32_t spill_count_ = 0;
+  std::uint64_t epoch_ = 0;  // checkpoint counter; parity picks the slot
 };
 
 inline std::size_t PageRef::WordsPerBlock() const {

@@ -4,6 +4,7 @@
 #define TOKRA_ENGINE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/topk_index.h"
 #include "em/options.h"
@@ -28,6 +29,22 @@ struct EngineOptions {
   /// EM model parameters for each shard's private pager.
   em::EmOptions em;
 
+  /// When non-empty, every shard runs on its own backing file
+  /// `<storage_dir>/shard-<i>.tokra` (em.backend is forced to kFile), which
+  /// makes Checkpoint()/Recover() available: the whole engine persists
+  /// across process restarts. The directory must already exist.
+  std::string storage_dir;
+
+  /// `em` specialized for shard `i`: the per-shard backing file applied.
+  em::EmOptions ShardEm(std::uint32_t shard) const {
+    em::EmOptions o = em;
+    if (!storage_dir.empty()) {
+      o.backend = em::Backend::kFile;
+      o.path = storage_dir + "/shard-" + std::to_string(shard) + ".tokra";
+    }
+    return o;
+  }
+
   /// Forwarded to every shard's TopkIndex.
   core::TopkIndex::Options index;
 
@@ -43,7 +60,10 @@ struct EngineOptions {
     TOKRA_CHECK(num_shards >= 1);
     TOKRA_CHECK(threads >= 1);
     TOKRA_CHECK(rebalance_skew > 1.0);
-    em.Validate();
+    // A file backend must come with a storage_dir: a single shared em.path
+    // would have every shard truncate and overwrite the same file.
+    TOKRA_CHECK(em.backend != em::Backend::kFile || !storage_dir.empty());
+    ShardEm(0).Validate();
   }
 };
 

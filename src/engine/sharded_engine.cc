@@ -1,6 +1,7 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <limits>
 #include <utility>
@@ -66,7 +67,7 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
   std::vector<std::unique_ptr<Shard>> fresh;
   fresh.reserve(s);
   for (std::uint32_t i = 0; i < s; ++i) {
-    auto shard = std::make_unique<Shard>(options_.em);
+    auto shard = std::make_unique<Shard>(options_.ShardEm(i));
     shard->approx_size.store(chunks[i].size(), std::memory_order_relaxed);
     auto idx = core::TopkIndex::Build(shard->pager.get(),
                                       std::move(chunks[i]), options_.index);
@@ -271,6 +272,78 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
     });
   }
   pool_.RunAll(std::move(query_tasks));
+}
+
+Status ShardedTopkEngine::Checkpoint() {
+  std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  if (options_.storage_dir.empty()) {
+    return Status::FailedPrecondition("engine has no storage_dir");
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Root 0 is the index meta (written by TopkIndex::Checkpoint); root 1
+    // carries this shard's lower bound so Recover restores the partition;
+    // root 2 records the shard count so Recover rejects a topology
+    // mismatch instead of silently dropping key ranges.
+    const std::uint64_t extra[2] = {
+        std::bit_cast<std::uint64_t>(lower_bounds_[i]),
+        options_.num_shards};
+    TOKRA_RETURN_IF_ERROR(shards_[i]->index->Checkpoint(extra));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
+    EngineOptions options) {
+  options.Validate();
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument("Recover requires a storage_dir");
+  }
+  auto engine =
+      std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<double> bounds;
+  shards.reserve(options.num_shards);
+  bounds.reserve(options.num_shards);
+  for (std::uint32_t i = 0; i < options.num_shards; ++i) {
+    TOKRA_ASSIGN_OR_RETURN(auto pager, em::Pager::Open(options.ShardEm(i)));
+    if (pager->roots().size() < 3) {
+      return Status::FailedPrecondition("shard checkpoint missing roots");
+    }
+    if (pager->roots()[2] != options.num_shards) {
+      return Status::FailedPrecondition(
+          "num_shards mismatch with checkpoint (have " +
+          std::to_string(options.num_shards) + ", checkpointed " +
+          std::to_string(pager->roots()[2]) + ")");
+    }
+    bounds.push_back(std::bit_cast<double>(pager->roots()[1]));
+    auto shard = std::make_unique<Shard>();
+    shard->pager = std::move(pager);
+    TOKRA_ASSIGN_OR_RETURN(shard->index,
+                           core::TopkIndex::Open(shard->pager.get()));
+    const std::uint64_t n = shard->index->size();
+    shard->approx_size.store(n, std::memory_order_relaxed);
+    if (n > 0) {
+      // One O(n_i/B) scan refills the exact-membership registry.
+      auto r = shard->index->TopK(-kInf, kInf, n);
+      if (!r.ok()) return r.status();
+      if (r->size() != n) {
+        return Status::Internal("recovered shard lost points");
+      }
+      for (const Point& p : *r) {
+        if (!engine->by_x_.emplace(p.x, p.score).second ||
+            !engine->scores_.insert(p.score).second) {
+          return Status::Internal("recovered shards overlap");
+        }
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  if (bounds[0] != -kInf || !std::is_sorted(bounds.begin(), bounds.end())) {
+    return Status::FailedPrecondition("recovered shard bounds are not a partition");
+  }
+  engine->shards_ = std::move(shards);
+  engine->lower_bounds_ = std::move(bounds);
+  return engine;
 }
 
 Status ShardedTopkEngine::Rebalance() {

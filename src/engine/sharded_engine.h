@@ -76,6 +76,26 @@ class ShardedTopkEngine {
   static StatusOr<std::unique_ptr<ShardedTopkEngine>> Build(
       std::vector<Point> points, EngineOptions options);
 
+  /// Reopens an engine persisted by Checkpoint(): every shard's pager is
+  /// restored from its backing file (options.storage_dir), the shard
+  /// boundaries come from the checkpoint roots, and the exact-membership
+  /// registry is rebuilt with one O(n_i/B) scan per shard — no index
+  /// rebuild. `options` must match the checkpointed topology (same
+  /// num_shards, same em geometry).
+  static StatusOr<std::unique_ptr<ShardedTopkEngine>> Recover(
+      EngineOptions options);
+
+  /// Persists every shard: flushes dirty blocks and records each shard's
+  /// index meta + lower bound in its pager superblock. Exclusive (waits for
+  /// in-flight operations); kFailedPrecondition without a storage_dir.
+  /// Recover() restores the last completed checkpoint; it is guaranteed
+  /// recoverable after checkpoint-then-exit (clean shutdown) or a crash
+  /// during the checkpoint itself. Updates applied between checkpoints
+  /// mutate shard blocks in place, so a crash after them can leave shards
+  /// unrecoverable to the earlier checkpoint — the WAL follow-on in
+  /// ROADMAP.md closes that window.
+  Status Checkpoint();
+
   // All public methods below are thread-safe.
 
   /// Inserts p. kAlreadyExists on duplicate x or score (checked globally).
@@ -127,6 +147,7 @@ class ShardedTopkEngine {
 
  private:
   struct Shard {
+    Shard() = default;  // Recover fills pager/index from the checkpoint
     explicit Shard(const em::EmOptions& em)
         : pager(std::make_unique<em::Pager>(em)) {}
     std::unique_ptr<em::Pager> pager;

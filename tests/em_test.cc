@@ -1,17 +1,39 @@
 // Unit tests for the external-memory substrate: device, pool, pager, arrays.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "em/block_device.h"
 #include "em/buffer_pool.h"
+#include "em/file_block_device.h"
 #include "em/paged_array.h"
 #include "em/pager.h"
 
 namespace tokra::em {
 namespace {
 
+/// A unique temp-file path for one test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("tokra-em-" + tag + "-" + std::to_string(::getpid()) + ".blk"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 TEST(BlockDeviceTest, RoundTripCountsIos) {
-  BlockDevice dev(8);
+  MemBlockDevice dev(8);
   std::vector<word_t> buf(8, 0);
   for (int i = 0; i < 8; ++i) buf[i] = 100 + i;
   dev.Write(3, buf.data());
@@ -25,7 +47,7 @@ TEST(BlockDeviceTest, RoundTripCountsIos) {
 }
 
 TEST(BufferPoolTest, HitsAreFree) {
-  BlockDevice dev(8);
+  MemBlockDevice dev(8);
   dev.EnsureCapacity(10);
   BufferPool pool(&dev, 4);
   std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
@@ -39,7 +61,7 @@ TEST(BufferPoolTest, HitsAreFree) {
 }
 
 TEST(BufferPoolTest, LruEvictionWritesBackDirty) {
-  BlockDevice dev(8);
+  MemBlockDevice dev(8);
   dev.EnsureCapacity(10);
   BufferPool pool(&dev, 2);
   // Dirty block 0.
@@ -56,8 +78,69 @@ TEST(BufferPoolTest, LruEvictionWritesBackDirty) {
   pool.Unpin(fr, false);
 }
 
+TEST(BlockDeviceTest, RunTransfersCountPerBlock) {
+  MemBlockDevice dev(8);
+  std::vector<word_t> buf(3 * 8);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i;
+  dev.WriteRun(2, 3, buf.data());
+  EXPECT_EQ(dev.writes(), 3u);  // one I/O per block even when fused
+  EXPECT_EQ(dev.NumBlocks(), 5u);
+
+  std::vector<word_t> got(3 * 8, 0);
+  dev.ReadRun(2, 3, got.data());
+  EXPECT_EQ(dev.reads(), 3u);
+  EXPECT_EQ(got, buf);
+  dev.ReadRun(2, 0, got.data());  // empty run: no I/O
+  EXPECT_EQ(dev.reads(), 3u);
+}
+
+TEST(FileBlockDeviceTest, RoundTripAndReopen) {
+  TempFile tmp("roundtrip");
+  std::vector<word_t> buf(8);
+  for (int i = 0; i < 8; ++i) buf[i] = 100 + i;
+  {
+    FileBlockDevice dev(8, {.path = tmp.path(), .truncate = true});
+    dev.Write(3, buf.data());
+    EXPECT_EQ(dev.writes(), 1u);
+    EXPECT_EQ(dev.NumBlocks(), 4u);
+    std::vector<word_t> got(8, 0);
+    dev.Read(3, got.data());
+    EXPECT_EQ(got, buf);
+    dev.Sync();
+  }
+  // Contents survive the device object (and would survive the process).
+  {
+    FileBlockDevice dev(8, {.path = tmp.path(), .truncate = false});
+    EXPECT_EQ(dev.NumBlocks(), 4u);
+    std::vector<word_t> got(8, 0);
+    dev.Read(3, got.data());
+    EXPECT_EQ(got, buf);
+    dev.Read(0, got.data());  // untouched blocks read back zero-filled
+    EXPECT_EQ(got, std::vector<word_t>(8, 0));
+  }
+  // Truncate starts fresh.
+  {
+    FileBlockDevice dev(8, {.path = tmp.path(), .truncate = true});
+    EXPECT_EQ(dev.NumBlocks(), 0u);
+  }
+}
+
+TEST(FileBlockDeviceTest, RunTransfers) {
+  TempFile tmp("runs");
+  FileBlockDevice dev(8, {.path = tmp.path(), .truncate = true});
+  std::vector<word_t> buf(4 * 8);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = 7 * i + 1;
+  dev.WriteRun(1, 4, buf.data());
+  EXPECT_EQ(dev.writes(), 4u);
+  EXPECT_EQ(dev.NumBlocks(), 5u);
+  std::vector<word_t> got(4 * 8, 0);
+  dev.ReadRun(1, 4, got.data());
+  EXPECT_EQ(dev.reads(), 4u);
+  EXPECT_EQ(got, buf);
+}
+
 TEST(BufferPoolTest, CreateModeSkipsRead) {
-  BlockDevice dev(8);
+  MemBlockDevice dev(8);
   dev.EnsureCapacity(4);
   BufferPool pool(&dev, 2);
   std::uint32_t fr = pool.Pin(1, BufferPool::PinMode::kCreate);
@@ -66,10 +149,109 @@ TEST(BufferPoolTest, CreateModeSkipsRead) {
   pool.Unpin(fr, true);
 }
 
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  MemBlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 3);
+  pool.Unpin(pool.Pin(0, BufferPool::PinMode::kRead), false);
+  pool.Unpin(pool.Pin(1, BufferPool::PinMode::kRead), false);
+  pool.Unpin(pool.Pin(2, BufferPool::PinMode::kRead), false);
+  // Touch 0 so 1 becomes the LRU, then overflow with 3.
+  pool.Unpin(pool.Pin(0, BufferPool::PinMode::kRead), false);
+  pool.Unpin(pool.Pin(3, BufferPool::PinMode::kRead), false);
+  std::uint64_t reads = dev.reads();
+  // 0 and 2 survived the eviction ...
+  pool.Unpin(pool.Pin(0, BufferPool::PinMode::kRead), false);
+  pool.Unpin(pool.Pin(2, BufferPool::PinMode::kRead), false);
+  EXPECT_EQ(dev.reads(), reads);
+  // ... and 1 (the LRU) did not.
+  pool.Unpin(pool.Pin(1, BufferPool::PinMode::kRead), false);
+  EXPECT_EQ(dev.reads(), reads + 1);
+}
+
+TEST(BufferPoolTest, EvictionWriteBackIoCounts) {
+  MemBlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 2);
+  // One dirty frame, one clean frame.
+  std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.FrameData(fr)[0] = 1;
+  pool.Unpin(fr, true);
+  pool.Unpin(pool.Pin(1, BufferPool::PinMode::kRead), false);
+  EXPECT_EQ(dev.writes(), 0u);  // nothing written while cached
+  // Evicting the dirty LRU costs exactly one write; evicting the clean one
+  // costs none.
+  pool.Unpin(pool.Pin(2, BufferPool::PinMode::kRead), false);  // evicts 0
+  EXPECT_EQ(dev.writes(), 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  pool.Unpin(pool.Pin(3, BufferPool::PinMode::kRead), false);  // evicts 1
+  EXPECT_EQ(dev.writes(), 1u);
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  EXPECT_EQ(pool.stats().writes, 1u);
+  EXPECT_EQ(dev.reads(), 4u);
+  EXPECT_EQ(pool.stats().reads, 4u);
+}
+
+TEST(BufferPoolTest, PinnedFramesAreNeverEvicted) {
+  MemBlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 2);
+  std::uint32_t pinned = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.FrameData(pinned)[0] = 42;
+  // Cycle many other blocks through the remaining frame; the pinned frame
+  // must survive untouched.
+  for (BlockId id = 1; id < 8; ++id) {
+    pool.Unpin(pool.Pin(id, BufferPool::PinMode::kRead), false);
+  }
+  EXPECT_EQ(pool.FrameBlock(pinned), 0u);
+  EXPECT_EQ(pool.FrameData(pinned)[0], 42u);
+  std::uint64_t reads = dev.reads();
+  std::uint32_t again = pool.Pin(0, BufferPool::PinMode::kRead);
+  EXPECT_EQ(again, pinned);          // served from the pinned frame
+  EXPECT_EQ(dev.reads(), reads);     // no device read
+  pool.Unpin(again, false);
+  pool.Unpin(pinned, false);
+}
+
+TEST(BufferPoolTest, FlushAllKeepsCacheWarm) {
+  MemBlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 4);
+  std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.FrameData(fr)[0] = 9;
+  pool.Unpin(fr, true);
+  pool.FlushAll();
+  EXPECT_EQ(dev.writes(), 1u);
+  pool.FlushAll();  // now clean: second flush writes nothing
+  EXPECT_EQ(dev.writes(), 1u);
+  // The frame stayed cached: re-pin is a hit.
+  std::uint64_t reads = dev.reads();
+  pool.Unpin(pool.Pin(0, BufferPool::PinMode::kRead), false);
+  EXPECT_EQ(dev.reads(), reads);
+}
+
+TEST(BufferPoolTest, DropAllGoesCold) {
+  MemBlockDevice dev(8);
+  dev.EnsureCapacity(10);
+  BufferPool pool(&dev, 4);
+  std::uint32_t fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  pool.FrameData(fr)[0] = 5;
+  pool.Unpin(fr, true);
+  pool.DropAll();
+  EXPECT_EQ(dev.writes(), 1u);  // dirty data flushed, not lost
+  // Cache is empty: the next pin misses and re-reads the flushed value.
+  std::uint64_t reads = dev.reads();
+  fr = pool.Pin(0, BufferPool::PinMode::kRead);
+  EXPECT_EQ(dev.reads(), reads + 1);
+  EXPECT_EQ(pool.FrameData(fr)[0], 5u);
+  pool.Unpin(fr, false);
+}
+
 TEST(PagerTest, AllocateFreeReuse) {
   Pager pager(EmOptions{.block_words = 16, .pool_frames = 4});
   BlockId a = pager.Allocate();
   BlockId b = pager.Allocate();
+  EXPECT_NE(a, 0u);  // block 0 is the reserved superblock
   EXPECT_NE(a, b);
   EXPECT_EQ(pager.BlocksInUse(), 2u);
   pager.Free(a);

@@ -1,0 +1,428 @@
+// Persistence tests: pager superblock round trips, TopkIndex
+// checkpoint/reopen fidelity on the file backend, mem-vs-file I/O-count
+// parity, and full sharded-engine recovery.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/topk_index.h"
+#include "em/file_block_device.h"
+#include "em/pager.h"
+#include "engine/sharded_engine.h"
+#include "util/point.h"
+#include "util/random.h"
+
+namespace tokra {
+namespace {
+
+namespace fs = std::filesystem;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A unique temp directory for one test; removed recursively on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("tokra-persist-" + tag + "-" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<Point> MakePoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, 1e6);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+struct Query {
+  double x1, x2;
+  std::uint64_t k;
+};
+
+std::vector<Query> MakeQueries(Rng* rng, std::size_t count) {
+  std::vector<Query> qs(count);
+  for (auto& q : qs) {
+    double a = rng->UniformDouble(0.0, 1e6), b = rng->UniformDouble(0.0, 1e6);
+    q = {std::min(a, b), std::max(a, b), 1 + rng->Uniform(128)};
+  }
+  return qs;
+}
+
+TEST(PagerPersistenceTest, CheckpointRestoresAllocatorAndRoots) {
+  TempDir dir("pager");
+  em::EmOptions opts{.block_words = 16,
+                     .pool_frames = 8,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("dev.blk")};
+  std::vector<em::BlockId> live;
+  std::set<em::BlockId> freed;
+  std::uint64_t in_use;
+  {
+    em::Pager pager(opts);
+    // 64 blocks with known contents; free every third one — enough to spill
+    // the free list past the superblock's inline capacity (16 words - 12
+    // header - 2 roots = 2 inline slots).
+    std::vector<em::BlockId> ids;
+    for (int i = 0; i < 64; ++i) ids.push_back(pager.Allocate());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      em::PageRef p = pager.Create(ids[i]);
+      p.Set(0, 1000 + i);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 3 == 0) {
+        pager.Free(ids[i]);
+        freed.insert(ids[i]);
+      } else {
+        live.push_back(ids[i]);
+      }
+    }
+    ASSERT_GT(freed.size(), 6u);  // forces a spill
+    in_use = pager.BlocksInUse();
+    std::uint64_t roots[2] = {live[0], 424242};
+    ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  }
+  auto reopened = em::Pager::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  em::Pager& pager = **reopened;
+  ASSERT_EQ(pager.roots().size(), 2u);
+  EXPECT_EQ(pager.roots()[0], live[0]);
+  EXPECT_EQ(pager.roots()[1], 424242u);
+  EXPECT_EQ(pager.BlocksInUse(), in_use);
+  // Live blocks kept their contents.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    em::PageRef p = pager.Fetch(live[i]);
+    EXPECT_GE(p.Get(0), 1000u);
+  }
+  // The free list survived: the next |freed| allocations reuse exactly the
+  // freed ids (order is allocator-internal, membership is the contract).
+  std::set<em::BlockId> reallocated;
+  for (std::size_t i = 0; i < freed.size(); ++i) {
+    reallocated.insert(pager.Allocate());
+  }
+  EXPECT_EQ(reallocated, freed);
+  // With the free list drained, fresh allocation resumes past the old
+  // high-water mark instead of clobbering live blocks.
+  em::BlockId fresh = pager.Allocate();
+  EXPECT_EQ(freed.count(fresh), 0u);
+  for (em::BlockId id : live) EXPECT_NE(fresh, id);
+}
+
+// Regression for the checkpoint-durability contract: work done *after* a
+// checkpoint (allocations, writes, evictions) must never overwrite state
+// that recovering the checkpoint would read — in particular the free-list
+// spill region.
+TEST(PagerPersistenceTest, PostCheckpointWritesDoNotCorruptRecovery) {
+  TempDir dir("pager-crash");
+  em::EmOptions opts{.block_words = 16,
+                     .pool_frames = 8,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("dev.blk")};
+  std::set<em::BlockId> freed;
+  std::vector<em::BlockId> live;
+  {
+    em::Pager pager(opts);
+    std::vector<em::BlockId> ids;
+    for (int i = 0; i < 64; ++i) ids.push_back(pager.Allocate());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      em::PageRef p = pager.Create(ids[i]);
+      p.Set(0, 5000 + i);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 2 == 0) {
+        pager.Free(ids[i]);
+        freed.insert(ids[i]);
+      } else {
+        live.push_back(ids[i]);
+      }
+    }
+    std::uint64_t root = live[0];
+    ASSERT_TRUE(pager.Checkpoint({&root, 1}).ok());
+    // "Crash" window: drain the free list and keep allocating + writing —
+    // the allocator must not hand out the spill region the checkpoint
+    // depends on.
+    for (int i = 0; i < 128; ++i) {
+      em::BlockId id = pager.Allocate();
+      em::PageRef p = pager.Create(id);
+      p.Set(0, 0xDEADBEEF);
+    }
+    pager.FlushAll();  // post-checkpoint dirty data reaches the file
+  }  // no second Checkpoint: simulates a crash after the flush
+  auto reopened = em::Pager::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  em::Pager& pager = **reopened;
+  // The recovered free list is exactly the checkpointed one.
+  std::set<em::BlockId> reallocated;
+  for (std::size_t i = 0; i < freed.size(); ++i) {
+    reallocated.insert(pager.Allocate());
+  }
+  EXPECT_EQ(reallocated, freed);
+  for (em::BlockId id : live) {
+    em::PageRef p = pager.Fetch(id);
+    EXPECT_GE(p.Get(0), 5000u);  // live data intact
+  }
+}
+
+// A torn/corrupted newest superblock slot falls back to the previous
+// checkpoint instead of failing (or worse, loading garbage).
+TEST(PagerPersistenceTest, TornSuperblockFallsBackToPreviousCheckpoint) {
+  TempDir dir("pager-torn");
+  em::EmOptions opts{.block_words = 16,
+                     .pool_frames = 8,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("dev.blk")};
+  {
+    em::Pager pager(opts);
+    em::BlockId id = pager.Allocate();
+    { em::PageRef p = pager.Create(id); p.Set(0, 77); }
+    std::uint64_t root = 11;
+    ASSERT_TRUE(pager.Checkpoint({&root, 1}).ok());  // epoch 1
+    root = 22;
+    ASSERT_TRUE(pager.Checkpoint({&root, 1}).ok());  // epoch 2
+  }
+  {
+    // Corrupt the epoch-2 slot (slot 2 % 2 == 0) as a torn write would.
+    em::FileBlockDevice dev(16, {.path = dir.File("dev.blk"),
+                                 .truncate = false});
+    std::vector<em::word_t> junk(16, 0);
+    dev.Read(0, junk.data());
+    junk[15] ^= 1;  // flip one payload bit: checksum no longer matches
+    dev.Write(0, junk.data());
+  }
+  auto reopened = em::Pager::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ((*reopened)->roots().size(), 1u);
+  EXPECT_EQ((*reopened)->roots()[0], 11u);  // the epoch-1 checkpoint
+}
+
+TEST(PagerPersistenceTest, OpenRejectsMismatchedGeometryAndMissingFile) {
+  TempDir dir("pager-mismatch");
+  em::EmOptions opts{.block_words = 32,
+                     .pool_frames = 8,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("dev.blk")};
+  {
+    em::Pager pager(opts);
+    ASSERT_TRUE(pager.Checkpoint({}).ok());
+  }
+  em::EmOptions wrong = opts;
+  wrong.block_words = 64;
+  EXPECT_EQ(em::Pager::Open(wrong).status().code(),
+            StatusCode::kFailedPrecondition);
+  em::EmOptions missing = opts;
+  missing.path = dir.File("nope.blk");
+  EXPECT_EQ(em::Pager::Open(missing).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(em::Pager::Open(em::EmOptions{}).status().code(),
+            StatusCode::kInvalidArgument);  // mem backend cannot reopen
+}
+
+TEST(PagerPersistenceTest, UncheckpointedDeviceIsRejected) {
+  TempDir dir("pager-raw");
+  em::EmOptions opts{.block_words = 16,
+                     .pool_frames = 8,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("dev.blk")};
+  {
+    em::Pager pager(opts);
+    em::BlockId id = pager.Allocate();
+    em::PageRef p = pager.Create(id);
+    p.Set(0, 1);
+    pager.FlushAll();  // data reaches the file, but no Checkpoint()
+  }
+  EXPECT_EQ(em::Pager::Open(opts).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// The ISSUE acceptance suite: a TopkIndex built on FileBlockDevice,
+// checkpointed, and reopened on a fresh pager answers a 10k-query oracle
+// suite byte-identically to the pre-checkpoint index.
+TEST(TopkIndexPersistenceTest, CheckpointReopenAnswersIdentically) {
+  TempDir dir("topk");
+  em::EmOptions opts{.block_words = 64,
+                     .pool_frames = 32,
+                     .backend = em::Backend::kFile,
+                     .path = dir.File("index.blk")};
+  Rng rng(7);
+  auto points = MakePoints(&rng, 1500);
+  auto queries = MakeQueries(&rng, 10000);
+
+  std::vector<std::vector<Point>> before;
+  before.reserve(queries.size());
+  {
+    em::Pager pager(opts);
+    auto built = core::TopkIndex::Build(&pager, points);
+    ASSERT_TRUE(built.ok());
+    auto& idx = *built;
+    for (const Query& q : queries) {
+      auto r = idx->TopK(q.x1, q.x2, q.k);
+      ASSERT_TRUE(r.ok());
+      before.push_back(std::move(*r));
+    }
+    ASSERT_TRUE(idx->Checkpoint().ok());
+  }  // pager (and its fd) destroyed: simulates process exit
+
+  auto reopened = em::Pager::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto opened = core::TopkIndex::Open(reopened->get());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& idx = *opened;
+  EXPECT_EQ(idx->size(), points.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto r = idx->TopK(queries[i].x1, queries[i].x2, queries[i].k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, before[i]) << "query " << i << " diverged after reopen";
+  }
+  idx->CheckInvariants();
+
+  // The reopened index is fully live: updates work and a second
+  // checkpoint/reopen cycle still agrees with itself.
+  Rng urng(8);
+  auto extra = MakePoints(&urng, 64);
+  for (const Point& p : extra) {
+    ASSERT_TRUE(idx->Insert(Point{p.x + 2e6, p.score + 2.0}).ok());
+  }
+  EXPECT_EQ(idx->size(), points.size() + extra.size());
+  ASSERT_TRUE(idx->Checkpoint().ok());
+  auto again = em::Pager::Open(opts);
+  ASSERT_TRUE(again.ok());
+  auto idx2 = core::TopkIndex::Open(again->get());
+  ASSERT_TRUE(idx2.ok());
+  EXPECT_EQ((*idx2)->size(), points.size() + extra.size());
+  (*idx2)->CheckInvariants();
+}
+
+// Mem and file backends must report identical I/O counters for the same
+// deterministic workload: the counting layer is backend-independent.
+TEST(BackendParityTest, IdenticalIoCountsAcrossBackends) {
+  TempDir dir("parity");
+  auto run = [&](const em::EmOptions& opts) -> em::IoStats {
+    em::Pager pager(opts);
+    Rng rng(11);
+    auto points = MakePoints(&rng, 800);
+    auto built = core::TopkIndex::Build(&pager, points);
+    TOKRA_CHECK(built.ok());
+    auto& idx = *built;
+    auto queries = MakeQueries(&rng, 200);
+    for (const Query& q : queries) {
+      pager.DropCache();  // cold-cache queries exercise real device reads
+      TOKRA_CHECK(idx->TopK(q.x1, q.x2, q.k).ok());
+    }
+    for (int i = 0; i < 100; ++i) {
+      TOKRA_CHECK(idx->Insert(Point{2e6 + i, 2.0 + i * 1e-3}).ok());
+      TOKRA_CHECK(idx->Delete(points[i]).ok());
+    }
+    pager.FlushAll();
+    return pager.stats();
+  };
+  em::IoStats mem = run(em::EmOptions{.block_words = 64, .pool_frames = 16});
+  em::IoStats file = run(em::EmOptions{.block_words = 64,
+                                       .pool_frames = 16,
+                                       .backend = em::Backend::kFile,
+                                       .path = dir.File("parity.blk")});
+  EXPECT_EQ(mem.reads, file.reads);
+  EXPECT_EQ(mem.writes, file.writes);
+  EXPECT_EQ(mem.pool_hits, file.pool_hits);
+  EXPECT_EQ(mem.pool_misses, file.pool_misses);
+  EXPECT_EQ(mem.evictions, file.evictions);
+}
+
+TEST(EnginePersistenceTest, CheckpointRecoverRoundTrip) {
+  TempDir dir("engine");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(21);
+  auto points = MakePoints(&rng, 2000);
+  auto queries = MakeQueries(&rng, 300);
+
+  std::vector<std::vector<Point>> before;
+  std::vector<double> bounds;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    auto& eng = *built;
+    for (const Query& q : queries) {
+      auto r = eng->TopK(q.x1, q.x2, q.k);
+      ASSERT_TRUE(r.ok());
+      before.push_back(std::move(*r));
+    }
+    bounds = eng->ShardLowerBounds();
+    ASSERT_TRUE(eng->Checkpoint().ok());
+  }  // engine destroyed: simulates restart
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto& eng = *recovered;
+  EXPECT_EQ(eng->size(), points.size());
+  EXPECT_EQ(eng->ShardLowerBounds(), bounds);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto r = eng->TopK(queries[i].x1, queries[i].x2, queries[i].k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, before[i]) << "query " << i << " diverged after recovery";
+  }
+
+  // The recovered engine serves updates, rejects duplicates via the rebuilt
+  // registry, and passes full validation.
+  EXPECT_EQ(eng->Insert(points[0]).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(eng->Insert(Point{3e6, 5.0}).ok());
+  ASSERT_TRUE(eng->Delete(points[1]).ok());
+  auto whole = eng->TopK(-kInf, kInf, 5);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->front(), (Point{3e6, 5.0}));
+  eng->CheckInvariants();
+}
+
+TEST(EnginePersistenceTest, RecoverRequiresCheckpointedShards) {
+  TempDir dir("engine-missing");
+  engine::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  EXPECT_EQ(engine::ShardedTopkEngine::Recover(opts).status().code(),
+            StatusCode::kNotFound);
+  engine::EngineOptions memonly;
+  EXPECT_EQ(engine::ShardedTopkEngine::Recover(memonly).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Recovering with a different shard count than was checkpointed must fail
+// loudly — a smaller count would otherwise silently drop the upper key
+// ranges' data.
+TEST(EnginePersistenceTest, RecoverRejectsShardCountMismatch) {
+  TempDir dir("engine-mismatch");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  Rng rng(33);
+  {
+    auto built = engine::ShardedTopkEngine::Build(MakePoints(&rng, 500), opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }
+  engine::EngineOptions fewer = opts;
+  fewer.num_shards = 2;
+  EXPECT_EQ(engine::ShardedTopkEngine::Recover(fewer).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine::ShardedTopkEngine::Recover(opts).ok());
+}
+
+}  // namespace
+}  // namespace tokra
