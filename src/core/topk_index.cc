@@ -12,12 +12,18 @@ namespace tokra::core {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Meta block layout.
+// Meta block layout. Words 4-7 persist the full build-time Options so an
+// Open()ed index carries the exact configuration it was built with (the
+// superblock floor guarantees >= em::kSuperblockHeaderWords = 12 words).
 constexpr em::word_t kMetaMagic = 0x544F4B52544F504BULL;  // "TOKRTOPK"
 constexpr std::size_t kWMagic = 0;
 constexpr std::size_t kWUseLemma4 = 1;
 constexpr std::size_t kWPilotMeta = 2;
 constexpr std::size_t kWSelectorMeta = 3;
+constexpr std::size_t kWSelectorOption = 4;  // configured Options::Selector
+constexpr std::size_t kWLemma4Fanout = 5;
+constexpr std::size_t kWLemma4L = 6;
+constexpr std::size_t kWLemma4LeafCap = 7;
 }  // namespace
 
 StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Build(
@@ -75,6 +81,10 @@ void TopkIndex::WriteMeta() {
   mp.Set(kWPilotMeta, pilot_->meta_block());
   mp.Set(kWSelectorMeta,
          use_lemma4_ ? lemma4_->meta_block() : st12_->meta_block());
+  mp.Set(kWSelectorOption, static_cast<em::word_t>(options_.selector));
+  mp.Set(kWLemma4Fanout, options_.lemma4_params.fanout);
+  mp.Set(kWLemma4L, options_.lemma4_params.l);
+  mp.Set(kWLemma4LeafCap, options_.lemma4_params.leaf_cap);
 }
 
 Status TopkIndex::Checkpoint(std::span<const std::uint64_t> extra_roots) {
@@ -105,9 +115,21 @@ StatusOr<std::unique_ptr<TopkIndex>> TopkIndex::Open(em::Pager* pager) {
     idx->use_lemma4_ = mp.Get(kWUseLemma4) != 0;
     pilot_meta = mp.Get(kWPilotMeta);
     selector_meta = mp.Get(kWSelectorMeta);
+    // Restore the full build-time Options, not just the selector decision:
+    // a future query-time Options consumer must see the same configuration
+    // before and after recovery.
+    const em::word_t sel = mp.Get(kWSelectorOption);
+    if (sel > static_cast<em::word_t>(Options::Selector::kLemma4)) {
+      return Status::FailedPrecondition("bad selector option in meta block");
+    }
+    idx->options_.selector = static_cast<Options::Selector>(sel);
+    idx->options_.lemma4_params.fanout =
+        static_cast<std::uint32_t>(mp.Get(kWLemma4Fanout));
+    idx->options_.lemma4_params.l =
+        static_cast<std::uint32_t>(mp.Get(kWLemma4L));
+    idx->options_.lemma4_params.leaf_cap =
+        static_cast<std::uint32_t>(mp.Get(kWLemma4LeafCap));
   }
-  idx->options_.selector = idx->use_lemma4_ ? Options::Selector::kLemma4
-                                            : Options::Selector::kSt12;
   idx->pilot_ = std::make_unique<pilot::PilotPst>(
       pilot::PilotPst::Open(pager, pilot_meta));
   if (idx->use_lemma4_) {

@@ -20,6 +20,19 @@ using BlockId = std::uint64_t;
 /// Sentinel for "no block".
 inline constexpr BlockId kNullBlock = ~BlockId{0};
 
+/// Fixed words at the head of a pager superblock (mirrored as
+/// Pager::kSuperHeaderWords).
+inline constexpr std::uint32_t kSuperblockHeaderWords = 12;
+
+/// Floor on EmOptions::block_words. A checkpoint needs the superblock
+/// header plus one word per root, and every pager client in this library
+/// records at least its meta block as root 0, so Validate() enforces
+/// header + 1 — a validated configuration can always persist a bare
+/// structure instead of discovering the mismatch at checkpoint time.
+/// Clients recording more roots validate their own larger floor (see
+/// engine::kShardCheckpointRoots).
+inline constexpr std::uint32_t kMinBlockWords = kSuperblockHeaderWords + 1;
+
 /// Storage backend behind a pager's block device.
 enum class Backend {
   kMem,   ///< in-memory simulation (volatile; the original seed behaviour)
@@ -30,7 +43,8 @@ enum class Backend {
 /// blocks of `B` words. The model requires M = Omega(B); the pool keeps
 /// M/B frames.
 struct EmOptions {
-  /// B: words per block. Must be >= 8 (all node headers fit one block).
+  /// B: words per block. Must be >= kMinBlockWords (which also covers the
+  /// >= 8 words every node header needs).
   std::uint32_t block_words = 256;
 
   /// M/B: number of block frames the buffer pool may hold in memory.
@@ -47,7 +61,7 @@ struct EmOptions {
   bool durable_sync = false;
 
   void Validate() const {
-    TOKRA_CHECK(block_words >= 8);
+    TOKRA_CHECK(block_words >= kMinBlockWords);
     TOKRA_CHECK(pool_frames >= 4);
     TOKRA_CHECK(backend == Backend::kMem || !path.empty());
   }

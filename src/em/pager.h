@@ -188,8 +188,9 @@ class Pager {
   void DropCache() { pool_.DropAll(); }
 
   /// Fixed words at the head of the superblock, preceding roots and the
-  /// inline free list.
-  static constexpr std::uint32_t kSuperHeaderWords = 12;
+  /// inline free list. EmOptions::Validate() enforces block_words >= this,
+  /// so every validated configuration can checkpoint.
+  static constexpr std::uint32_t kSuperHeaderWords = kSuperblockHeaderWords;
 
   /// Blocks reserved at the front of every device (the superblock slots).
   static constexpr BlockId kReservedBlocks = 2;

@@ -12,6 +12,12 @@
 
 namespace tokra::engine {
 
+/// Superblock roots each shard checkpoint records: index meta, lower bound,
+/// shard count, topology generation. EngineOptions::Validate() requires a
+/// block to fit the superblock header plus this many roots, so a validated
+/// engine can never fail a checkpoint on geometry at runtime.
+inline constexpr std::uint32_t kShardCheckpointRoots = 4;
+
 /// Parameters of a ShardedTopkEngine.
 ///
 /// Each shard is an independent TopkIndex on its own em::Pager, so the
@@ -63,6 +69,8 @@ struct EngineOptions {
     // A file backend must come with a storage_dir: a single shared em.path
     // would have every shard truncate and overwrite the same file.
     TOKRA_CHECK(em.backend != em::Backend::kFile || !storage_dir.empty());
+    TOKRA_CHECK(em.block_words >=
+                em::kSuperblockHeaderWords + kShardCheckpointRoots);
     ShardEm(0).Validate();
   }
 };

@@ -1,9 +1,15 @@
 #include "engine/sharded_engine.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
+#include <cstdio>
 #include <functional>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "engine/merge.h"
@@ -12,6 +18,21 @@
 namespace tokra::engine {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Side-file suffix used by in-place shard rebuilds (Rebalance).
+constexpr char kRebuildSuffix[] = ".rebuild";
+
+/// Makes directory-entry changes (our renames) durable. Callers under
+/// durable_sync TOKRA_CHECK the result — same contract as
+/// FileBlockDevice::Sync(), where a failed durability barrier has no
+/// recovery story.
+[[nodiscard]] bool FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 }  // namespace
 
 ShardedTopkEngine::ShardedTopkEngine(EngineOptions options)
@@ -64,16 +85,104 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
   for (std::size_t i = 0; i < s; ++i) chunks[i].reserve(n / s + 1);
   for (const Point& p : points) chunks[shard_for(p.x)].push_back(p);
 
+  // When file-backed shards already exist (Rebalance), never build onto the
+  // live files: the fresh-pager constructor opens with O_TRUNC, which would
+  // destroy the last completed checkpoint before the rebuild is known to
+  // succeed. Build into `<path>.rebuild` side files instead and rename them
+  // over the live files only after every shard has built and checkpointed.
+  const bool rebuild_files = !options_.storage_dir.empty() && !shards_.empty();
+  // Burn a generation per attempt (discard_side_files hands it back only on
+  // a clean abort): an on-disk artifact of a failed attempt must never share
+  // a generation with a later commit or checkpoint, or Recover()'s
+  // roll-forward could splice two different topologies together.
+  ++generation_;
+  std::vector<std::string> tmp_paths(s), final_paths(s);
+
   std::vector<std::unique_ptr<Shard>> fresh;
   fresh.reserve(s);
+  auto discard_side_files = [&] {
+    fresh.clear();  // close the side files' fds before unlinking
+    bool all_removed = true;
+    for (const std::string& p : tmp_paths) {
+      if (!p.empty() && std::remove(p.c_str()) != 0 && errno != ENOENT) {
+        all_removed = false;
+      }
+    }
+    if (all_removed) {
+      // Clean abort: nothing at the burned generation survives, so hand it
+      // back — otherwise a later plain Checkpoint() would write a generation
+      // ahead of every shard's, and a crash partway through it would leave a
+      // mixed-generation disk with no side files to roll forward.
+      --generation_;
+    } else {
+      // A side file at the burned generation lingers on disk. Any further
+      // checkpoint or rebuild in this process could collide with it, so
+      // poison persistence; Recover() in a fresh process removes the
+      // leftover (or refuses if it still cannot).
+      storage_failed_ = true;
+    }
+  };
   for (std::uint32_t i = 0; i < s; ++i) {
-    auto shard = std::make_unique<Shard>(options_.ShardEm(i));
+    em::EmOptions em = options_.ShardEm(i);
+    if (rebuild_files) {
+      final_paths[i] = em.path;
+      em.path += kRebuildSuffix;
+      tmp_paths[i] = em.path;
+    }
+    auto shard = std::make_unique<Shard>(em);
     shard->approx_size.store(chunks[i].size(), std::memory_order_relaxed);
     auto idx = core::TopkIndex::Build(shard->pager.get(),
                                       std::move(chunks[i]), options_.index);
-    if (!idx.ok()) return idx.status();
+    if (!idx.ok()) {
+      discard_side_files();
+      return idx.status();
+    }
     shard->index = std::move(*idx);
     fresh.push_back(std::move(shard));
+  }
+
+  if (rebuild_files) {
+    // Checkpoint every side file (new bound + topology + generation) before
+    // any rename: each file that reaches its live name is individually
+    // recoverable, and a crash at any point in the rename loop leaves
+    // Recover() able to roll the commit forward from the remaining side
+    // files.
+    for (std::uint32_t i = 0; i < s; ++i) {
+      const std::uint64_t extra[kShardCheckpointRoots - 1] = {
+          std::bit_cast<std::uint64_t>(bounds[i]), s, generation_};
+      Status st = fresh[i]->index->Checkpoint(extra);
+      if (!st.ok()) {
+        discard_side_files();
+        return st;
+      }
+    }
+    // Every side file's directory entry must be durable BEFORE the first
+    // rename can commit: otherwise a crash in the rename window could
+    // persist an early rename (new generation visible) while losing a
+    // later side file's dirent, leaving a mix Recover() cannot roll
+    // forward.
+    if (options_.em.durable_sync) {
+      TOKRA_CHECK(FsyncDir(options_.storage_dir));
+    }
+    for (std::uint32_t i = 0; i < s; ++i) {
+      if (std::rename(tmp_paths[i].c_str(), final_paths[i].c_str()) != 0) {
+        // The disk now mixes generations and this process cannot reconcile
+        // it (earlier renames replaced live files whose old inodes survive
+        // only as our open fds). Keep serving the old in-memory topology,
+        // but poison persistence: Checkpoint() must not acknowledge
+        // durability that a restart would discard. The un-renamed side
+        // files are left in place — Recover() in a fresh process rolls the
+        // commit forward from them.
+        storage_failed_ = true;
+        return Status::Internal("rebalance rename failed: " + tmp_paths[i] +
+                                " -> " + final_paths[i]);
+      }
+    }
+    if (options_.em.durable_sync) {
+      TOKRA_CHECK(FsyncDir(options_.storage_dir));
+    }
+    // The replaced shards (dropped below) still hold fds on the unlinked
+    // previous inodes; their storage is released with them.
   }
   shards_ = std::move(fresh);
   lower_bounds_ = std::move(bounds);
@@ -279,14 +388,20 @@ Status ShardedTopkEngine::Checkpoint() {
   if (options_.storage_dir.empty()) {
     return Status::FailedPrecondition("engine has no storage_dir");
   }
+  if (storage_failed_) {
+    return Status::FailedPrecondition(
+        "shard storage is inconsistent after a failed rebalance commit; "
+        "restart and Recover() to roll it forward");
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     // Root 0 is the index meta (written by TopkIndex::Checkpoint); root 1
     // carries this shard's lower bound so Recover restores the partition;
     // root 2 records the shard count so Recover rejects a topology
-    // mismatch instead of silently dropping key ranges.
-    const std::uint64_t extra[2] = {
+    // mismatch instead of silently dropping key ranges; root 3 is the
+    // topology generation so Recover reconciles a half-renamed rebalance.
+    const std::uint64_t extra[kShardCheckpointRoots - 1] = {
         std::bit_cast<std::uint64_t>(lower_bounds_[i]),
-        options_.num_shards};
+        options_.num_shards, generation_};
     TOKRA_RETURN_IF_ERROR(shards_[i]->index->Checkpoint(extra));
   }
   return Status::Ok();
@@ -300,24 +415,86 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   }
   auto engine =
       std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
-  std::vector<std::unique_ptr<Shard>> shards;
-  std::vector<double> bounds;
-  shards.reserve(options.num_shards);
-  bounds.reserve(options.num_shards);
-  for (std::uint32_t i = 0; i < options.num_shards; ++i) {
-    TOKRA_ASSIGN_OR_RETURN(auto pager, em::Pager::Open(options.ShardEm(i)));
-    if (pager->roots().size() < 3) {
+  const std::uint32_t s = options.num_shards;
+
+  // Open every live file first: the generation agreement check (and the
+  // interrupted-rebalance roll-forward below) needs all superblocks before
+  // any single shard can be trusted.
+  std::vector<std::unique_ptr<em::Pager>> pagers(s);
+  std::vector<std::uint64_t> gens(s);
+  for (std::uint32_t i = 0; i < s; ++i) {
+    TOKRA_ASSIGN_OR_RETURN(pagers[i], em::Pager::Open(options.ShardEm(i)));
+    if (pagers[i]->roots().size() < kShardCheckpointRoots) {
       return Status::FailedPrecondition("shard checkpoint missing roots");
     }
-    if (pager->roots()[2] != options.num_shards) {
+    if (pagers[i]->roots()[2] != s) {
       return Status::FailedPrecondition(
-          "num_shards mismatch with checkpoint (have " +
-          std::to_string(options.num_shards) + ", checkpointed " +
-          std::to_string(pager->roots()[2]) + ")");
+          "num_shards mismatch with checkpoint (have " + std::to_string(s) +
+          ", checkpointed " + std::to_string(pagers[i]->roots()[2]) + ")");
     }
-    bounds.push_back(std::bit_cast<double>(pager->roots()[1]));
+    gens[i] = pagers[i]->roots()[3];
+  }
+
+  // Reconcile an interrupted rebalance. BuildShardsLocked checkpoints every
+  // side file before renaming any of them over the live files, so the disk
+  // is in one of three states:
+  //  * uniform generation, no side files — nothing happened;
+  //  * uniform generation plus side files — a rebuild built side files but
+  //    crashed before its first rename: it never committed, drop them;
+  //  * mixed generations — crash mid-rename: the newest generation is the
+  //    committed one, and every shard still at the old generation must have
+  //    its side file (its rename never ran), so finish the renames.
+  const std::uint64_t gen = *std::max_element(gens.begin(), gens.end());
+  engine->generation_ = gen;
+  bool rolled_forward = false;
+  for (std::uint32_t i = 0; i < s; ++i) {
+    const std::string live = options.ShardEm(i).path;
+    const std::string side = live + kRebuildSuffix;
+    if (gens[i] == gen) {
+      // An uncommitted side file MUST go: generation_ restarts from `gen`,
+      // so a leftover could alias a future rebuild attempt's generation and
+      // feed a later roll-forward a different topology's shard.
+      if (std::remove(side.c_str()) != 0 && errno != ENOENT) {
+        return Status::Internal("cannot remove stale side file " + side);
+      }
+      continue;
+    }
+    pagers[i].reset();  // release the stale live file before replacing it
+    em::EmOptions side_em = options.ShardEm(i);
+    side_em.path = side;
+    auto side_pager = em::Pager::Open(side_em);
+    if (!side_pager.ok() ||
+        (*side_pager)->roots().size() < kShardCheckpointRoots ||
+        (*side_pager)->roots()[3] != gen) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(i) + " is at generation " +
+          std::to_string(gens[i]) + " but the topology committed generation " +
+          std::to_string(gen) + ", and no side file can roll it forward");
+    }
+    if (std::rename(side.c_str(), live.c_str()) != 0) {
+      return Status::Internal("roll-forward rename failed: " + side + " -> " +
+                              live);
+    }
+    rolled_forward = true;
+    // The side pager's fd survives the rename; keep it as the live pager
+    // rather than reopening (which could spuriously fail an already-
+    // committed roll-forward).
+    pagers[i] = std::move(*side_pager);
+  }
+  // Same durability barrier as the rebalance commit path: the roll-forward
+  // renames must be journaled before checkpoints are acknowledged again.
+  if (rolled_forward && options.em.durable_sync) {
+    TOKRA_CHECK(FsyncDir(options.storage_dir));
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<double> bounds;
+  shards.reserve(s);
+  bounds.reserve(s);
+  for (std::uint32_t i = 0; i < s; ++i) {
+    bounds.push_back(std::bit_cast<double>(pagers[i]->roots()[1]));
     auto shard = std::make_unique<Shard>();
-    shard->pager = std::move(pager);
+    shard->pager = std::move(pagers[i]);
     TOKRA_ASSIGN_OR_RETURN(shard->index,
                            core::TopkIndex::Open(shard->pager.get()));
     const std::uint64_t n = shard->index->size();
@@ -374,6 +551,11 @@ bool ShardedTopkEngine::MaybeRebalance() {
 }
 
 Status ShardedTopkEngine::RebalanceLocked() {
+  if (storage_failed_) {
+    return Status::FailedPrecondition(
+        "shard storage is inconsistent after a failed rebalance commit; "
+        "restart and Recover() to roll it forward");
+  }
   std::vector<Point> all;
   std::uint64_t total = 0;
   for (const auto& sh : shards_) {

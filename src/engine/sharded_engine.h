@@ -86,7 +86,8 @@ class ShardedTopkEngine {
       EngineOptions options);
 
   /// Persists every shard: flushes dirty blocks and records each shard's
-  /// index meta + lower bound in its pager superblock. Exclusive (waits for
+  /// index meta + lower bound + shard count + topology generation in its
+  /// pager superblock. Exclusive (waits for
   /// in-flight operations); kFailedPrecondition without a storage_dir.
   /// Recover() restores the last completed checkpoint; it is guaranteed
   /// recoverable after checkpoint-then-exit (clean shutdown) or a crash
@@ -119,7 +120,11 @@ class ShardedTopkEngine {
                     std::vector<Response>* out);
 
   /// Re-splits the key space so every shard holds ~n/S points. Exclusive:
-  /// waits for in-flight operations.
+  /// waits for in-flight operations. On a file-backed engine the new shards
+  /// are built and checkpointed in side files and renamed over the live
+  /// files only once complete, so the previous checkpoint stays recoverable
+  /// throughout and a successful rebalance leaves the post-rebalance state
+  /// checkpointed.
   Status Rebalance();
 
   /// Rebalance hook for skewed insert streams: rebalances iff the largest
@@ -168,7 +173,11 @@ class ShardedTopkEngine {
   Status DeleteLocked(Shard& sh, const Point& p);
 
   /// (Re)creates shards and boundaries from `points`. Caller holds
-  /// topology_mu_ exclusively (or is Build, pre-publication).
+  /// topology_mu_ exclusively (or is Build, pre-publication). When file-
+  /// backed shards already exist, the replacements are built into
+  /// `<path>.rebuild` side files, checkpointed, and renamed into place only
+  /// after every shard succeeded, so the previous checkpoint is never
+  /// destroyed by a failed or interrupted rebuild.
   Status BuildShardsLocked(std::vector<Point> points);
 
   /// Fan-out + merge. Caller holds topology_mu_ shared. `parallel` uses the
@@ -185,6 +194,19 @@ class ShardedTopkEngine {
   mutable std::shared_mutex topology_mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<double> lower_bounds_;  // lower_bounds_[0] == -inf
+  // Topology generation, checkpointed as root 3 of every shard. Bumped at
+  // the START of every rebuild attempt and handed back only when a clean
+  // abort removed every side file, so an on-disk artifact of a failed
+  // attempt can never carry the same generation as a later checkpoint;
+  // Recover() uses the agreement of live-file generations to distinguish a
+  // committed rebalance from an interrupted one.
+  std::uint64_t generation_ = 0;
+  // Set when a rebalance commit failed partway through its renames: the
+  // disk then mixes topology generations and only Recover() (fresh process,
+  // roll-forward) can reconcile it, so Checkpoint() and further rebalances
+  // refuse instead of acknowledging durability they cannot deliver.
+  // Guarded by topology_mu_ (exclusive).
+  bool storage_failed_ = false;
 
   mutable std::mutex registry_mu_;
   std::unordered_map<double, double> by_x_;  // x -> score, exact membership

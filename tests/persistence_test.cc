@@ -402,6 +402,109 @@ TEST(EnginePersistenceTest, RecoverRequiresCheckpointedShards) {
             StatusCode::kInvalidArgument);
 }
 
+// Rebalance on a file-backed engine must not destroy the previous
+// checkpoint while rebuilding (regression: the fresh-pager constructor used
+// to O_TRUNC the live shard files). A successful rebalance commits its own
+// checkpoint, so exit-without-Checkpoint after a rebalance recovers the
+// rebalance-time state; no `.rebuild` side files are left behind.
+TEST(EnginePersistenceTest, RebalanceCommitsDurablyAndLeavesNoSideFiles) {
+  TempDir dir("engine-rebalance");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(55);
+  auto points = MakePoints(&rng, 1200);
+  auto queries = MakeQueries(&rng, 200);
+  std::vector<std::vector<Point>> before;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    auto& eng = *built;
+    ASSERT_TRUE(eng->Checkpoint().ok());
+    // Skew one end of the key space, then force a rebalance. No explicit
+    // Checkpoint() afterwards: the rebalance itself must leave the files
+    // recoverable (the old files' checkpoints are gone with the old split).
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(eng->Insert(Point{2e6 + i, 10.0 + i * 1e-3}).ok());
+    }
+    ASSERT_TRUE(eng->Rebalance().ok());
+    for (const Query& q : queries) {
+      auto r = eng->TopK(q.x1, q.x2, q.k);
+      ASSERT_TRUE(r.ok());
+      before.push_back(std::move(*r));
+    }
+  }  // destroyed without a second Checkpoint: simulates a crash
+
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(entry.path().extension(), ".tokra")
+        << "stale rebuild artifact: " << entry.path();
+  }
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto& eng = *recovered;
+  EXPECT_EQ(eng->size(), points.size() + 400);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto r = eng->TopK(queries[i].x1, queries[i].x2, queries[i].k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, before[i]) << "query " << i << " diverged after recovery";
+  }
+  eng->CheckInvariants();
+}
+
+// A crash mid-rebalance-commit (some side files renamed over their live
+// files, some not) is rolled forward by Recover(): every shard still at the
+// old generation has a fully checkpointed side file, so recovery finishes
+// the renames and serves the committed post-rebalance state.
+TEST(EnginePersistenceTest, RecoverRollsForwardInterruptedRebalance) {
+  TempDir dir("engine-midrename");
+  engine::EngineOptions opts;
+  opts.num_shards = 3;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(66);
+  auto points = MakePoints(&rng, 900);
+  std::uint64_t expected_size;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    auto& eng = *built;
+    ASSERT_TRUE(eng->Checkpoint().ok());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(eng->Insert(Point{3e6 + i, 20.0 + i * 1e-3}).ok());
+    }
+    ASSERT_TRUE(eng->Rebalance().ok());
+    expected_size = eng->size();
+  }
+  // Forge the mid-rename crash state for shard 1: move its committed file
+  // back to the side name and put a checkpoint with an older generation at
+  // the live name (standing in for the pre-rebalance file the rename
+  // replaced).
+  const std::string live = dir.File("shard-1.tokra");
+  const std::string side = live + ".rebuild";
+  fs::rename(live, side);
+  {
+    em::EmOptions em = opts.em;
+    em.backend = em::Backend::kFile;
+    em.path = live;
+    em::Pager pager(em);
+    auto idx = core::TopkIndex::Build(&pager, {});
+    ASSERT_TRUE(idx.ok());
+    const std::uint64_t extra[3] = {0 /* bound (ignored at gen 0) */,
+                                    opts.num_shards, 0 /* old generation */};
+    ASSERT_TRUE((*idx)->Checkpoint(extra).ok());
+  }
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->size(), expected_size);
+  EXPECT_FALSE(fs::exists(side));  // the roll-forward consumed it
+  (*recovered)->CheckInvariants();
+}
+
 // Recovering with a different shard count than was checkpointed must fail
 // loudly — a smaller count would otherwise silently drop the upper key
 // ranges' data.
