@@ -118,13 +118,14 @@ inline void WriteJson() {
   if (!st.io_rows.empty()) {
     JsonTable io{"io_stats",
                  {"phase", "reads", "writes", "pool_hits", "pool_misses",
-                  "evictions", "total_ios"},
+                  "evictions", "prefetched", "total_ios"},
                  {}};
     for (const auto& [phase, s] : st.io_rows) {
       io.rows.push_back({phase, std::to_string(s.reads),
                          std::to_string(s.writes), std::to_string(s.pool_hits),
                          std::to_string(s.pool_misses),
                          std::to_string(s.evictions),
+                         std::to_string(s.prefetched),
                          std::to_string(s.TotalIos())});
     }
     tables.push_back(std::move(io));
@@ -193,9 +194,10 @@ inline void Row(const std::vector<std::string>& cells) {
 /// to BENCH_<name>.json as an "io_stats" table, so the perf trajectory
 /// tracks block transfers per phase, not just wall time.
 inline void RecordIoStats(const std::string& phase, const em::IoStats& io) {
-  std::printf("[io] %s: %s evictions=%llu total=%llu\n", phase.c_str(),
-              io.ToString().c_str(),
+  std::printf("[io] %s: %s evictions=%llu prefetched=%llu total=%llu\n",
+              phase.c_str(), io.ToString().c_str(),
               static_cast<unsigned long long>(io.evictions),
+              static_cast<unsigned long long>(io.prefetched),
               static_cast<unsigned long long>(io.TotalIos()));
   detail::JsonState& st = detail::State();
   if (st.enabled) st.io_rows.emplace_back(phase, io);

@@ -5,9 +5,11 @@
 #ifndef TOKRA_EM_BLOCK_DEVICE_H_
 #define TOKRA_EM_BLOCK_DEVICE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "em/io_stats.h"
@@ -15,6 +17,15 @@
 #include "util/check.h"
 
 namespace tokra::em {
+
+/// One block transfer of a batch. `buf` must hold block_words() words; it is
+/// the destination of a read and the (unmodified) source of a write. The
+/// blocks of a batch need not be contiguous or sorted, and every transfer in
+/// a batch must target a distinct block.
+struct IoRequest {
+  BlockId id = kNullBlock;
+  word_t* buf = nullptr;
+};
 
 /// Abstract block disk.
 ///
@@ -74,6 +85,32 @@ class BlockDevice {
     DoWriteRun(first, count, src);
   }
 
+  /// Reads every request of the batch and returns once all transfers have
+  /// completed. Counts one read I/O per block — the model's cost is the
+  /// number of transfers, not how they are scheduled — but backends may
+  /// keep many transfers in flight at once (io_uring), which is what makes
+  /// a top-k query's k/B leaf reads one device round trip instead of k/B.
+  /// The default implementation is the synchronous loop, so the batch API
+  /// is always available on every backend.
+  void SubmitReads(std::span<const IoRequest> reqs) {
+    if (reqs.empty()) return;
+    for (const IoRequest& r : reqs) TOKRA_CHECK(r.id < NumBlocks());
+    reads_ += reqs.size();
+    DoReadBatch(reqs);
+  }
+
+  /// Writes every request of the batch (growing the device as needed) and
+  /// returns once all transfers have completed. Counts one write I/O per
+  /// block; backends may overlap the member transfers.
+  void SubmitWrites(std::span<const IoRequest> reqs) {
+    if (reqs.empty()) return;
+    BlockId max_id = 0;
+    for (const IoRequest& r : reqs) max_id = std::max(max_id, r.id);
+    EnsureCapacity(max_id + 1);
+    writes_ += reqs.size();
+    DoWriteBatch(reqs);
+  }
+
   /// Extends the device to back at least `blocks` blocks (zero-filled).
   /// Growing is free: it models formatting, not data transfer.
   virtual void EnsureCapacity(BlockId blocks) = 0;
@@ -81,6 +118,12 @@ class BlockDevice {
   /// Durability barrier: everything written before Sync() survives process
   /// death on persistent backends. No-op on volatile ones.
   virtual void Sync() {}
+
+  /// Bench/test hook: drops any OS-level caching of the device contents
+  /// (after flushing), so the next reads measure the real medium instead of
+  /// the page cache. No-op on backends without one. Never changes contents
+  /// or I/O counts — only where the next transfers are served from.
+  virtual void DropOsCache() {}
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
@@ -98,6 +141,12 @@ class BlockDevice {
     for (std::uint32_t i = 0; i < count; ++i) {
       DoWrite(first + i, src + std::size_t{i} * block_words_);
     }
+  }
+  virtual void DoReadBatch(std::span<const IoRequest> reqs) {
+    for (const IoRequest& r : reqs) DoRead(r.id, r.buf);
+  }
+  virtual void DoWriteBatch(std::span<const IoRequest> reqs) {
+    for (const IoRequest& r : reqs) DoWrite(r.id, r.buf);
   }
 
  private:

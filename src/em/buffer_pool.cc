@@ -1,6 +1,64 @@
 #include "em/buffer_pool.h"
 
+#include <algorithm>
+
 namespace tokra::em {
+
+void BufferPool::LruPushFront(std::uint32_t f) {
+  Frame& fr = frames_[f];
+  fr.lru_prev = kNoFrame;
+  fr.lru_next = lru_head_;
+  if (lru_head_ != kNoFrame) frames_[lru_head_].lru_prev = f;
+  lru_head_ = f;
+  if (lru_tail_ == kNoFrame) lru_tail_ = f;
+}
+
+void BufferPool::LruRemove(std::uint32_t f) {
+  Frame& fr = frames_[f];
+  if (fr.lru_prev != kNoFrame) {
+    frames_[fr.lru_prev].lru_next = fr.lru_next;
+  } else {
+    lru_head_ = fr.lru_next;
+  }
+  if (fr.lru_next != kNoFrame) {
+    frames_[fr.lru_next].lru_prev = fr.lru_prev;
+  } else {
+    lru_tail_ = fr.lru_prev;
+  }
+  fr.lru_prev = fr.lru_next = kNoFrame;
+}
+
+std::uint32_t BufferPool::TryFindVictim() {
+  if (!free_.empty()) {
+    std::uint32_t v = free_.back();
+    free_.pop_back();
+    return v;
+  }
+  // Least recent first; pinned frames are skipped (there are O(1) of them,
+  // so this walk is O(1) in practice and the promotion/eviction fast path
+  // never scans the whole pool).
+  for (std::uint32_t v = lru_tail_; v != kNoFrame; v = frames_[v].lru_prev) {
+    if (frames_[v].pins == 0) return v;
+  }
+  return kNoFrame;
+}
+
+void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
+  Frame& f = frames_[v];
+  if (!f.valid) return;
+  if (f.dirty) {
+    if (batch != nullptr) {
+      batch->push_back(IoRequest{f.id, f.buf.data()});
+    } else {
+      device_->Write(f.id, f.buf.data());
+    }
+    ++stats_.writes;
+  }
+  map_.erase(f.id);
+  ++stats_.evictions;
+  LruRemove(v);
+  f.valid = false;
+}
 
 std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
   TOKRA_CHECK(id != kNullBlock);
@@ -8,26 +66,19 @@ std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
   if (it != map_.end()) {
     Frame& f = frames_[it->second];
     ++f.pins;
-    f.tick = ++clock_;
+    LruTouch(it->second);
     ++stats_.pool_hits;
     return it->second;
   }
   ++stats_.pool_misses;
   std::uint32_t v = FindVictim();
+  EvictFrame(v, nullptr);
   Frame& f = frames_[v];
-  if (f.valid) {
-    if (f.dirty) {
-      device_->Write(f.id, f.buf.data());
-      ++stats_.writes;
-    }
-    map_.erase(f.id);
-    ++stats_.evictions;
-  }
   f.id = id;
   f.valid = true;
   f.dirty = false;
   f.pins = 1;
-  f.tick = ++clock_;
+  LruPushFront(v);
   if (mode == PinMode::kRead) {
     device_->Read(id, f.buf.data());
     ++stats_.reads;
@@ -40,6 +91,68 @@ std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
   return v;
 }
 
+void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
+                           std::vector<std::uint32_t>* out) {
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(ids.size());
+  }
+  // Two deferred batches: dirty victims out, then missing blocks in. The
+  // frame buffers are victim-to-newcomer 1:1 and SubmitWrites completes
+  // before SubmitReads starts, so a buffer is never overwritten before its
+  // old contents reached the device.
+  std::vector<IoRequest> write_batch, read_batch;
+  std::vector<std::uint32_t> unpin_after;  // prefetch: temporary pins
+  for (BlockId id : ids) {
+    TOKRA_CHECK(id != kNullBlock);
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      Frame& f = frames_[it->second];
+      if (pin) {
+        ++f.pins;
+        ++stats_.pool_hits;
+      }
+      LruTouch(it->second);
+      if (out != nullptr) out->push_back(it->second);
+      continue;
+    }
+    std::uint32_t v = pin ? FindVictim() : TryFindVictim();
+    if (v == kNoFrame) continue;  // prefetch is a hint: skip when pins fill the pool
+    EvictFrame(v, &write_batch);
+    Frame& f = frames_[v];
+    f.id = id;
+    f.valid = true;
+    f.dirty = false;
+    // The pin also protects the frame from being chosen as a victim later
+    // in this same batch; prefetched frames give it back below.
+    f.pins = 1;
+    if (!pin) unpin_after.push_back(v);
+    LruPushFront(v);
+    map_[id] = v;
+    read_batch.push_back(IoRequest{id, f.buf.data()});
+    if (pin) {
+      ++stats_.pool_misses;
+    } else {
+      ++stats_.prefetched;
+    }
+    if (out != nullptr) out->push_back(v);
+  }
+  device_->SubmitWrites(write_batch);
+  device_->SubmitReads(read_batch);
+  stats_.reads += read_batch.size();
+  for (std::uint32_t v : unpin_after) frames_[v].pins = 0;
+}
+
+void BufferPool::PinMany(std::span<const BlockId> ids,
+                         std::vector<std::uint32_t>* out) {
+  TOKRA_CHECK(out != nullptr);
+  BatchLoad(ids, /*pin=*/true, out);
+}
+
+void BufferPool::Prefetch(std::span<const BlockId> ids) {
+  BatchLoad(ids, /*pin=*/false, nullptr);
+}
+
 void BufferPool::Unpin(std::uint32_t frame, bool dirty) {
   Frame& f = frames_[frame];
   TOKRA_CHECK(f.pins > 0);
@@ -48,13 +161,16 @@ void BufferPool::Unpin(std::uint32_t frame, bool dirty) {
 }
 
 void BufferPool::FlushAll() {
+  // One batch submission for all dirty frames (still one write I/O each).
+  std::vector<IoRequest> batch;
   for (Frame& f : frames_) {
     if (f.valid && f.dirty) {
-      device_->Write(f.id, f.buf.data());
+      batch.push_back(IoRequest{f.id, f.buf.data()});
       ++stats_.writes;
       f.dirty = false;
     }
   }
+  device_->SubmitWrites(batch);
 }
 
 void BufferPool::DropAll() {
@@ -63,34 +179,26 @@ void BufferPool::DropAll() {
     TOKRA_CHECK(f.pins == 0);  // dropping while pinned is a bug
     f.valid = false;
     f.id = kNullBlock;
+    f.lru_prev = f.lru_next = kNoFrame;
   }
   map_.clear();
+  lru_head_ = lru_tail_ = kNoFrame;
+  free_.clear();
+  for (std::uint32_t i = num_frames(); i > 0; --i) free_.push_back(i - 1);
 }
 
 void BufferPool::Invalidate(BlockId id) {
   auto it = map_.find(id);
   if (it == map_.end()) return;
-  Frame& f = frames_[it->second];
+  std::uint32_t v = it->second;
+  Frame& f = frames_[v];
   TOKRA_CHECK(f.pins == 0);
+  LruRemove(v);
   f.valid = false;
   f.dirty = false;
   f.id = kNullBlock;
   map_.erase(it);
-}
-
-std::uint32_t BufferPool::FindVictim() {
-  std::uint32_t best = num_frames();
-  std::uint64_t best_tick = ~std::uint64_t{0};
-  for (std::uint32_t i = 0; i < num_frames(); ++i) {
-    const Frame& f = frames_[i];
-    if (!f.valid) return i;  // free frame
-    if (f.pins == 0 && f.tick < best_tick) {
-      best = i;
-      best_tick = f.tick;
-    }
-  }
-  TOKRA_CHECK(best < num_frames());  // pool exhausted: too many simultaneous pins
-  return best;
+  free_.push_back(v);
 }
 
 }  // namespace tokra::em

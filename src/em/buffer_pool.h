@@ -4,6 +4,7 @@
 #define TOKRA_EM_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,17 @@ namespace tokra::em {
 /// exceeding the frame budget with pins is a programming error (the model
 /// only guarantees M = Omega(B), and every algorithm in this library pins
 /// O(1) blocks at a time).
+///
+/// Recency is an intrusive doubly-linked list threaded through the frames
+/// (most recent at the head): promotion on a hit and victim selection are
+/// O(1), instead of the former O(num_frames) tick scan per miss. Eviction
+/// order is unchanged — least recently *pinned* first, pinned frames
+/// skipped.
+///
+/// PinMany/Prefetch are the batched entry points: all misses of a call are
+/// coalesced into one SubmitWrites (dirty victims) + one SubmitReads batch,
+/// so a query that knows its next k/B blocks pays one device round trip,
+/// not k/B sequential ones.
 class BufferPool {
  public:
   enum class PinMode {
@@ -32,10 +44,26 @@ class BufferPool {
       : device_(device), frames_(num_frames) {
     TOKRA_CHECK(num_frames >= 2);
     for (Frame& f : frames_) f.buf.resize(device_->block_words(), 0);
+    // Free-stack popped from the back: reversed order hands out frames
+    // 0, 1, 2, ... exactly like the former first-invalid-index scan.
+    free_.reserve(num_frames);
+    for (std::uint32_t i = num_frames; i > 0; --i) free_.push_back(i - 1);
   }
 
   /// Pins the block, returning its frame index.
   std::uint32_t Pin(BlockId id, PinMode mode);
+
+  /// Pins every block of `ids` for reading, coalescing all misses into one
+  /// batched eviction write + one batched read (hits and misses count as in
+  /// Pin). out->at(i) is the frame of ids[i]; duplicates pin once per
+  /// occurrence. The caller's pin budget covers the whole span.
+  void PinMany(std::span<const BlockId> ids, std::vector<std::uint32_t>* out);
+
+  /// Loads any of `ids` not already cached into the pool as one batched
+  /// read, without pinning: subsequent Pins of these blocks are hits. A
+  /// hint — blocks that do not fit next to the current pins are skipped.
+  /// Counts IoStats::prefetched (plus device reads), never pool misses.
+  void Prefetch(std::span<const BlockId> ids);
 
   /// Releases one pin; `dirty` marks the frame as modified.
   void Unpin(std::uint32_t frame, bool dirty);
@@ -43,7 +71,8 @@ class BufferPool {
   word_t* FrameData(std::uint32_t frame) { return frames_[frame].buf.data(); }
   BlockId FrameBlock(std::uint32_t frame) const { return frames_[frame].id; }
 
-  /// Writes back all dirty frames (each one write I/O). Frames stay cached.
+  /// Writes back all dirty frames (each one write I/O, one batch submission).
+  /// Frames stay cached.
   void FlushAll();
 
   /// Flushes and empties the pool — used to measure cold-cache costs.
@@ -59,21 +88,54 @@ class BufferPool {
   std::uint32_t block_words() const { return device_->block_words(); }
 
  private:
+  static constexpr std::uint32_t kNoFrame = ~std::uint32_t{0};
+
   struct Frame {
     BlockId id = kNullBlock;
     bool valid = false;
     bool dirty = false;
     std::uint32_t pins = 0;
-    std::uint64_t tick = 0;
+    // Intrusive LRU list position (valid frames only; head = most recent).
+    std::uint32_t lru_prev = kNoFrame;
+    std::uint32_t lru_next = kNoFrame;
     std::vector<word_t> buf;
   };
 
-  std::uint32_t FindVictim();
+  // O(1) LRU list primitives.
+  void LruPushFront(std::uint32_t f);
+  void LruRemove(std::uint32_t f);
+  void LruTouch(std::uint32_t f) {
+    if (lru_head_ == f) return;
+    LruRemove(f);
+    LruPushFront(f);
+  }
+
+  /// Free frame, else the least-recent unpinned frame; kNoFrame when every
+  /// frame is pinned.
+  std::uint32_t TryFindVictim();
+  std::uint32_t FindVictim() {
+    std::uint32_t v = TryFindVictim();
+    // Too many simultaneous pins for the frame budget.
+    TOKRA_CHECK(v != kNoFrame && "pool exhausted");
+    return v;
+  }
+
+  /// Evicts the (unpinned) victim if valid. With `write_batch` != nullptr a
+  /// dirty victim's write-back is deferred into the batch (the frame buffer
+  /// stays untouched until the batch is submitted); otherwise it is written
+  /// immediately.
+  void EvictFrame(std::uint32_t v, std::vector<IoRequest>* write_batch);
+
+  /// Shared implementation of PinMany (pin=true) and Prefetch (pin=false).
+  void BatchLoad(std::span<const BlockId> ids, bool pin,
+                 std::vector<std::uint32_t>* out);
 
   BlockDevice* device_;
   std::vector<Frame> frames_;
   std::unordered_map<BlockId, std::uint32_t> map_;
-  std::uint64_t clock_ = 0;
+  std::vector<std::uint32_t> free_;  // invalid frames, popped from the back
+  std::uint32_t lru_head_ = kNoFrame;
+  std::uint32_t lru_tail_ = kNoFrame;
   IoStats stats_;
 };
 

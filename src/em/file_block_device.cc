@@ -1,5 +1,7 @@
 #include "em/file_block_device.h"
 
+#include "em/uring_block_device.h"
+
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -37,6 +39,14 @@ void FileBlockDevice::EnsureCapacity(BlockId blocks) {
 
 void FileBlockDevice::Sync() {
   if (durable_sync_) TOKRA_CHECK(::fsync(fd_) == 0);
+}
+
+void FileBlockDevice::DropOsCache() {
+  // Dirty pages are immune to DONTNEED, so flush first; then ask the kernel
+  // to drop the file's clean page-cache pages. Advisory — a best-effort
+  // bench hook, not a correctness barrier.
+  ::fsync(fd_);
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
 }
 
 void FileBlockDevice::DoRead(BlockId id, word_t* dst) {
@@ -85,15 +95,29 @@ void FileBlockDevice::PwriteFull(std::uint64_t offset, const void* buf,
 
 std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
                                              bool truncate_file) {
+  const FileBlockDevice::FileOptions file_options{
+      .path = options.path,
+      .truncate = truncate_file,
+      .durable_sync = options.durable_sync};
   switch (options.backend) {
     case Backend::kMem:
       return std::make_unique<MemBlockDevice>(options.block_words);
     case Backend::kFile:
-      return std::make_unique<FileBlockDevice>(
-          options.block_words,
-          FileBlockDevice::FileOptions{.path = options.path,
-                                       .truncate = truncate_file,
-                                       .durable_sync = options.durable_sync});
+      return std::make_unique<FileBlockDevice>(options.block_words,
+                                               file_options);
+    case Backend::kUring:
+      // Compile-time gate (kernel header present) + runtime probe (this
+      // kernel grants rings); either failing falls back to the synchronous
+      // file device — same file format, same I/O counts, batches served by
+      // the base-class loop — so kUring is always safe to request.
+#if defined(TOKRA_HAVE_URING)
+      if (UringBlockDevice::Supported()) {
+        return std::make_unique<UringBlockDevice>(
+            options.block_words, file_options, options.io_queue_depth);
+      }
+#endif
+      return std::make_unique<FileBlockDevice>(options.block_words,
+                                               file_options);
   }
   TOKRA_CHECK(false);  // unreachable
   return nullptr;

@@ -24,7 +24,11 @@ namespace tokra::em {
 /// Reads and writes use explicit offsets on one fd, so concurrent access to
 /// *distinct* blocks is safe; callers serialize per-block access (the buffer
 /// pool already does).
-class FileBlockDevice final : public BlockDevice {
+///
+/// UringBlockDevice subclasses this to reuse the file lifecycle (open,
+/// growth, fsync) and the synchronous single-transfer path, overriding only
+/// the batch entry points with ring submission.
+class FileBlockDevice : public BlockDevice {
  public:
   struct FileOptions {
     std::string path;
@@ -43,6 +47,7 @@ class FileBlockDevice final : public BlockDevice {
   BlockId NumBlocks() const override { return num_blocks_; }
   void EnsureCapacity(BlockId blocks) override;
   void Sync() override;
+  void DropOsCache() override;
 
   const std::string& path() const { return path_; }
 
@@ -53,10 +58,12 @@ class FileBlockDevice final : public BlockDevice {
   void DoWriteRun(BlockId first, std::uint32_t count,
                   const word_t* src) override;
 
- private:
   std::uint64_t BlockBytes() const {
     return std::uint64_t{block_words()} * sizeof(word_t);
   }
+  int fd() const { return fd_; }
+
+ private:
   void PreadFull(std::uint64_t offset, void* buf, std::size_t len);
   void PwriteFull(std::uint64_t offset, const void* buf, std::size_t len);
 

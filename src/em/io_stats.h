@@ -19,6 +19,7 @@ struct IoStats {
   std::uint64_t pool_hits = 0;    ///< pins served from the buffer pool
   std::uint64_t pool_misses = 0;  ///< pins requiring a device read
   std::uint64_t evictions = 0;    ///< frames evicted (clean or dirty)
+  std::uint64_t prefetched = 0;   ///< blocks loaded by Prefetch/PinMany batches
 
   /// Total block transfers — the paper's cost metric.
   std::uint64_t TotalIos() const { return reads + writes; }
@@ -29,6 +30,7 @@ struct IoStats {
     pool_hits += rhs.pool_hits;
     pool_misses += rhs.pool_misses;
     evictions += rhs.evictions;
+    prefetched += rhs.prefetched;
     return *this;
   }
 
@@ -39,6 +41,7 @@ struct IoStats {
     d.pool_hits = pool_hits - rhs.pool_hits;
     d.pool_misses = pool_misses - rhs.pool_misses;
     d.evictions = evictions - rhs.evictions;
+    d.prefetched = prefetched - rhs.prefetched;
     return d;
   }
 

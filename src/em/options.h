@@ -35,8 +35,10 @@ inline constexpr std::uint32_t kMinBlockWords = kSuperblockHeaderWords + 1;
 
 /// Storage backend behind a pager's block device.
 enum class Backend {
-  kMem,   ///< in-memory simulation (volatile; the original seed behaviour)
-  kFile,  ///< pread/pwrite on a regular file (durable across restarts)
+  kMem,    ///< in-memory simulation (volatile; the original seed behaviour)
+  kFile,   ///< pread/pwrite on a regular file (durable across restarts)
+  kUring,  ///< file backend with io_uring batch submission (falls back to
+           ///< kFile at runtime when the kernel lacks io_uring support)
 };
 
 /// Aggarwal-Vitter model parameters: a memory of `M` words and a disk of
@@ -60,10 +62,17 @@ struct EmOptions {
   /// rather than just process exit. Costly; off by default.
   bool durable_sync = false;
 
+  /// kUring: submission-queue depth of the ring — the number of block
+  /// transfers a SubmitReads/SubmitWrites batch keeps in flight at once.
+  /// Depth 1 degenerates to the synchronous path (one transfer at a time);
+  /// other backends ignore it.
+  std::uint32_t io_queue_depth = 32;
+
   void Validate() const {
     TOKRA_CHECK(block_words >= kMinBlockWords);
     TOKRA_CHECK(pool_frames >= 4);
     TOKRA_CHECK(backend == Backend::kMem || !path.empty());
+    TOKRA_CHECK(io_queue_depth >= 1);
   }
 };
 

@@ -77,12 +77,16 @@ class PagedArray {
                 static_cast<const void*>(&v), sizeof(T));
   }
 
-  /// Reads [begin, end) touching each backing block once.
+  /// Reads [begin, end) touching each backing block once. A multi-block
+  /// range is prefetched first, so the misses become one batched device
+  /// submission instead of one read per block.
   void ReadRange(std::uint32_t begin, std::uint32_t end,
                  std::vector<T>* out) const {
     TOKRA_DCHECK(begin <= end && end <= capacity());
     out->clear();
+    if (begin == end) return;
     out->reserve(end - begin);
+    PrefetchSpan(begin, end);
     std::uint32_t i = begin;
     while (i < end) {
       std::uint32_t b = i / per_block_;
@@ -98,8 +102,13 @@ class PagedArray {
   }
 
   /// Writes `vals` starting at `begin`, touching each backing block once.
+  /// Blocks are fetched before modification (a record may share its block
+  /// with records outside the range), so the misses are prefetched as one
+  /// batch here too.
   void WriteRange(std::uint32_t begin, std::span<const T> vals) {
     TOKRA_DCHECK(begin + vals.size() <= capacity());
+    if (vals.empty()) return;
+    PrefetchSpan(begin, begin + static_cast<std::uint32_t>(vals.size()));
     std::uint32_t i = begin;
     std::size_t j = 0;
     while (j < vals.size()) {
@@ -118,6 +127,14 @@ class PagedArray {
  private:
   std::uint32_t Offset(std::uint32_t i) const {
     return (i % per_block_) * kWordsPerElem;
+  }
+
+  /// Batch-loads the backing blocks of element range [begin, end) when it
+  /// spans more than one block (a single block would be one read either way).
+  void PrefetchSpan(std::uint32_t begin, std::uint32_t end) const {
+    std::uint32_t b0 = begin / per_block_;
+    std::uint32_t b1 = (end - 1) / per_block_;
+    if (b1 > b0) pager_->Prefetch(blocks_.subspan(b0, b1 - b0 + 1));
   }
 
   Pager* pager_;

@@ -98,9 +98,11 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
     spill_start_ = next_block_;
     spill_count_ = spill_blocks;
     next_block_ += spill_blocks;
-    std::vector<word_t> buf(std::size_t{spill_blocks} * b, 0);
-    for (std::size_t i = 0; i < spill; ++i) buf[i] = free_list_[n_inline + i];
-    device_->WriteRun(spill_start_, spill_blocks, buf.data());
+    spill_scratch_.assign(std::size_t{spill_blocks} * b, 0);
+    for (std::size_t i = 0; i < spill; ++i) {
+      spill_scratch_[i] = free_list_[n_inline + i];
+    }
+    device_->WriteRun(spill_start_, spill_blocks, spill_scratch_.data());
   }
   super[kWNextBlock] = next_block_;
   super[kWSpillBlocks] = spill_blocks;
@@ -181,17 +183,19 @@ Status Pager::LoadSuperblock() {
     if (spill_start_ + spill_blocks > device_->NumBlocks()) {
       return Status::FailedPrecondition("truncated free-list spill");
     }
-    std::vector<word_t> buf(std::size_t{spill_blocks} * b, 0);
-    device_->ReadRun(spill_start_, spill_blocks, buf.data());
-    for (std::size_t i = 0; i < spill; ++i) free_list_.push_back(buf[i]);
+    spill_scratch_.assign(std::size_t{spill_blocks} * b, 0);
+    device_->ReadRun(spill_start_, spill_blocks, spill_scratch_.data());
+    for (std::size_t i = 0; i < spill; ++i) {
+      free_list_.push_back(spill_scratch_[i]);
+    }
   }
   return Status::Ok();
 }
 
 StatusOr<std::unique_ptr<Pager>> Pager::Open(const EmOptions& options) {
   options.Validate();
-  if (options.backend != Backend::kFile) {
-    return Status::InvalidArgument("Open requires the file backend");
+  if (options.backend == Backend::kMem) {
+    return Status::InvalidArgument("Open requires a file-backed backend");
   }
   if (!std::filesystem::exists(options.path)) {
     return Status::NotFound("no such device file: " + options.path);

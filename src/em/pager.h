@@ -152,6 +152,15 @@ class Pager {
     return PageRef(&pool_, pool_.Pin(id, BufferPool::PinMode::kCreate));
   }
 
+  /// Loads any uncached blocks of `ids` into the pool as one batched device
+  /// submission, without pinning: the Fetches that follow become pool hits.
+  /// A hint (blocks that do not fit next to the current pins are skipped),
+  /// so it never changes results — only how transfers are scheduled. This is
+  /// the pager's one batched entry point: hint-then-Fetch keeps the O(1)
+  /// pin budget of every algorithm intact, where a pin-them-all API would
+  /// tie correctness to the frame count.
+  void Prefetch(std::span<const BlockId> ids) { pool_.Prefetch(ids); }
+
   /// Flushes the pool and serializes allocator state plus `roots` — an
   /// application-defined directory of up to B - kSuperHeaderWords words,
   /// typically structure meta-block ids — into the next superblock slot,
@@ -213,6 +222,9 @@ class Pager {
   // allocation and blocks_in_use_) until the next checkpoint reclaims it.
   BlockId spill_start_ = 0;
   std::uint32_t spill_count_ = 0;
+  // Scratch for spill-run transfers: hoisted so repeated checkpoints reuse
+  // one allocation instead of building a fresh vector per spill run.
+  std::vector<word_t> spill_scratch_;
   std::uint64_t epoch_ = 0;  // checkpoint counter; parity picks the slot
 };
 

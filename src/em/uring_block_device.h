@@ -1,0 +1,63 @@
+// io_uring backend: the file device with truly asynchronous batch I/O.
+
+#ifndef TOKRA_EM_URING_BLOCK_DEVICE_H_
+#define TOKRA_EM_URING_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "em/file_block_device.h"
+
+// The implementation speaks the raw io_uring syscall ABI (io_uring_setup /
+// io_uring_enter against <linux/io_uring.h>), so it needs no liburing at
+// build time; TOKRA_HAVE_URING is set by CMake when the kernel header is
+// available. Callers should not include this header directly — go through
+// MakeBlockDevice, which also handles the runtime probe.
+#if defined(TOKRA_HAVE_URING)
+
+namespace tokra::em {
+
+/// FileBlockDevice whose SubmitReads/SubmitWrites keep up to
+/// EmOptions::io_queue_depth block transfers in flight on an io_uring.
+///
+/// Single transfers (Read/Write/runs) stay on the synchronous pread/pwrite
+/// path of the base class — a ring round trip for one block buys nothing.
+/// Batches are submitted as IORING_OP_READ/WRITE SQEs and reaped until every
+/// member completed; short transfers are resubmitted for the remainder, so
+/// the completed batch is byte-equivalent to the synchronous loop.
+///
+/// Construction requires Supported() (the runtime probe); MakeBlockDevice
+/// falls back to plain FileBlockDevice when the kernel refuses a ring, so
+/// Backend::kUring always yields a working device.
+class UringBlockDevice final : public FileBlockDevice {
+ public:
+  /// Runtime probe: whether this kernel can set up an io_uring (the syscall
+  /// may be missing, seccomp-filtered, or disabled via sysctl). Probes once
+  /// per process.
+  static bool Supported();
+
+  UringBlockDevice(std::uint32_t block_words, FileOptions options,
+                   std::uint32_t queue_depth);
+  ~UringBlockDevice() override;
+
+  std::uint32_t queue_depth() const { return queue_depth_; }
+
+ protected:
+  void DoReadBatch(std::span<const IoRequest> reqs) override;
+  void DoWriteBatch(std::span<const IoRequest> reqs) override;
+
+ private:
+  struct Ring;  // mmap'ed SQ/CQ state, defined in the .cc
+
+  /// Runs a whole batch through the ring: fills the submission queue up to
+  /// queue_depth_, io_uring_enter()s, reaps completions, resubmits short
+  /// transfers, until every request has fully completed.
+  void RunBatch(std::span<const IoRequest> reqs, bool is_write);
+
+  std::uint32_t queue_depth_;
+  Ring* ring_ = nullptr;
+};
+
+}  // namespace tokra::em
+
+#endif  // TOKRA_HAVE_URING
+#endif  // TOKRA_EM_URING_BLOCK_DEVICE_H_

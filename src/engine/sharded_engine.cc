@@ -393,17 +393,38 @@ Status ShardedTopkEngine::Checkpoint() {
         "shard storage is inconsistent after a failed rebalance commit; "
         "restart and Recover() to roll it forward");
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    // Root 0 is the index meta (written by TopkIndex::Checkpoint); root 1
-    // carries this shard's lower bound so Recover restores the partition;
-    // root 2 records the shard count so Recover rejects a topology
-    // mismatch instead of silently dropping key ranges; root 3 is the
-    // topology generation so Recover reconciles a half-renamed rebalance.
+  // Root 0 is the index meta (written by TopkIndex::Checkpoint); root 1
+  // carries this shard's lower bound so Recover restores the partition;
+  // root 2 records the shard count so Recover rejects a topology
+  // mismatch instead of silently dropping key ranges; root 3 is the
+  // topology generation so Recover reconciles a half-renamed rebalance.
+  auto checkpoint_shard = [&](std::size_t i) {
     const std::uint64_t extra[kShardCheckpointRoots - 1] = {
         std::bit_cast<std::uint64_t>(lower_bounds_[i]),
         options_.num_shards, generation_};
-    TOKRA_RETURN_IF_ERROR(shards_[i]->index->Checkpoint(extra));
+    return shards_[i]->index->Checkpoint(extra);
+  };
+  std::vector<Status> statuses(shards_.size());
+  if (options_.parallel_checkpoint && shards_.size() > 1) {
+    // Shard checkpoints touch disjoint pagers and files, so they can
+    // overlap freely; each one still runs its own flush -> barrier ->
+    // superblock -> barrier sequence, which is the entirety of the
+    // crash-safety argument (DESIGN.md §6.3). RunAll is the barrier: no
+    // checkpoint is acknowledged before every shard's durability barriers
+    // have completed. We hold topology_mu_ exclusively, so no fan-out
+    // query can race these pool tasks on the shard pagers.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      tasks.emplace_back([&, i] { statuses[i] = checkpoint_shard(i); });
+    }
+    pool_.RunAll(std::move(tasks));
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      statuses[i] = checkpoint_shard(i);
+    }
   }
+  for (const Status& st : statuses) TOKRA_RETURN_IF_ERROR(st);
   return Status::Ok();
 }
 

@@ -10,11 +10,16 @@ namespace tokra::flgroup {
 namespace {
 
 /// Serialized words -> block list (each block holds B words of the stream).
+/// The touched prefix of the block list is prefetched as one batch — these
+/// streams (sketches, Lemma 8 prefix tables) are the group walks on the
+/// small-k query path.
 std::vector<em::word_t> ReadWordStream(em::Pager* pager,
                                        const std::vector<em::BlockId>& blocks,
                                        std::uint64_t n_words) {
   std::vector<em::word_t> out(n_words);
   std::uint32_t b = pager->B();
+  std::size_t touched = static_cast<std::size_t>(CeilDiv(n_words, std::uint64_t{b}));
+  if (touched > 1) pager->Prefetch({blocks.data(), touched});
   for (std::uint64_t w = 0; w < n_words;) {
     std::size_t bi = w / b;
     em::PageRef page = pager->Fetch(blocks[bi]);
@@ -28,6 +33,9 @@ std::vector<em::word_t> ReadWordStream(em::Pager* pager,
 void WriteWordStream(em::Pager* pager, const std::vector<em::BlockId>& blocks,
                      std::span<const em::word_t> words) {
   std::uint32_t b = pager->B();
+  std::size_t touched = static_cast<std::size_t>(
+      CeilDiv(std::uint64_t{words.size()}, std::uint64_t{b}));
+  if (touched > 1) pager->Prefetch({blocks.data(), touched});
   for (std::uint64_t w = 0; w < words.size();) {
     std::size_t bi = w / b;
     em::PageRef page = pager->Fetch(blocks[bi]);

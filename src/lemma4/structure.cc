@@ -464,6 +464,11 @@ std::uint64_t Lemma4Selector::CountInRange(double x1, double x2) const {
       total += sel.CountInRange(x1, x2);
       continue;
     }
+    // The scan below reads the first n.f records; prefetch exactly the
+    // blocks holding them (crb is sized for 2f capacity — the tail blocks
+    // may never be touched and must not be charged).
+    pager_->Prefetch({n.crb.data(),
+                      em::PagedArray<ChildRec>::BlocksFor(pager_->B(), n.f)});
     em::PagedArray<ChildRec> crarr(pager_, n.crb);
     for (std::uint32_t c = 0; c < n.f; ++c) {
       ChildRec cr = crarr.Get(c);
@@ -507,6 +512,9 @@ StatusOr<double> Lemma4Selector::SelectApprox(double x1, double x2,
       if (res.ok() && *res != -kInf) leaf_candidates.push_back(*res);
       continue;
     }
+    // As in CountInRange: only the blocks backing the n.f live records.
+    pager_->Prefetch({n.crb.data(),
+                      em::PagedArray<ChildRec>::BlocksFor(pager_->B(), n.f)});
     em::PagedArray<ChildRec> crarr(pager_, n.crb);
     auto flg = std::make_unique<flgroup::FlGroup>(
         flgroup::FlGroup::Open(pager_, n.flg_meta));

@@ -84,6 +84,21 @@ std::vector<Point> PilotPst::PilotRead(const TNodeRec& rec) const {
   return pts;
 }
 
+void PilotPst::PrefetchPilots(
+    std::span<const std::pair<TRef, TNodeRec>> recs) const {
+  std::vector<em::BlockId> ids;
+  ids.reserve(recs.size());
+  for (const auto& [t, rec] : recs) {
+    if (rec.pilot_count == 0) continue;
+    // Only the blocks PilotRead will touch: prefetch must batch the reads
+    // that happen anyway, never add transfers.
+    std::uint32_t nb = em::PagedArray<Point>::BlocksFor(
+        B(), static_cast<std::uint32_t>(rec.pilot_count));
+    for (std::uint32_t i = 0; i < nb; ++i) ids.push_back(rec.pilot_blocks[i]);
+  }
+  if (ids.size() > 1) pager_->Prefetch(ids);
+}
+
 void PilotPst::PilotWrite(const TRef& t, TNodeRec* rec,
                           const std::vector<Point>& pts) {
   TOKRA_CHECK(pts.size() <= PilotMax());

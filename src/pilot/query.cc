@@ -181,8 +181,12 @@ StatusOr<std::vector<Point>> PilotPst::TopK(double x1, double x2,
   };
   for (const select::HeapNode& nd : top) {
     TRef t = view.Resolve(nd.id);
-    TNodeRec rec = LoadTNode(t);
-    sr_recs.emplace_back(t, rec);
+    sr_recs.emplace_back(t, LoadTNode(t));
+  }
+  // All selected pilot sets are known now: batch their blocks into one
+  // device submission before any is read (the k/B term of the query).
+  PrefetchPilots(sr_recs);
+  for (const auto& [t, rec] : sr_recs) {
     emit(t, rec, stats != nullptr ? &stats->q2_points : nullptr);
   }
 
@@ -227,25 +231,38 @@ Status PilotPst::Report3Sided(double x1, double x2, double y,
                               std::vector<Point>* out) const {
   if (x1 > x2) return Status::InvalidArgument("x1 > x2");
   if (size() == 0) return Status::Ok();
-  std::vector<TRef> stack{RootTRef()};
-  while (!stack.empty()) {
-    TRef t = stack.back();
-    stack.pop_back();
-    TNodeRec rec = LoadTNode(t);
-    if (rec.hi_x() <= x1 || rec.lo_x() > x2) continue;  // slab disjoint
-    if (rec.pilot_count == 0) continue;  // empty pilot => empty subtree
-    if (rec.pmax() < y) continue;        // whole subtree below the threshold
-    std::vector<Point> pts = PilotRead(rec);
-    for (const Point& p : pts) {
-      if (p.x >= x1 && p.x <= x2 && p.score >= y) out->push_back(p);
+  // Breadth-first waves instead of a DFS stack: every node a wave will
+  // report from is known before any pilot set is read, so each level's
+  // pilot blocks go to the device as one batch (the reported set — and
+  // thus the I/O count — is identical; only the emission order changes,
+  // and every caller selects/sorts afterwards).
+  std::vector<std::pair<TRef, TNodeRec>> live;
+  std::vector<TRef> wave{RootTRef()}, next;
+  while (!wave.empty()) {
+    live.clear();
+    for (const TRef& t : wave) {
+      TNodeRec rec = LoadTNode(t);
+      if (rec.hi_x() <= x1 || rec.lo_x() > x2) continue;  // slab disjoint
+      if (rec.pilot_count == 0) continue;  // empty pilot => empty subtree
+      if (rec.pmax() < y) continue;  // whole subtree below the threshold
+      live.emplace_back(t, rec);
     }
-    if (rec.is_slab()) {
-      TRef c = SlabChild(rec);
-      if (c.valid()) stack.push_back(c);
-    } else {
-      stack.push_back(TRef{t.base, static_cast<TIndex>(rec.left)});
-      stack.push_back(TRef{t.base, static_cast<TIndex>(rec.right)});
+    PrefetchPilots(live);
+    next.clear();
+    for (const auto& [t, rec] : live) {
+      std::vector<Point> pts = PilotRead(rec);
+      for (const Point& p : pts) {
+        if (p.x >= x1 && p.x <= x2 && p.score >= y) out->push_back(p);
+      }
+      if (rec.is_slab()) {
+        TRef c = SlabChild(rec);
+        if (c.valid()) next.push_back(c);
+      } else {
+        next.push_back(TRef{t.base, static_cast<TIndex>(rec.left)});
+        next.push_back(TRef{t.base, static_cast<TIndex>(rec.right)});
+      }
     }
+    wave.swap(next);
   }
   return Status::Ok();
 }

@@ -1,0 +1,408 @@
+// Batched-I/O pipeline tests: the SubmitReads/SubmitWrites device API,
+// buffer-pool PinMany/Prefetch semantics, backend parity (Mem / File /
+// Uring produce identical logical I/O counts and oracle-identical query
+// results), and parallel-vs-serial engine checkpoint equivalence.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/topk_index.h"
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "em/file_block_device.h"
+#include "em/pager.h"
+#include "em/uring_block_device.h"
+#include "engine/sharded_engine.h"
+#include "internal/naive.h"
+#include "util/point.h"
+#include "util/random.h"
+
+namespace tokra {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique temp directory for one test; removed recursively on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("tokra-batchio-" + tag + "-" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<Point> MakePoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, 1e6);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+/// All file-capable backends available in this build/kernel. kUring is
+/// always requestable — MakeBlockDevice falls back to the sync file device
+/// when rings are unavailable — so listing it unconditionally also tests
+/// the fallback path on kernels without io_uring.
+std::vector<em::Backend> FileBackends() {
+  return {em::Backend::kFile, em::Backend::kUring};
+}
+
+// ---------------------------------------------------------------------------
+// Device batch API
+
+TEST(BatchDeviceTest, SubmitBatchRoundTripEveryBackend) {
+  TempDir dir("roundtrip");
+  for (em::Backend backend :
+       {em::Backend::kMem, em::Backend::kFile, em::Backend::kUring}) {
+    em::EmOptions opts{.block_words = 16, .pool_frames = 4};
+    opts.backend = backend;
+    opts.path = dir.File("rt-" + std::to_string(static_cast<int>(backend)));
+    opts.io_queue_depth = 4;  // smaller than the batch: forces multiple waves
+    auto dev = em::MakeBlockDevice(opts, /*truncate_file=*/true);
+
+    // Scattered, unsorted batch of 11 distinct blocks.
+    constexpr std::uint32_t kCount = 11;
+    std::vector<std::vector<em::word_t>> bufs(kCount);
+    std::vector<em::IoRequest> writes;
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      em::BlockId id = (i * 7 + 3) % 23;
+      bufs[i].assign(16, 0);
+      for (std::uint32_t w = 0; w < 16; ++w) bufs[i][w] = id * 100 + w;
+      writes.push_back(em::IoRequest{id, bufs[i].data()});
+    }
+    dev->SubmitWrites(writes);
+    EXPECT_EQ(dev->writes(), kCount);
+
+    std::vector<std::vector<em::word_t>> got(kCount);
+    std::vector<em::IoRequest> reads;
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      got[i].assign(16, ~em::word_t{0});
+      reads.push_back(em::IoRequest{writes[i].id, got[i].data()});
+    }
+    dev->SubmitReads(reads);
+    EXPECT_EQ(dev->reads(), kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) EXPECT_EQ(got[i], bufs[i]);
+
+    // Empty batches are free.
+    dev->SubmitReads({});
+    dev->SubmitWrites({});
+    EXPECT_EQ(dev->reads(), kCount);
+    EXPECT_EQ(dev->writes(), kCount);
+  }
+}
+
+TEST(BatchDeviceTest, BatchCountsMatchSequentialLoop) {
+  TempDir dir("counts");
+  for (em::Backend backend : FileBackends()) {
+    em::EmOptions opts{.block_words = 16, .pool_frames = 4};
+    opts.backend = backend;
+    opts.path = dir.File("cnt-" + std::to_string(static_cast<int>(backend)));
+    auto batch_dev = em::MakeBlockDevice(opts, true);
+    opts.path += ".seq";
+    auto seq_dev = em::MakeBlockDevice(opts, true);
+
+    std::vector<std::vector<em::word_t>> bufs(8);
+    std::vector<em::IoRequest> reqs;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      bufs[i].assign(16, i);
+      reqs.push_back(em::IoRequest{i * 3, bufs[i].data()});
+    }
+    batch_dev->SubmitWrites(reqs);
+    batch_dev->SubmitReads(reqs);
+    for (const em::IoRequest& r : reqs) seq_dev->Write(r.id, r.buf);
+    for (const em::IoRequest& r : reqs) seq_dev->Read(r.id, r.buf);
+
+    // The model charges per block transferred, however it is scheduled.
+    EXPECT_EQ(batch_dev->reads(), seq_dev->reads());
+    EXPECT_EQ(batch_dev->writes(), seq_dev->writes());
+    EXPECT_EQ(batch_dev->NumBlocks(), seq_dev->NumBlocks());
+  }
+}
+
+#if defined(TOKRA_HAVE_URING)
+TEST(BatchDeviceTest, UringDeviceSelectedWhenSupported) {
+  if (!em::UringBlockDevice::Supported()) {
+    GTEST_SKIP() << "kernel does not grant io_uring";
+  }
+  TempDir dir("probe");
+  em::EmOptions opts{.block_words = 16, .pool_frames = 4};
+  opts.backend = em::Backend::kUring;
+  opts.path = dir.File("probe.blk");
+  opts.io_queue_depth = 8;
+  auto dev = em::MakeBlockDevice(opts, true);
+  auto* uring = dynamic_cast<em::UringBlockDevice*>(dev.get());
+  ASSERT_NE(uring, nullptr);
+  EXPECT_GE(uring->queue_depth(), 1u);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Buffer-pool batching
+
+TEST(BufferPoolBatchTest, PinManyCoalescesMissesAndPinsEverything) {
+  em::MemBlockDevice dev(8);
+  dev.EnsureCapacity(32);
+  em::BufferPool pool(&dev, 8);
+  std::vector<em::BlockId> ids{4, 9, 2, 17, 9};  // one duplicate
+  std::vector<std::uint32_t> frames;
+  pool.PinMany(ids, &frames);
+  ASSERT_EQ(frames.size(), ids.size());
+  EXPECT_EQ(dev.reads(), 4u);  // duplicate served from the batch's own load
+  EXPECT_EQ(pool.stats().pool_misses, 4u);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+  EXPECT_EQ(frames[1], frames[4]);  // same block, same frame, two pins
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(pool.FrameBlock(frames[i]), ids[i]);
+    pool.Unpin(frames[i], false);
+  }
+}
+
+TEST(BufferPoolBatchTest, PrefetchedBlocksAreByteIdenticalToColdPins) {
+  TempDir dir("prefetch");
+  for (em::Backend backend : FileBackends()) {
+    em::EmOptions opts{.block_words = 8, .pool_frames = 8};
+    opts.backend = backend;
+    opts.path = dir.File("pf-" + std::to_string(static_cast<int>(backend)));
+    auto dev = em::MakeBlockDevice(opts, true);
+    std::vector<em::word_t> buf(8);
+    for (em::BlockId id = 0; id < 6; ++id) {
+      for (std::uint32_t w = 0; w < 8; ++w) buf[w] = id * 1000 + w;
+      dev->Write(id, buf.data());
+    }
+
+    // Cold pins on one pool; prefetch-then-pin on a second.
+    em::BufferPool cold(dev.get(), 8), warm(dev.get(), 8);
+    std::vector<em::BlockId> ids{0, 1, 2, 3, 4, 5};
+    warm.Prefetch(ids);
+    EXPECT_EQ(warm.stats().prefetched, 6u);
+    EXPECT_EQ(warm.stats().pool_misses, 0u);
+    std::uint64_t dev_reads = dev->reads();
+    for (em::BlockId id : ids) {
+      std::uint32_t cf = cold.Pin(id, em::BufferPool::PinMode::kRead);
+      std::uint32_t wf = warm.Pin(id, em::BufferPool::PinMode::kRead);
+      EXPECT_EQ(std::vector<em::word_t>(cold.FrameData(cf),
+                                        cold.FrameData(cf) + 8),
+                std::vector<em::word_t>(warm.FrameData(wf),
+                                        warm.FrameData(wf) + 8));
+      cold.Unpin(cf, false);
+      warm.Unpin(wf, false);
+    }
+    // The warm pool's pins were all hits: only the cold pool read.
+    EXPECT_EQ(dev->reads(), dev_reads + 6);
+    EXPECT_EQ(warm.stats().pool_hits, 6u);
+  }
+}
+
+TEST(BufferPoolBatchTest, PrefetchRespectsPinsAndSkipsWhenFull) {
+  em::MemBlockDevice dev(8);
+  dev.EnsureCapacity(64);
+  em::BufferPool pool(&dev, 4);
+  // Pin three of four frames.
+  std::uint32_t f0 = pool.Pin(0, em::BufferPool::PinMode::kRead);
+  std::uint32_t f1 = pool.Pin(1, em::BufferPool::PinMode::kRead);
+  std::uint32_t f2 = pool.Pin(2, em::BufferPool::PinMode::kRead);
+  pool.FrameData(f0)[0] = 42;
+  // Prefetch far more than fits: it must fill the one free frame, evict
+  // nothing pinned, and silently skip the rest.
+  std::vector<em::BlockId> many;
+  for (em::BlockId id = 10; id < 40; ++id) many.push_back(id);
+  pool.Prefetch(many);
+  EXPECT_EQ(pool.stats().prefetched, 1u);
+  EXPECT_EQ(pool.FrameBlock(f0), 0u);
+  EXPECT_EQ(pool.FrameData(f0)[0], 42u);
+  // A prefetch that fits no frame at all is a no-op, not an error.
+  std::uint32_t f3 = pool.Pin(3, em::BufferPool::PinMode::kRead);
+  pool.Prefetch(many);
+  EXPECT_EQ(pool.stats().prefetched, 1u);
+  for (std::uint32_t f : {f0, f1, f2, f3}) pool.Unpin(f, false);
+}
+
+TEST(BufferPoolBatchTest, BatchEvictionWritesBackDirtyVictims) {
+  em::MemBlockDevice dev(8);
+  dev.EnsureCapacity(64);
+  em::BufferPool pool(&dev, 4);
+  // Dirty all four frames.
+  for (em::BlockId id = 0; id < 4; ++id) {
+    std::uint32_t f = pool.Pin(id, em::BufferPool::PinMode::kRead);
+    pool.FrameData(f)[0] = 7 + id;
+    pool.Unpin(f, true);
+  }
+  // A 4-block PinMany evicts all four dirty frames as one write batch.
+  std::vector<em::BlockId> ids{10, 11, 12, 13};
+  std::vector<std::uint32_t> frames;
+  pool.PinMany(ids, &frames);
+  EXPECT_EQ(dev.writes(), 4u);
+  EXPECT_EQ(pool.stats().evictions, 4u);
+  for (std::uint32_t f : frames) pool.Unpin(f, false);
+  // The written-back contents are intact.
+  for (em::BlockId id = 0; id < 4; ++id) {
+    std::uint32_t f = pool.Pin(id, em::BufferPool::PinMode::kRead);
+    EXPECT_EQ(pool.FrameData(f)[0], 7 + id);
+    pool.Unpin(f, false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend parity on the full structure
+
+TEST(BackendParityTest, IdenticalIoCountsAndOracleResults) {
+  TempDir dir("parity");
+  constexpr std::size_t kN = 4096;
+  constexpr int kQueries = 200;
+  Rng rng(77);
+  auto points = MakePoints(&rng, kN);
+
+  struct RunOut {
+    em::IoStats build, query;
+    std::vector<std::vector<Point>> results;
+  };
+  auto run = [&](em::Backend backend, const std::string& path,
+                 std::uint32_t qd) {
+    em::EmOptions opts{.block_words = 64, .pool_frames = 16};
+    opts.backend = backend;
+    opts.path = path;
+    opts.io_queue_depth = qd;
+    em::Pager pager(opts);
+    RunOut out;
+    auto built = core::TopkIndex::Build(&pager, points);
+    TOKRA_CHECK(built.ok());
+    pager.FlushAll();
+    out.build = pager.stats();
+    Rng qrng(78);
+    em::IoStats before = pager.stats();
+    for (int i = 0; i < kQueries; ++i) {
+      pager.DropCache();  // cold: every touched block is a real transfer
+      double a = qrng.UniformDouble(0.0, 1e6);
+      double b = qrng.UniformDouble(0.0, 1e6);
+      std::uint64_t k = 1 + qrng.Uniform(200);
+      auto r = (*built)->TopK(std::min(a, b), std::max(a, b), k);
+      TOKRA_CHECK(r.ok());
+      out.results.push_back(std::move(*r));
+    }
+    out.query = pager.stats() - before;
+    return out;
+  };
+
+  RunOut mem = run(em::Backend::kMem, "", 1);
+  RunOut file = run(em::Backend::kFile, dir.File("parity-file.blk"), 1);
+  RunOut uring8 = run(em::Backend::kUring, dir.File("parity-u8.blk"), 8);
+  RunOut uring32 = run(em::Backend::kUring, dir.File("parity-u32.blk"), 32);
+
+  // Logical I/O counts are a property of the access sequence, not the
+  // backend or the queue depth.
+  for (const RunOut* other : {&file, &uring8, &uring32}) {
+    EXPECT_EQ(mem.build.reads, other->build.reads);
+    EXPECT_EQ(mem.build.writes, other->build.writes);
+    EXPECT_EQ(mem.query.reads, other->query.reads);
+    EXPECT_EQ(mem.query.writes, other->query.writes);
+    EXPECT_EQ(mem.query.pool_hits, other->query.pool_hits);
+    EXPECT_EQ(mem.query.pool_misses, other->query.pool_misses);
+    EXPECT_EQ(mem.query.prefetched, other->query.prefetched);
+    ASSERT_EQ(mem.results.size(), other->results.size());
+    for (std::size_t i = 0; i < mem.results.size(); ++i) {
+      EXPECT_EQ(mem.results[i], other->results[i]) << "query " << i;
+    }
+  }
+
+  // And the shared answers are right: check against the oracle.
+  Rng qrng(78);
+  for (int i = 0; i < kQueries; ++i) {
+    double a = qrng.UniformDouble(0.0, 1e6);
+    double b = qrng.UniformDouble(0.0, 1e6);
+    std::uint64_t k = 1 + qrng.Uniform(200);
+    auto expect =
+        internal::NaiveTopK(points, std::min(a, b), std::max(a, b), k);
+    EXPECT_EQ(mem.results[i], expect) << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel checkpoints
+
+engine::EngineOptions BaseEngineOptions(const std::string& dir) {
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 4;
+  opts.em.block_words = 64;
+  opts.em.pool_frames = 16;
+  opts.storage_dir = dir;
+  return opts;
+}
+
+TEST(ParallelCheckpointTest, MatchesSerialAndRecovers) {
+  TempDir par_dir("ckpt-par"), ser_dir("ckpt-ser");
+  Rng rng(91);
+  auto points = MakePoints(&rng, 2048);
+  auto extra = MakePoints(&rng, 256);
+
+  auto run = [&](const std::string& dir, bool parallel) {
+    engine::EngineOptions opts = BaseEngineOptions(dir);
+    opts.parallel_checkpoint = parallel;
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    TOKRA_CHECK(built.ok());
+    // Mutate after build so the checkpoint has real dirty state to flush.
+    for (const Point& p : extra) TOKRA_CHECK((*built)->Insert(p).ok());
+    for (std::size_t i = 0; i < points.size(); i += 5) {
+      TOKRA_CHECK((*built)->Delete(points[i]).ok());
+    }
+    TOKRA_CHECK((*built)->Checkpoint().ok());
+    auto recovered = engine::ShardedTopkEngine::Recover(opts);
+    TOKRA_CHECK(recovered.ok());
+    (*recovered)->CheckInvariants();
+    return std::move(*recovered);
+  };
+  auto par = run(par_dir.path(), /*parallel=*/true);
+  auto ser = run(ser_dir.path(), /*parallel=*/false);
+
+  EXPECT_EQ(par->size(), ser->size());
+  Rng qrng(92);
+  for (int i = 0; i < 100; ++i) {
+    double a = qrng.UniformDouble(0.0, 1e6);
+    double b = qrng.UniformDouble(0.0, 1e6);
+    std::uint64_t k = 1 + qrng.Uniform(64);
+    auto rp = par->TopK(std::min(a, b), std::max(a, b), k);
+    auto rs = ser->TopK(std::min(a, b), std::max(a, b), k);
+    ASSERT_TRUE(rp.ok() && rs.ok());
+    EXPECT_EQ(*rp, *rs) << "query " << i;
+  }
+}
+
+TEST(ParallelCheckpointTest, RepeatedCheckpointsStayRecoverable) {
+  TempDir dir("ckpt-repeat");
+  Rng rng(93);
+  auto points = MakePoints(&rng, 1024);
+  engine::EngineOptions opts = BaseEngineOptions(dir.path());
+  opts.em.backend = em::Backend::kUring;  // uring shards + parallel ckpt
+  auto built = engine::ShardedTopkEngine::Build(points, opts);
+  ASSERT_TRUE(built.ok());
+  auto more = MakePoints(&rng, 512);
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t i = round * 128; i < (round + 1) * 128; ++i) {
+      ASSERT_TRUE((*built)->Insert(more[i]).ok());
+    }
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }
+  std::uint64_t final_size = (*built)->size();
+  built->reset();  // close all shard files before reopening
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->size(), final_size);
+  (*recovered)->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace tokra
