@@ -191,6 +191,40 @@ int main() {
               "50/50 queries byte-identical\n",
               static_cast<unsigned long long>((*recovered)->size()),
               store.string().c_str());
+  recovered->reset();  // close the live engine; the files remain
+
+  // ---- read-only snapshot serving ---------------------------------------
+  // The same directory can be served without a write lock in sight:
+  // OpenSnapshot maps every shard file immutably (zero-copy mmap reads,
+  // per-replica concurrency) and never writes a byte — the same call works
+  // on a copy shipped to a replica machine.
+  auto snap = engine::ShardedTopkEngine::OpenSnapshot(popts);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "snapshot open failed: %s\n",
+                 snap.status().ToString().c_str());
+    return 1;
+  }
+  Rng srng(7);
+  srng.DistinctDoubles(5000, 0.0, 1e6);
+  srng.DistinctDoubles(5000, 0.0, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    double lo = srng.UniformDouble(0.0, 9e5);
+    auto r = (*snap)->TopK(lo, lo + 1e5, 10);
+    if (!r.ok() || *r != answers[i]) {
+      std::fprintf(stderr, "snapshot diverged on query %d\n", i);
+      return 1;
+    }
+  }
+  if ((*snap)->Insert(Point{2e6, 7.0}).ok()) {
+    std::fprintf(stderr, "snapshot accepted a write\n");
+    return 1;
+  }
+  em::IoStats sio = (*snap)->AggregatedIoStats();
+  std::printf("snapshot serving from the same files: 50/50 queries "
+              "byte-identical, writes refused, %llu of %llu reads "
+              "zero-copy\n",
+              static_cast<unsigned long long>(sio.borrows),
+              static_cast<unsigned long long>(sio.reads));
   fs::remove_all(store);
   return 0;
 }

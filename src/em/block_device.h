@@ -111,6 +111,32 @@ class BlockDevice {
     DoWriteBatch(reqs);
   }
 
+  /// Whether TryBorrowRead can ever succeed on this device. The buffer pool
+  /// checks once at construction to enable its borrowed-frame mode.
+  virtual bool SupportsBorrowedReads() const { return false; }
+
+  /// Zero-copy read: returns a pointer to block `id`'s current contents
+  /// (block_words() words, stable until the device is destroyed), or
+  /// nullptr when the backend cannot borrow. Counts one read I/O exactly
+  /// when it succeeds — counting stays here in the base class, so a
+  /// workload's logical cost is identical whether a block was copied into a
+  /// frame or borrowed from the mapping. The memory is read-only; writers
+  /// must copy into their own frame first (the pool's copy-on-write pin).
+  const word_t* TryBorrowRead(BlockId id) {
+    TOKRA_CHECK(id < NumBlocks());
+    const word_t* p = DoBorrowRead(id);
+    if (p != nullptr) ++reads_;
+    return p;
+  }
+
+  /// Hint: `bufs` are long-lived block-sized I/O buffers (the pool's
+  /// frames) that future Submit batches will target. Backends may
+  /// pre-register them with the kernel (io_uring registered buffers); the
+  /// default ignores the hint. Never affects results or I/O counts.
+  virtual void RegisterIoBuffers(std::span<word_t* const> bufs) {
+    (void)bufs;
+  }
+
   /// Extends the device to back at least `blocks` blocks (zero-filled).
   /// Growing is free: it models formatting, not data transfer.
   virtual void EnsureCapacity(BlockId blocks) = 0;
@@ -141,6 +167,10 @@ class BlockDevice {
     for (std::uint32_t i = 0; i < count; ++i) {
       DoWrite(first + i, src + std::size_t{i} * block_words_);
     }
+  }
+  virtual const word_t* DoBorrowRead(BlockId id) {
+    (void)id;
+    return nullptr;
   }
   virtual void DoReadBatch(std::span<const IoRequest> reqs) {
     for (const IoRequest& r : reqs) DoRead(r.id, r.buf);

@@ -46,6 +46,10 @@ std::uint32_t BufferPool::TryFindVictim() {
 void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
   Frame& f = frames_[v];
   if (!f.valid) return;
+  // A borrowed frame never owns modified bytes (mutation upgrades it to an
+  // owned copy first), so evicting one writes nothing and never touches
+  // the mapping — it is dropped bookkeeping, not a transfer.
+  TOKRA_DCHECK(!(f.dirty && f.ext != nullptr));
   if (f.dirty) {
     if (batch != nullptr) {
       batch->push_back(IoRequest{f.id, f.buf.data()});
@@ -58,6 +62,7 @@ void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
   ++stats_.evictions;
   LruRemove(v);
   f.valid = false;
+  f.ext = nullptr;
 }
 
 std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
@@ -80,10 +85,15 @@ std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
   f.pins = 1;
   LruPushFront(v);
   if (mode == PinMode::kRead) {
-    device_->Read(id, f.buf.data());
+    if (borrow_ && (f.ext = device_->TryBorrowRead(id)) != nullptr) {
+      ++stats_.borrows;  // zero-copy: the frame needs no buffer at all
+    } else {
+      device_->Read(id, OwnedBuf(f));
+    }
     ++stats_.reads;
   } else {
-    std::fill(f.buf.begin(), f.buf.end(), 0);
+    word_t* buf = OwnedBuf(f);
+    std::fill(buf, buf + device_->block_words(), 0);
     // A created frame is dirty by definition: its zeros are new content.
     f.dirty = true;
   }
@@ -129,7 +139,18 @@ void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
     if (!pin) unpin_after.push_back(v);
     LruPushFront(v);
     map_[id] = v;
-    read_batch.push_back(IoRequest{id, f.buf.data()});
+    // Borrowed misses need no device round trip at all — the pointer grab
+    // IS the transfer; only copying misses join the read batch. Borrowing
+    // before the deferred victim write-backs is safe even if a victim of
+    // this very batch held this block: the pointer is a view of the page
+    // cache, so it observes the write-back the moment SubmitWrites below
+    // completes — before any caller can dereference it.
+    if (borrow_ && (f.ext = device_->TryBorrowRead(id)) != nullptr) {
+      ++stats_.borrows;
+      ++stats_.reads;
+    } else {
+      read_batch.push_back(IoRequest{id, OwnedBuf(f)});
+    }
     if (pin) {
       ++stats_.pool_misses;
     } else {
@@ -157,6 +178,10 @@ void BufferPool::Unpin(std::uint32_t frame, bool dirty) {
   Frame& f = frames_[frame];
   TOKRA_CHECK(f.pins > 0);
   --f.pins;
+  // Dirtying a still-borrowed frame would lose the mutation (write-back
+  // flushes the owned buffer): mutators must go through FrameData, which
+  // upgrades the frame to an owned copy first.
+  TOKRA_DCHECK(!(dirty && f.ext != nullptr));
   if (dirty) f.dirty = true;
 }
 
@@ -179,6 +204,7 @@ void BufferPool::DropAll() {
     TOKRA_CHECK(f.pins == 0);  // dropping while pinned is a bug
     f.valid = false;
     f.id = kNullBlock;
+    f.ext = nullptr;
     f.lru_prev = f.lru_next = kNoFrame;
   }
   map_.clear();
@@ -197,6 +223,7 @@ void BufferPool::Invalidate(BlockId id) {
   f.valid = false;
   f.dirty = false;
   f.id = kNullBlock;
+  f.ext = nullptr;
   map_.erase(it);
   free_.push_back(v);
 }

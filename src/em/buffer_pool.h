@@ -3,6 +3,7 @@
 #ifndef TOKRA_EM_BUFFER_POOL_H_
 #define TOKRA_EM_BUFFER_POOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -33,6 +34,17 @@ namespace tokra::em {
 /// coalesced into one SubmitWrites (dirty victims) + one SubmitReads batch,
 /// so a query that knows its next k/B blocks pays one device round trip,
 /// not k/B sequential ones.
+///
+/// Borrowed-frame mode (devices with SupportsBorrowedReads, i.e. kMmap):
+/// a read pin that misses borrows a pointer straight into the device
+/// mapping instead of copying the block into the frame buffer — the frame
+/// becomes pure bookkeeping (id, pins, LRU position) and the OS page cache
+/// holds the bytes. ReadData serves reads from the borrowed pointer;
+/// FrameData (the mutable accessor) upgrades the frame copy-on-write into
+/// its owned buffer first, so the dirty/write-back contract is exactly the
+/// copying pool's: a borrowed frame is never dirty, and eviction of one
+/// writes nothing. Hit/miss/eviction logic is shared with the copying
+/// path, so logical I/O counts stay backend-identical by construction.
 class BufferPool {
  public:
   enum class PinMode {
@@ -41,9 +53,23 @@ class BufferPool {
   };
 
   BufferPool(BlockDevice* device, std::uint32_t num_frames)
-      : device_(device), frames_(num_frames) {
+      : device_(device),
+        frames_(num_frames),
+        borrow_(device->SupportsBorrowedReads()) {
     TOKRA_CHECK(num_frames >= 2);
-    for (Frame& f : frames_) f.buf.resize(device_->block_words(), 0);
+    if (!borrow_) {
+      // Copying pools allocate every frame up front, which also gives the
+      // device stable buffers to pre-register (io_uring registered
+      // buffers; a hint only, no-op on other backends).
+      for (Frame& f : frames_) f.buf.resize(device_->block_words(), 0);
+      std::vector<word_t*> bufs;
+      bufs.reserve(num_frames);
+      for (Frame& f : frames_) bufs.push_back(f.buf.data());
+      device_->RegisterIoBuffers(bufs);
+    }
+    // Borrow-capable pools allocate frame buffers lazily (OwnedBuf): a
+    // frame that only ever borrows stays allocation-free, so a read-only
+    // snapshot pool really is pure bookkeeping.
     // Free-stack popped from the back: reversed order hands out frames
     // 0, 1, 2, ... exactly like the former first-invalid-index scan.
     free_.reserve(num_frames);
@@ -68,8 +94,28 @@ class BufferPool {
   /// Releases one pin; `dirty` marks the frame as modified.
   void Unpin(std::uint32_t frame, bool dirty);
 
-  word_t* FrameData(std::uint32_t frame) { return frames_[frame].buf.data(); }
+  /// Read-only view of the frame's block: the borrowed mapping pointer when
+  /// the frame is borrowed, else the owned buffer. The zero-copy read path.
+  const word_t* ReadData(std::uint32_t frame) const {
+    const Frame& f = frames_[frame];
+    return f.ext != nullptr ? f.ext : f.buf.data();
+  }
+
+  /// Mutable access; upgrades a borrowed frame copy-on-write into its owned
+  /// buffer first, so mutation and write-back never touch the mapping.
+  word_t* FrameData(std::uint32_t frame) {
+    Frame& f = frames_[frame];
+    if (f.ext != nullptr) {
+      f.buf.assign(f.ext, f.ext + device_->block_words());
+      f.ext = nullptr;
+    }
+    return OwnedBuf(f);
+  }
+
   BlockId FrameBlock(std::uint32_t frame) const { return frames_[frame].id; }
+  bool FrameBorrowed(std::uint32_t frame) const {
+    return frames_[frame].ext != nullptr;
+  }
 
   /// Writes back all dirty frames (each one write I/O, one batch submission).
   /// Frames stay cached.
@@ -93,11 +139,15 @@ class BufferPool {
   struct Frame {
     BlockId id = kNullBlock;
     bool valid = false;
-    bool dirty = false;
+    bool dirty = false;  // never set while ext != nullptr (borrowed frames
+                         // are upgraded to owned before any mutation)
     std::uint32_t pins = 0;
     // Intrusive LRU list position (valid frames only; head = most recent).
     std::uint32_t lru_prev = kNoFrame;
     std::uint32_t lru_next = kNoFrame;
+    // Borrowed read: the block's bytes live at `ext` inside the device
+    // mapping and `buf` is untouched; nullptr means `buf` owns the bytes.
+    const word_t* ext = nullptr;
     std::vector<word_t> buf;
   };
 
@@ -126,12 +176,21 @@ class BufferPool {
   /// immediately.
   void EvictFrame(std::uint32_t v, std::vector<IoRequest>* write_batch);
 
+  /// The frame's owned buffer, allocated on first need (borrow-capable
+  /// pools skip the up-front allocation; frames that only ever borrow
+  /// never get one).
+  word_t* OwnedBuf(Frame& f) {
+    if (f.buf.empty()) f.buf.resize(device_->block_words(), 0);
+    return f.buf.data();
+  }
+
   /// Shared implementation of PinMany (pin=true) and Prefetch (pin=false).
   void BatchLoad(std::span<const BlockId> ids, bool pin,
                  std::vector<std::uint32_t>* out);
 
   BlockDevice* device_;
   std::vector<Frame> frames_;
+  const bool borrow_;  // device supports zero-copy borrowed reads
   std::unordered_map<BlockId, std::uint32_t> map_;
   std::vector<std::uint32_t> free_;  // invalid frames, popped from the back
   std::uint32_t lru_head_ = kNoFrame;

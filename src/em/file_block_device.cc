@@ -1,5 +1,6 @@
 #include "em/file_block_device.h"
 
+#include "em/mmap_block_device.h"
 #include "em/uring_block_device.h"
 
 #include <fcntl.h>
@@ -14,9 +15,14 @@ namespace tokra::em {
 FileBlockDevice::FileBlockDevice(std::uint32_t block_words, FileOptions options)
     : BlockDevice(block_words),
       path_(std::move(options.path)),
-      durable_sync_(options.durable_sync) {
+      durable_sync_(options.durable_sync),
+      read_only_(options.read_only) {
   TOKRA_CHECK(!path_.empty());
-  int flags = O_RDWR | O_CREAT | (options.truncate ? O_TRUNC : 0);
+  // A read-only device cannot create or truncate: it serves an existing
+  // immutable file (the snapshot contract).
+  TOKRA_CHECK(!(read_only_ && options.truncate));
+  int flags = read_only_ ? O_RDONLY
+                         : O_RDWR | O_CREAT | (options.truncate ? O_TRUNC : 0);
   fd_ = ::open(path_.c_str(), flags, 0644);
   TOKRA_CHECK(fd_ >= 0);
   struct stat st;
@@ -33,19 +39,20 @@ FileBlockDevice::~FileBlockDevice() {
 
 void FileBlockDevice::EnsureCapacity(BlockId blocks) {
   if (blocks <= num_blocks_) return;
+  TOKRA_CHECK(!read_only_ && "cannot grow a read-only device");
   TOKRA_CHECK(::ftruncate(fd_, static_cast<off_t>(blocks * BlockBytes())) == 0);
   num_blocks_ = blocks;
 }
 
 void FileBlockDevice::Sync() {
-  if (durable_sync_) TOKRA_CHECK(::fsync(fd_) == 0);
+  if (durable_sync_ && !read_only_) TOKRA_CHECK(::fsync(fd_) == 0);
 }
 
 void FileBlockDevice::DropOsCache() {
   // Dirty pages are immune to DONTNEED, so flush first; then ask the kernel
   // to drop the file's clean page-cache pages. Advisory — a best-effort
   // bench hook, not a correctness barrier.
-  ::fsync(fd_);
+  if (!read_only_) ::fsync(fd_);
   ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
 }
 
@@ -54,6 +61,7 @@ void FileBlockDevice::DoRead(BlockId id, word_t* dst) {
 }
 
 void FileBlockDevice::DoWrite(BlockId id, const word_t* src) {
+  TOKRA_CHECK(!read_only_ && "write to a read-only device");
   PwriteFull(id * BlockBytes(), src, BlockBytes());
 }
 
@@ -82,6 +90,7 @@ void FileBlockDevice::PreadFull(std::uint64_t offset, void* buf,
 
 void FileBlockDevice::PwriteFull(std::uint64_t offset, const void* buf,
                                  std::size_t len) {
+  TOKRA_CHECK(!read_only_ && "write to a read-only device");
   const char* p = static_cast<const char*>(buf);
   while (len > 0) {
     ssize_t n = ::pwrite(fd_, p, len, static_cast<off_t>(offset));
@@ -98,7 +107,8 @@ std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
   const FileBlockDevice::FileOptions file_options{
       .path = options.path,
       .truncate = truncate_file,
-      .durable_sync = options.durable_sync};
+      .durable_sync = options.durable_sync,
+      .read_only = options.read_only};
   switch (options.backend) {
     case Backend::kMem:
       return std::make_unique<MemBlockDevice>(options.block_words);
@@ -113,10 +123,17 @@ std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
 #if defined(TOKRA_HAVE_URING)
       if (UringBlockDevice::Supported()) {
         return std::make_unique<UringBlockDevice>(
-            options.block_words, file_options, options.io_queue_depth);
+            options.block_words, file_options, options.io_queue_depth,
+            options.io_register_buffers);
       }
 #endif
       return std::make_unique<FileBlockDevice>(options.block_words,
+                                               file_options);
+    case Backend::kMmap:
+      // Same file format as kFile; only where reads are served from
+      // differs. Falls back to plain file reads internally if the kernel
+      // refuses the mapping, so kMmap is always safe to request.
+      return std::make_unique<MmapBlockDevice>(options.block_words,
                                                file_options);
   }
   TOKRA_CHECK(false);  // unreachable

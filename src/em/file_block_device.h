@@ -34,6 +34,7 @@ class FileBlockDevice : public BlockDevice {
     std::string path;
     bool truncate = true;       ///< discard any existing contents
     bool durable_sync = false;  ///< fsync on Sync()
+    bool read_only = false;     ///< O_RDONLY open; every write CHECK-fails
   };
 
   /// Opens (creating if needed) the backing file. CHECK-fails on I/O
@@ -62,6 +63,7 @@ class FileBlockDevice : public BlockDevice {
     return std::uint64_t{block_words()} * sizeof(word_t);
   }
   int fd() const { return fd_; }
+  bool read_only() const { return read_only_; }
 
  private:
   void PreadFull(std::uint64_t offset, void* buf, std::size_t len);
@@ -70,6 +72,7 @@ class FileBlockDevice : public BlockDevice {
   std::string path_;
   int fd_ = -1;
   bool durable_sync_ = false;
+  bool read_only_ = false;
   BlockId num_blocks_ = 0;
 };
 

@@ -20,6 +20,10 @@ struct IoStats {
   std::uint64_t pool_misses = 0;  ///< pins requiring a device read
   std::uint64_t evictions = 0;    ///< frames evicted (clean or dirty)
   std::uint64_t prefetched = 0;   ///< blocks loaded by Prefetch/PinMany batches
+  std::uint64_t borrows = 0;      ///< zero-copy reads served as borrowed
+                                  ///< pointers into the device mapping (each
+                                  ///< also counted in `reads`: the logical
+                                  ///< cost is backend-independent)
 
   /// Total block transfers — the paper's cost metric.
   std::uint64_t TotalIos() const { return reads + writes; }
@@ -31,6 +35,7 @@ struct IoStats {
     pool_misses += rhs.pool_misses;
     evictions += rhs.evictions;
     prefetched += rhs.prefetched;
+    borrows += rhs.borrows;
     return *this;
   }
 
@@ -42,13 +47,15 @@ struct IoStats {
     d.pool_misses = pool_misses - rhs.pool_misses;
     d.evictions = evictions - rhs.evictions;
     d.prefetched = prefetched - rhs.prefetched;
+    d.borrows = borrows - rhs.borrows;
     return d;
   }
 
   std::string ToString() const {
     return "reads=" + std::to_string(reads) + " writes=" +
            std::to_string(writes) + " hits=" + std::to_string(pool_hits) +
-           " misses=" + std::to_string(pool_misses);
+           " misses=" + std::to_string(pool_misses) +
+           " borrows=" + std::to_string(borrows);
   }
 };
 

@@ -39,6 +39,9 @@ enum class Backend {
   kFile,   ///< pread/pwrite on a regular file (durable across restarts)
   kUring,  ///< file backend with io_uring batch submission (falls back to
            ///< kFile at runtime when the kernel lacks io_uring support)
+  kMmap,   ///< file backend serving reads from a shared mapping: warm reads
+           ///< borrow pointers into the OS page cache (zero-copy) instead of
+           ///< copying into pool frames; writes stay on the pwrite path
 };
 
 /// Aggarwal-Vitter model parameters: a memory of `M` words and a disk of
@@ -62,16 +65,32 @@ struct EmOptions {
   /// rather than just process exit. Costly; off by default.
   bool durable_sync = false;
 
+  /// File-backed backends: open the device O_RDONLY and refuse every write
+  /// (EnsureCapacity growth included). This is the snapshot-serving mode:
+  /// a read-only device can be shared between many pagers mapping the same
+  /// immutable file. Only meaningful with Pager::Open (a fresh pager must
+  /// truncate, which a read-only open cannot).
+  bool read_only = false;
+
   /// kUring: submission-queue depth of the ring — the number of block
   /// transfers a SubmitReads/SubmitWrites batch keeps in flight at once.
   /// Depth 1 degenerates to the synchronous path (one transfer at a time);
   /// other backends ignore it.
   std::uint32_t io_queue_depth = 32;
 
+  /// kUring: pre-register the buffer pool's frames
+  /// (IORING_REGISTER_BUFFERS) and the device fd (IORING_REGISTER_FILES)
+  /// with the ring, so batch transfers skip the per-op pin/lookup the
+  /// kernel otherwise does. Runtime-probed: when the kernel refuses the
+  /// registration (memlock limits, old kernel), the device silently keeps
+  /// the unregistered submission path. Other backends ignore it.
+  bool io_register_buffers = false;
+
   void Validate() const {
     TOKRA_CHECK(block_words >= kMinBlockWords);
     TOKRA_CHECK(pool_frames >= 4);
     TOKRA_CHECK(backend == Backend::kMem || !path.empty());
+    TOKRA_CHECK(!read_only || backend != Backend::kMem);
     TOKRA_CHECK(io_queue_depth >= 1);
   }
 };

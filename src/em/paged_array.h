@@ -79,25 +79,26 @@ class PagedArray {
 
   /// Reads [begin, end) touching each backing block once. A multi-block
   /// range is prefetched first, so the misses become one batched device
-  /// submission instead of one read per block.
+  /// submission instead of one read per block. Each block's records are
+  /// copied out with one memcpy from the read-only page view — on a
+  /// borrowed (mmap) frame that view is the device mapping itself, so the
+  /// only copy left on the whole path is mapping -> caller vector.
   void ReadRange(std::uint32_t begin, std::uint32_t end,
                  std::vector<T>* out) const {
     TOKRA_DCHECK(begin <= end && end <= capacity());
     out->clear();
     if (begin == end) return;
-    out->reserve(end - begin);
+    out->resize(end - begin);
     PrefetchSpan(begin, end);
     std::uint32_t i = begin;
     while (i < end) {
       std::uint32_t b = i / per_block_;
       std::uint32_t last = std::min(end, (b + 1) * per_block_);
       PageRef page = pager_->Fetch(blocks_[b]);
-      for (; i < last; ++i) {
-        T v;
-        std::memcpy(static_cast<void*>(&v), page.words().data() + Offset(i),
-                    sizeof(T));
-        out->push_back(v);
-      }
+      std::memcpy(static_cast<void*>(out->data() + (i - begin)),
+                  page.words().data() + Offset(i),
+                  std::size_t{last - i} * sizeof(T));
+      i = last;
     }
   }
 

@@ -48,6 +48,9 @@ word_t SuperChecksum(std::span<const word_t> words) {
 
 Pager::Pager(const EmOptions& options)
     : Pager(options, MakeBlockDevice(options, /*truncate_file=*/true)) {
+  // A fresh pager formats the device; read-only only makes sense for
+  // Open() on an existing checkpoint.
+  TOKRA_CHECK(!options.read_only);
   device_->EnsureCapacity(kReservedBlocks);  // the two superblock slots
 }
 
@@ -59,6 +62,9 @@ Pager::Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device)
 }
 
 Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
+  if (options_.read_only) {
+    return Status::FailedPrecondition("pager is read-only (snapshot mode)");
+  }
   const std::uint32_t b = B();
   if (b < kSuperHeaderWords ||
       roots.size() > b - kSuperHeaderWords) {

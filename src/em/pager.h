@@ -55,12 +55,15 @@ class PageRef {
   bool valid() const { return pool_ != nullptr; }
   BlockId id() const { return pool_->FrameBlock(frame_); }
 
-  /// Read-only view of the block's words.
+  /// Read-only view of the block's words. On a borrowed frame this is the
+  /// device mapping itself (zero-copy); reads must go through here or Get,
+  /// never through mutable access, to stay copy-free.
   std::span<const word_t> words() const {
-    return {pool_->FrameData(frame_), WordsPerBlock()};
+    return {pool_->ReadData(frame_), WordsPerBlock()};
   }
 
-  /// Mutable view; marks the page dirty.
+  /// Mutable view; marks the page dirty (upgrading a borrowed frame to an
+  /// owned copy first, so write-back never aliases the mapping).
   std::span<word_t> mutable_words() {
     dirty_ = true;
     return {pool_->FrameData(frame_), WordsPerBlock()};
@@ -68,7 +71,7 @@ class PageRef {
 
   word_t Get(std::size_t i) const {
     TOKRA_DCHECK(i < WordsPerBlock());
-    return pool_->FrameData(frame_)[i];
+    return pool_->ReadData(frame_)[i];
   }
   void Set(std::size_t i, word_t v) {
     TOKRA_DCHECK(i < WordsPerBlock());
@@ -108,7 +111,11 @@ class Pager {
 
   /// Reopens a checkpointed device, restoring the allocator state and root
   /// directory recorded by the last Checkpoint(). File backend only (a
-  /// fresh memory device has nothing to reopen).
+  /// fresh memory device has nothing to reopen). With options.read_only
+  /// the device is opened O_RDONLY — the snapshot-serving mode: many
+  /// pagers may open the same immutable file concurrently (kMmap shares
+  /// their cached pages through the OS page cache), and Checkpoint() is
+  /// refused.
   static StatusOr<std::unique_ptr<Pager>> Open(const EmOptions& options);
 
   /// B, in words.

@@ -5,6 +5,7 @@
 #include <linux/io_uring.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -98,11 +99,13 @@ bool UringBlockDevice::Supported() {
 
 UringBlockDevice::UringBlockDevice(std::uint32_t block_words,
                                    FileOptions options,
-                                   std::uint32_t queue_depth)
+                                   std::uint32_t queue_depth,
+                                   bool register_resources)
     : FileBlockDevice(block_words, std::move(options)),
       // Clamp to a sane ring size: IORING_MAX_ENTRIES is 32768, and depths
       // beyond a few hundred buy nothing for block-sized transfers.
-      queue_depth_(std::clamp<std::uint32_t>(queue_depth, 1, 1024)) {
+      queue_depth_(std::clamp<std::uint32_t>(queue_depth, 1, 1024)),
+      want_registration_(register_resources) {
   TOKRA_CHECK(Supported());
   io_uring_params p;
   std::memset(&p, 0, sizeof(p));
@@ -148,9 +151,51 @@ UringBlockDevice::UringBlockDevice(std::uint32_t block_words,
   ring_->cq_tail = RingPtr<unsigned>(ring_->cq_ptr, p.cq_off.tail);
   ring_->cq_mask = RingPtr<unsigned>(ring_->cq_ptr, p.cq_off.ring_mask);
   ring_->cqes = RingPtr<io_uring_cqe>(ring_->cq_ptr, p.cq_off.cqes);
+
+  if (want_registration_) {
+    // Fixed file: SQEs then reference the fd as index 0 with
+    // IOSQE_FIXED_FILE, skipping the per-op fd lookup/refcount. Probe by
+    // doing: any refusal just keeps the plain-fd path.
+    int f = fd();
+    fixed_file_ =
+        SysUringRegister(ring_->fd, IORING_REGISTER_FILES, &f, 1) == 0;
+  }
 }
 
 UringBlockDevice::~UringBlockDevice() { delete ring_; }
+
+void UringBlockDevice::RegisterIoBuffers(std::span<word_t* const> bufs) {
+  if (!want_registration_ || ring_ == nullptr || bufs.empty()) return;
+  if (!reg_bufs_.empty()) {
+    // A second pool on the same device re-registers: the kernel allows one
+    // buffer table per ring, so the newest pool wins (older pools simply
+    // fall back to unregistered ops — a correctness no-op).
+    SysUringRegister(ring_->fd, IORING_UNREGISTER_BUFFERS, nullptr, 0);
+    reg_bufs_.clear();
+  }
+  // Registered in sorted address order, so a buffer's table index is its
+  // binary-search position — no side map needed at submission time.
+  std::vector<const word_t*> sorted(bufs.begin(), bufs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<iovec> iov(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    iov[i].iov_base = const_cast<word_t*>(sorted[i]);
+    iov[i].iov_len = BlockBytes();
+  }
+  // Probe by doing: pre-5.12 kernels charge registered buffers against
+  // RLIMIT_MEMLOCK and may refuse large pools — then the unregistered
+  // path simply stays in effect.
+  if (SysUringRegister(ring_->fd, IORING_REGISTER_BUFFERS, iov.data(),
+                       static_cast<unsigned>(iov.size())) == 0) {
+    reg_bufs_ = std::move(sorted);
+  }
+}
+
+int UringBlockDevice::RegisteredBufferIndex(const word_t* buf) const {
+  auto it = std::lower_bound(reg_bufs_.begin(), reg_bufs_.end(), buf);
+  if (it == reg_bufs_.end() || *it != buf) return -1;
+  return static_cast<int>(it - reg_bufs_.begin());
+}
 
 void UringBlockDevice::DoReadBatch(std::span<const IoRequest> reqs) {
   // A one-element batch has nothing to overlap: the ring round trip would
@@ -182,12 +227,17 @@ void UringBlockDevice::RunBatch(std::span<const IoRequest> reqs,
     std::uint64_t off;
     char* buf;
     std::uint32_t len;
+    int buf_index;  // registered-buffer table index, -1 = unregistered
   };
   std::vector<Op> ops;
   ops.reserve(reqs.size());
   for (const IoRequest& r : reqs) {
+    // The buffer index is resolved once per op (requests target frame base
+    // addresses); a short-transfer resubmission advances buf within the
+    // same registered iovec, which FIXED ops permit.
     ops.push_back(Op{r.id * BlockBytes(), reinterpret_cast<char*>(r.buf),
-                     static_cast<std::uint32_t>(BlockBytes())});
+                     static_cast<std::uint32_t>(BlockBytes()),
+                     reg_bufs_.empty() ? -1 : RegisteredBufferIndex(r.buf)});
   }
   std::vector<std::uint32_t> ready(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -205,8 +255,19 @@ void UringBlockDevice::RunBatch(std::span<const IoRequest> reqs,
       unsigned slot = tail & *ring_->sq_mask;
       io_uring_sqe* sqe = &ring_->sqes[slot];
       std::memset(sqe, 0, sizeof(*sqe));
-      sqe->opcode = is_write ? IORING_OP_WRITE : IORING_OP_READ;
-      sqe->fd = fd();
+      if (op.buf_index >= 0) {
+        // Registered buffer: the kernel skips the per-op page pin.
+        sqe->opcode = is_write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
+        sqe->buf_index = static_cast<std::uint16_t>(op.buf_index);
+      } else {
+        sqe->opcode = is_write ? IORING_OP_WRITE : IORING_OP_READ;
+      }
+      if (fixed_file_) {
+        sqe->fd = 0;  // index into the registered file table
+        sqe->flags |= IOSQE_FIXED_FILE;
+      } else {
+        sqe->fd = fd();
+      }
       sqe->addr = reinterpret_cast<std::uint64_t>(op.buf);
       sqe->len = op.len;
       sqe->off = op.off;

@@ -4,6 +4,7 @@
 #define TOKRA_EM_URING_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "em/file_block_device.h"
 
@@ -35,11 +36,22 @@ class UringBlockDevice final : public FileBlockDevice {
   /// per process.
   static bool Supported();
 
+  /// `register_resources` (EmOptions::io_register_buffers) opts into
+  /// kernel-side registration of the device fd (IORING_REGISTER_FILES, done
+  /// here) and of the buffer pool's frames (IORING_REGISTER_BUFFERS, done
+  /// when the pool announces them via RegisterIoBuffers). Registration is
+  /// runtime-probed: a refusal (memlock limit, old kernel) silently keeps
+  /// the unregistered submission path — results and counts are identical
+  /// either way, only per-op kernel overhead differs.
   UringBlockDevice(std::uint32_t block_words, FileOptions options,
-                   std::uint32_t queue_depth);
+                   std::uint32_t queue_depth, bool register_resources = false);
   ~UringBlockDevice() override;
 
   std::uint32_t queue_depth() const { return queue_depth_; }
+  bool buffers_registered() const { return !reg_bufs_.empty(); }
+  bool file_registered() const { return fixed_file_; }
+
+  void RegisterIoBuffers(std::span<word_t* const> bufs) override;
 
  protected:
   void DoReadBatch(std::span<const IoRequest> reqs) override;
@@ -53,7 +65,14 @@ class UringBlockDevice final : public FileBlockDevice {
   /// transfers, until every request has fully completed.
   void RunBatch(std::span<const IoRequest> reqs, bool is_write);
 
+  /// Index into the registered-buffer table whose iovec contains
+  /// [buf, buf + block bytes), or -1 when unregistered.
+  int RegisteredBufferIndex(const word_t* buf) const;
+
   std::uint32_t queue_depth_;
+  bool want_registration_ = false;
+  bool fixed_file_ = false;          // fd registered as fixed file 0
+  std::vector<const word_t*> reg_bufs_;  // sorted bases of registered frames
   Ring* ring_ = nullptr;
 };
 

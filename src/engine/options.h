@@ -48,6 +48,19 @@ struct EngineOptions {
   /// contract is unchanged (see DESIGN.md §6.3).
   bool parallel_checkpoint = true;
 
+  /// Checkpoint() skips shards with no accepted updates since their last
+  /// checkpoint (their backing file already holds exactly the state a
+  /// fresh checkpoint would write). Purely an I/O saving; off restores the
+  /// every-shard behaviour.
+  bool skip_clean_shard_checkpoints = true;
+
+  /// OpenSnapshot: independent read handles (pager + index view) per shard.
+  /// Each replica serves one query at a time; with kMmap shards the
+  /// replicas share every cached byte through the OS page cache, so extra
+  /// replicas cost only pool bookkeeping. 0 derives threads + 1 (the pool
+  /// workers plus the calling thread).
+  std::uint32_t snapshot_replicas = 0;
+
   /// `em` specialized for shard `i`: the per-shard backing file applied.
   em::EmOptions ShardEm(std::uint32_t shard) const {
     em::EmOptions o = em;

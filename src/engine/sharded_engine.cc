@@ -183,6 +183,12 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
     }
     // The replaced shards (dropped below) still hold fds on the unlinked
     // previous inodes; their storage is released with them.
+    //
+    // Every fresh shard was just checkpointed (side file, then renamed),
+    // so its live file already holds exactly this state: clean.
+    for (auto& shard : fresh) {
+      shard->dirty.store(false, std::memory_order_relaxed);
+    }
   }
   shards_ = std::move(fresh);
   lower_bounds_ = std::move(bounds);
@@ -214,6 +220,7 @@ Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p) {
   Status st = sh.index->Insert(p);
   if (st.ok()) {
     sh.approx_size.fetch_add(1, std::memory_order_relaxed);
+    sh.dirty.store(true, std::memory_order_relaxed);
     n_inserts_.fetch_add(1, std::memory_order_relaxed);
   } else {
     std::lock_guard<std::mutex> rg(registry_mu_);
@@ -243,12 +250,14 @@ Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p) {
       scores_.erase(p.score);
     }
     sh.approx_size.fetch_sub(1, std::memory_order_relaxed);
+    sh.dirty.store(true, std::memory_order_relaxed);
     n_deletes_.fetch_add(1, std::memory_order_relaxed);
   }
   return st;
 }
 
 Status ShardedTopkEngine::Insert(const Point& p) {
+  if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   // Shard mutex before the registry: every operation on a given x
   // serializes on its owning shard's mutex, so a registry reservation is
@@ -259,6 +268,7 @@ Status ShardedTopkEngine::Insert(const Point& p) {
 }
 
 Status ShardedTopkEngine::Delete(const Point& p) {
+  if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   Shard& sh = *shards_[ShardFor(p.x)];
   std::lock_guard<std::mutex> g(sh.mu);
@@ -284,17 +294,47 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
   std::vector<Status> statuses(q);
   std::vector<em::IoStats> deltas(q);
 
-  auto run_shard = [&](std::size_t j) {
-    Shard& sh = *shards_[s1 + j];
-    std::lock_guard<std::mutex> g(sh.mu);
-    em::IoStats before = sh.pager->stats();
-    auto r = sh.index->TopK(x1, x2, k);
+  auto run_one = [&](std::size_t j, em::Pager* pager,
+                     core::TopkIndex* index) {
+    em::IoStats before = pager->stats();
+    auto r = index->TopK(x1, x2, k);
     if (r.ok()) {
       parts[j] = std::move(*r);
     } else {
       statuses[j] = r.status();
     }
-    deltas[j] = sh.pager->stats() - before;
+    deltas[j] = pager->stats() - before;
+  };
+  auto run_shard = [&](std::size_t j) {
+    Shard& sh = *shards_[s1 + j];
+    if (snapshot_) {
+      // No per-shard write lock: claim any free read replica (rotating
+      // start so concurrent readers spread out), blocking on our rotation
+      // slot only if every replica is busy. Replicas are fully independent
+      // pagers over the same immutable mapping, so readers scale with the
+      // replica count while sharing every cached byte.
+      const std::size_t nrep = sh.replicas.size();
+      const std::uint32_t start =
+          sh.next_replica.fetch_add(1, std::memory_order_relaxed);
+      Replica* rep = nullptr;
+      std::unique_lock<std::mutex> lk;
+      for (std::size_t t = 0; t < nrep && rep == nullptr; ++t) {
+        Replica* c = sh.replicas[(start + t) % nrep].get();
+        std::unique_lock<std::mutex> l(c->mu, std::try_to_lock);
+        if (l.owns_lock()) {
+          rep = c;
+          lk = std::move(l);
+        }
+      }
+      if (rep == nullptr) {
+        rep = sh.replicas[start % nrep].get();
+        lk = std::unique_lock<std::mutex>(rep->mu);
+      }
+      run_one(j, rep->pager.get(), rep->index.get());
+      return;
+    }
+    std::lock_guard<std::mutex> g(sh.mu);
+    run_one(j, sh.pager.get(), sh.index.get());
   };
 
   if (parallel && q > 1) {
@@ -342,6 +382,10 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].kind == Request::Kind::kTopk) {
       query_idx.push_back(i);
+    } else if (snapshot_) {
+      // Read-only serving: updates are answered, not applied.
+      (*out)[i].status = Status::FailedPrecondition("snapshot is read-only");
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
     } else {
       groups[ShardFor(batch[i].point.x)].push_back(i);
     }
@@ -384,6 +428,7 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
 }
 
 Status ShardedTopkEngine::Checkpoint() {
+  if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::unique_lock<std::shared_mutex> tl(topology_mu_);
   if (options_.storage_dir.empty()) {
     return Status::FailedPrecondition("engine has no storage_dir");
@@ -398,11 +443,26 @@ Status ShardedTopkEngine::Checkpoint() {
   // root 2 records the shard count so Recover rejects a topology
   // mismatch instead of silently dropping key ranges; root 3 is the
   // topology generation so Recover reconciles a half-renamed rebalance.
-  auto checkpoint_shard = [&](std::size_t i) {
+  //
+  // Clean shards are skipped (unless configured off): no update was
+  // accepted since their last checkpoint, so their file already holds
+  // byte-for-byte the state this checkpoint would write — same bound, same
+  // shard count, same generation (anything changing those rebuilds the
+  // shard, which marks it dirty). The dirty flag is cleared only after the
+  // shard's own durability barriers completed, so a failed checkpoint
+  // retries the shard next time.
+  auto checkpoint_shard = [&](std::size_t i) -> Status {
+    Shard& sh = *shards_[i];
+    if (options_.skip_clean_shard_checkpoints &&
+        !sh.dirty.load(std::memory_order_relaxed)) {
+      return Status::Ok();
+    }
     const std::uint64_t extra[kShardCheckpointRoots - 1] = {
         std::bit_cast<std::uint64_t>(lower_bounds_[i]),
         options_.num_shards, generation_};
-    return shards_[i]->index->Checkpoint(extra);
+    Status st = sh.index->Checkpoint(extra);
+    if (st.ok()) sh.dirty.store(false, std::memory_order_relaxed);
+    return st;
   };
   std::vector<Status> statuses(shards_.size());
   if (options_.parallel_checkpoint && shards_.size() > 1) {
@@ -518,6 +578,9 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
     shard->pager = std::move(pagers[i]);
     TOKRA_ASSIGN_OR_RETURN(shard->index,
                            core::TopkIndex::Open(shard->pager.get()));
+    // The recovered in-memory state IS the file state: clean until the
+    // first accepted update.
+    shard->dirty.store(false, std::memory_order_relaxed);
     const std::uint64_t n = shard->index->size();
     shard->approx_size.store(n, std::memory_order_relaxed);
     if (n > 0) {
@@ -544,7 +607,82 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   return engine;
 }
 
+StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
+    EngineOptions options) {
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument("OpenSnapshot requires a storage_dir");
+  }
+  // Default serving backend is the zero-copy mapping; a caller picking
+  // kFile/kUring explicitly still gets a read-only snapshot, just with
+  // copying reads. Everything is opened O_RDONLY — this never writes; the
+  // caller must keep the files quiescent (no live engine writing them)
+  // for as long as the snapshot serves.
+  if (options.em.backend == em::Backend::kMem) {
+    options.em.backend = em::Backend::kMmap;
+  }
+  options.em.read_only = true;
+  options.Validate();
+  auto engine =
+      std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
+  engine->snapshot_ = true;
+  const std::uint32_t s = options.num_shards;
+  const std::uint32_t nrep = options.snapshot_replicas > 0
+                                 ? options.snapshot_replicas
+                                 : options.threads + 1;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<double> bounds;
+  shards.reserve(s);
+  bounds.reserve(s);
+  std::uint64_t gen = 0;
+  for (std::uint32_t i = 0; i < s; ++i) {
+    auto shard = std::make_unique<Shard>();
+    for (std::uint32_t r = 0; r < nrep; ++r) {
+      auto rep = std::make_unique<Replica>();
+      TOKRA_ASSIGN_OR_RETURN(rep->pager, em::Pager::Open(options.ShardEm(i)));
+      if (r == 0) {
+        const auto& roots = rep->pager->roots();
+        if (roots.size() < kShardCheckpointRoots) {
+          return Status::FailedPrecondition("shard checkpoint missing roots");
+        }
+        if (roots[2] != s) {
+          return Status::FailedPrecondition(
+              "num_shards mismatch with checkpoint (have " +
+              std::to_string(s) + ", checkpointed " +
+              std::to_string(roots[2]) + ")");
+        }
+        if (i == 0) {
+          gen = roots[3];
+        } else if (roots[3] != gen) {
+          // Mixed generations mean an interrupted rebalance; repairing it
+          // writes, which a snapshot must never do.
+          return Status::FailedPrecondition(
+              "snapshot has an interrupted rebalance (mixed topology "
+              "generations); run Recover() on it first");
+        }
+        bounds.push_back(std::bit_cast<double>(roots[1]));
+      }
+      TOKRA_ASSIGN_OR_RETURN(rep->index,
+                             core::TopkIndex::Open(rep->pager.get()));
+      shard->replicas.push_back(std::move(rep));
+    }
+    shard->approx_size.store(shard->replicas[0]->index->size(),
+                             std::memory_order_relaxed);
+    shard->dirty.store(false, std::memory_order_relaxed);
+    shards.push_back(std::move(shard));
+  }
+  if (bounds[0] != -kInf || !std::is_sorted(bounds.begin(), bounds.end())) {
+    return Status::FailedPrecondition(
+        "snapshot shard bounds are not a partition");
+  }
+  engine->generation_ = gen;
+  engine->shards_ = std::move(shards);
+  engine->lower_bounds_ = std::move(bounds);
+  return engine;
+}
+
 Status ShardedTopkEngine::Rebalance() {
+  if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::unique_lock<std::shared_mutex> tl(topology_mu_);
   return RebalanceLocked();
 }
@@ -562,6 +700,7 @@ bool ShardedTopkEngine::SkewedLocked() const {
 }
 
 bool ShardedTopkEngine::MaybeRebalance() {
+  if (snapshot_) return false;
   {
     std::shared_lock<std::shared_mutex> tl(topology_mu_);
     if (!SkewedLocked()) return false;
@@ -597,6 +736,16 @@ Status ShardedTopkEngine::RebalanceLocked() {
 }
 
 std::uint64_t ShardedTopkEngine::size() const {
+  if (snapshot_) {
+    // No registry in snapshot mode (nothing can be inserted); the per-shard
+    // sizes are fixed at open.
+    std::shared_lock<std::shared_mutex> tl(topology_mu_);
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) {
+      total += sh->approx_size.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   std::lock_guard<std::mutex> rg(registry_mu_);
   return by_x_.size();
 }
@@ -620,6 +769,13 @@ em::IoStats ShardedTopkEngine::AggregatedIoStats() const {
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   em::IoStats total;
   for (const auto& sh : shards_) {
+    if (snapshot_) {
+      for (const auto& rep : sh->replicas) {
+        std::lock_guard<std::mutex> g(rep->mu);
+        total += rep->pager->stats();
+      }
+      continue;
+    }
     std::lock_guard<std::mutex> g(sh->mu);
     total += sh->pager->stats();
   }
@@ -630,6 +786,12 @@ std::uint64_t ShardedTopkEngine::BlocksInUse() const {
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   std::uint64_t total = 0;
   for (const auto& sh : shards_) {
+    if (snapshot_) {
+      // Every replica views the same file; count each shard once.
+      std::lock_guard<std::mutex> g(sh->replicas[0]->mu);
+      total += sh->replicas[0]->pager->BlocksInUse();
+      continue;
+    }
     std::lock_guard<std::mutex> g(sh->mu);
     total += sh->pager->BlocksInUse();
   }
@@ -657,23 +819,28 @@ void ShardedTopkEngine::CheckInvariants() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& sh = *shards_[i];
-    sh.index->CheckInvariants();
-    std::uint64_t n = sh.index->size();
+    const core::TopkIndex* index =
+        snapshot_ ? sh.replicas[0]->index.get() : sh.index.get();
+    index->CheckInvariants();
+    std::uint64_t n = index->size();
     TOKRA_CHECK_EQ(n, sh.approx_size.load(std::memory_order_relaxed));
     total += n;
     if (n == 0) continue;
-    auto r = sh.index->TopK(-kInf, kInf, n);
+    auto r = index->TopK(-kInf, kInf, n);
     TOKRA_CHECK(r.ok());
     TOKRA_CHECK_EQ(r->size(), n);
     for (const Point& p : *r) {
       TOKRA_CHECK_EQ(ShardFor(p.x), i);  // point lives in its owning shard
+      if (snapshot_) continue;  // no registry: nothing can be inserted
       auto it = by_x_.find(p.x);
       TOKRA_CHECK(it != by_x_.end());
       TOKRA_CHECK(it->second == p.score);
     }
   }
-  TOKRA_CHECK_EQ(total, by_x_.size());
-  TOKRA_CHECK_EQ(by_x_.size(), scores_.size());
+  if (!snapshot_) {
+    TOKRA_CHECK_EQ(total, by_x_.size());
+    TOKRA_CHECK_EQ(by_x_.size(), scores_.size());
+  }
 }
 
 }  // namespace tokra::engine

@@ -85,6 +85,28 @@ class ShardedTopkEngine {
   static StatusOr<std::unique_ptr<ShardedTopkEngine>> Recover(
       EngineOptions options);
 
+  /// Read-only snapshot serving mode: maps every checkpointed shard file
+  /// immutably (backend forced to kMmap read-only unless the caller picked
+  /// another file backend) and serves TopK without per-shard write locks —
+  /// each shard gets `snapshot_replicas` independent read handles and a
+  /// query claims any free one, so N readers scale instead of serializing
+  /// on one shard mutex. The zero-copy borrow path makes the OS page cache
+  /// the only real cache, shared across all replicas. Updates,
+  /// Checkpoint() and Rebalance() are refused (kFailedPrecondition) and
+  /// the files are never written. The files must stay quiescent while the
+  /// snapshot is open: the snapshot never writes, but a concurrent
+  /// *writer* to the same inodes (a live engine applying updates or
+  /// checkpointing in place) would mutate pages under the snapshot's
+  /// borrowed pointers mid-query. Serve a checkpointed directory whose
+  /// owner is idle or closed, or a copy shipped to a replica machine.
+  /// Unlike Recover() it never repairs an interrupted rebalance (that
+  /// would write); run Recover() first in that state.
+  static StatusOr<std::unique_ptr<ShardedTopkEngine>> OpenSnapshot(
+      EngineOptions options);
+
+  /// Whether this engine is a read-only snapshot (OpenSnapshot).
+  bool snapshot() const { return snapshot_; }
+
   /// Persists every shard: flushes dirty blocks and records each shard's
   /// index meta + lower bound + shard count + topology generation in its
   /// pager superblock. Exclusive (waits for
@@ -151,6 +173,15 @@ class ShardedTopkEngine {
   void CheckInvariants() const;
 
  private:
+  /// One independent read handle on a snapshot shard: its own pager (own
+  /// mmap of the shared file, own pool bookkeeping) + index view. mu
+  /// serializes queries on this handle only.
+  struct Replica {
+    std::unique_ptr<em::Pager> pager;
+    std::unique_ptr<core::TopkIndex> index;
+    std::mutex mu;
+  };
+
   struct Shard {
     Shard() = default;  // Recover fills pager/index from the checkpoint
     explicit Shard(const em::EmOptions& em)
@@ -159,6 +190,14 @@ class ShardedTopkEngine {
     std::unique_ptr<core::TopkIndex> index;
     mutable std::mutex mu;
     std::atomic<std::uint64_t> approx_size{0};
+    // Set on every accepted update; cleared by a successful checkpoint of
+    // this shard. A clean shard's checkpoint is skipped (its file already
+    // holds this exact state).
+    std::atomic<bool> dirty{true};
+    // Snapshot mode only: pager/index above stay null and queries claim a
+    // free replica instead (see TopKLocked).
+    std::vector<std::unique_ptr<Replica>> replicas;
+    mutable std::atomic<std::uint32_t> next_replica{0};
   };
 
   explicit ShardedTopkEngine(EngineOptions options);
@@ -191,6 +230,7 @@ class ShardedTopkEngine {
   bool SkewedLocked() const;
 
   EngineOptions options_;
+  bool snapshot_ = false;  // read-only serving mode (OpenSnapshot)
   mutable std::shared_mutex topology_mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<double> lower_bounds_;  // lower_bounds_[0] == -inf

@@ -24,7 +24,9 @@ std::vector<em::word_t> ReadWordStream(em::Pager* pager,
     std::size_t bi = w / b;
     em::PageRef page = pager->Fetch(blocks[bi]);
     std::uint64_t take = std::min<std::uint64_t>(b, n_words - w);
-    for (std::uint64_t j = 0; j < take; ++j) out[w + j] = page.Get(j);
+    // One copy per block from the read-only view — on an mmap borrow the
+    // source is the device mapping itself, not a pool frame.
+    std::copy_n(page.words().data(), take, out.data() + w);
     w += take;
   }
   return out;

@@ -454,6 +454,7 @@ Status Lemma4Selector::Delete(const Point& p) {
 std::uint64_t Lemma4Selector::CountInRange(double x1, double x2) const {
   std::uint64_t total = 0;
   std::vector<em::BlockId> stack{MetaGet(kMRoot)};
+  std::vector<ChildRec> kids;  // hoisted: one allocation per query, not node
   while (!stack.empty()) {
     em::BlockId id = stack.back();
     stack.pop_back();
@@ -464,14 +465,14 @@ std::uint64_t Lemma4Selector::CountInRange(double x1, double x2) const {
       total += sel.CountInRange(x1, x2);
       continue;
     }
-    // The scan below reads the first n.f records; prefetch exactly the
-    // blocks holding them (crb is sized for 2f capacity — the tail blocks
-    // may never be touched and must not be charged).
-    pager_->Prefetch({n.crb.data(),
-                      em::PagedArray<ChildRec>::BlocksFor(pager_->B(), n.f)});
+    // One ReadRange scan over exactly the first n.f records: each backing
+    // block is pinned once (and its records copied out in one go — from
+    // the mapping itself on a borrowed frame), where a per-record Get
+    // would re-pin its block per child. (crb is sized for 2f capacity —
+    // the tail blocks are never touched and must not be charged.)
     em::PagedArray<ChildRec> crarr(pager_, n.crb);
-    for (std::uint32_t c = 0; c < n.f; ++c) {
-      ChildRec cr = crarr.Get(c);
+    crarr.ReadRange(0, n.f, &kids);
+    for (const ChildRec& cr : kids) {
       if (cr.hi() <= x1 || cr.lo() > x2) continue;
       if (cr.lo() >= x1 && cr.hi() <= x2) {
         total += cr.count;
@@ -498,6 +499,7 @@ StatusOr<double> Lemma4Selector::SelectApprox(double x1, double x2,
   std::uint64_t boundary_total = 0;
 
   std::vector<em::BlockId> stack{MetaGet(kMRoot)};
+  std::vector<ChildRec> kids;  // hoisted: one allocation per query, not node
   while (!stack.empty()) {
     em::BlockId id = stack.back();
     stack.pop_back();
@@ -512,17 +514,17 @@ StatusOr<double> Lemma4Selector::SelectApprox(double x1, double x2,
       if (res.ok() && *res != -kInf) leaf_candidates.push_back(*res);
       continue;
     }
-    // As in CountInRange: only the blocks backing the n.f live records.
-    pager_->Prefetch({n.crb.data(),
-                      em::PagedArray<ChildRec>::BlocksFor(pager_->B(), n.f)});
+    // As in CountInRange: one ReadRange scan over exactly the n.f live
+    // records, each backing block pinned once.
     em::PagedArray<ChildRec> crarr(pager_, n.crb);
+    crarr.ReadRange(0, n.f, &kids);
     auto flg = std::make_unique<flgroup::FlGroup>(
         flgroup::FlGroup::Open(pager_, n.flg_meta));
     std::uint32_t run_start = n.f;  // sentinel: no open run
     for (std::uint32_t c = 0; c <= n.f; ++c) {
       bool covered = false;
       if (c < n.f) {
-        ChildRec cr = crarr.Get(c);
+        const ChildRec& cr = kids[c];
         if (cr.hi() <= x1 || cr.lo() > x2) {
           covered = false;
         } else if (cr.lo() >= x1 && cr.hi() <= x2) {

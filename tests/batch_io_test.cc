@@ -14,6 +14,7 @@
 #include "em/block_device.h"
 #include "em/buffer_pool.h"
 #include "em/file_block_device.h"
+#include "em/mmap_block_device.h"
 #include "em/pager.h"
 #include "em/uring_block_device.h"
 #include "engine/sharded_engine.h"
@@ -55,9 +56,10 @@ std::vector<Point> MakePoints(Rng* rng, std::size_t n) {
 /// All file-capable backends available in this build/kernel. kUring is
 /// always requestable — MakeBlockDevice falls back to the sync file device
 /// when rings are unavailable — so listing it unconditionally also tests
-/// the fallback path on kernels without io_uring.
+/// the fallback path on kernels without io_uring; kMmap likewise falls back
+/// to plain file reads if the kernel refuses the mapping.
 std::vector<em::Backend> FileBackends() {
-  return {em::Backend::kFile, em::Backend::kUring};
+  return {em::Backend::kFile, em::Backend::kUring, em::Backend::kMmap};
 }
 
 // ---------------------------------------------------------------------------
@@ -65,8 +67,8 @@ std::vector<em::Backend> FileBackends() {
 
 TEST(BatchDeviceTest, SubmitBatchRoundTripEveryBackend) {
   TempDir dir("roundtrip");
-  for (em::Backend backend :
-       {em::Backend::kMem, em::Backend::kFile, em::Backend::kUring}) {
+  for (em::Backend backend : {em::Backend::kMem, em::Backend::kFile,
+                              em::Backend::kUring, em::Backend::kMmap}) {
     em::EmOptions opts{.block_words = 16, .pool_frames = 4};
     opts.backend = backend;
     opts.path = dir.File("rt-" + std::to_string(static_cast<int>(backend)));
@@ -146,6 +148,46 @@ TEST(BatchDeviceTest, UringDeviceSelectedWhenSupported) {
   auto* uring = dynamic_cast<em::UringBlockDevice*>(dev.get());
   ASSERT_NE(uring, nullptr);
   EXPECT_GE(uring->queue_depth(), 1u);
+}
+
+TEST(BatchDeviceTest, RegisteredBuffersRoundTrip) {
+  if (!em::UringBlockDevice::Supported()) {
+    GTEST_SKIP() << "kernel does not grant io_uring";
+  }
+  TempDir dir("regbuf");
+  em::EmOptions opts{.block_words = 16, .pool_frames = 8};
+  opts.backend = em::Backend::kUring;
+  opts.path = dir.File("regbuf.blk");
+  opts.io_queue_depth = 8;
+  opts.io_register_buffers = true;
+  auto dev = em::MakeBlockDevice(opts, true);
+  auto* uring = dynamic_cast<em::UringBlockDevice*>(dev.get());
+  ASSERT_NE(uring, nullptr);
+
+  // The pool registers its frames at construction; whether the kernel
+  // accepted is advisory (memlock limits may refuse) — the round trip must
+  // be byte-identical either way, mixing registered (frame) buffers and
+  // unregistered (scratch) ones in the same batches.
+  em::BufferPool pool(dev.get(), 8);
+  std::vector<em::word_t> zeros(16, 0);
+  for (em::BlockId id = 0; id < 13; ++id) dev->Write(id, zeros.data());
+  std::vector<em::BlockId> ids{0, 3, 6, 9, 12};
+  std::vector<std::uint32_t> frames;
+  pool.PinMany(ids, &frames);  // frame buffers through the ring (reads)
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    pool.FrameData(frames[i])[0] = 4000 + ids[i];
+    pool.Unpin(frames[i], true);
+  }
+  pool.FlushAll();  // frame buffers through the ring (writes)
+
+  std::vector<em::word_t> scratch(16, 0);  // unregistered buffer
+  for (em::BlockId id : ids) {
+    dev->Read(id, scratch.data());
+    EXPECT_EQ(scratch[0], 4000 + id);
+  }
+  std::printf("registered: buffers=%d file=%d\n",
+              uring->buffers_registered() ? 1 : 0,
+              uring->file_registered() ? 1 : 0);
 }
 #endif
 
@@ -256,6 +298,167 @@ TEST(BufferPoolBatchTest, BatchEvictionWritesBackDirtyVictims) {
 }
 
 // ---------------------------------------------------------------------------
+// Mmap device + borrowed pins
+
+TEST(MmapDeviceTest, BorrowedReadsSeeWritesAndCountIos) {
+  TempDir dir("mmap-dev");
+  em::EmOptions opts{.block_words = 16, .pool_frames = 4};
+  opts.backend = em::Backend::kMmap;
+  opts.path = dir.File("dev.blk");
+  auto dev = em::MakeBlockDevice(opts, /*truncate_file=*/true);
+  if (!dev->SupportsBorrowedReads()) {
+    GTEST_SKIP() << "kernel refused the mapping";
+  }
+
+  std::vector<em::word_t> buf(16);
+  for (std::uint32_t w = 0; w < 16; ++w) buf[w] = 100 + w;
+  dev->Write(3, buf.data());
+
+  // A borrow is one logical read and observes the written bytes in place.
+  std::uint64_t reads = dev->reads();
+  const em::word_t* p = dev->TryBorrowRead(3);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(dev->reads(), reads + 1);
+  for (std::uint32_t w = 0; w < 16; ++w) EXPECT_EQ(p[w], 100 + w);
+
+  // The pointer is a live view of the page cache: a later write to the
+  // same block shows through it (pwrite and MAP_SHARED are coherent), and
+  // it stays valid across device growth (no remap ever happens).
+  for (std::uint32_t w = 0; w < 16; ++w) buf[w] = 900 + w;
+  dev->Write(3, buf.data());
+  dev->EnsureCapacity(4096);
+  for (std::uint32_t w = 0; w < 16; ++w) EXPECT_EQ(p[w], 900 + w);
+}
+
+TEST(MmapDeviceTest, ReadOnlyDeviceServesExistingFile) {
+  TempDir dir("mmap-ro");
+  em::EmOptions opts{.block_words = 16, .pool_frames = 4};
+  opts.backend = em::Backend::kFile;
+  opts.path = dir.File("ro.blk");
+  std::vector<em::word_t> buf(16, 7);
+  {
+    auto writer = em::MakeBlockDevice(opts, true);
+    writer->Write(0, buf.data());
+    writer->Write(5, buf.data());
+    writer->Sync();
+  }
+  opts.backend = em::Backend::kMmap;
+  opts.read_only = true;
+  auto ro = em::MakeBlockDevice(opts, /*truncate_file=*/false);
+  EXPECT_EQ(ro->NumBlocks(), 6u);
+  std::vector<em::word_t> got(16, 0);
+  ro->Read(5, got.data());
+  EXPECT_EQ(got, buf);
+  if (ro->SupportsBorrowedReads()) {
+    const em::word_t* p = ro->TryBorrowRead(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p[0], 7u);
+  }
+}
+
+TEST(BorrowedPinTest, ReadPinsBorrowAndWritePinsCopyOnWrite) {
+  TempDir dir("borrow");
+  em::EmOptions opts{.block_words = 8, .pool_frames = 4};
+  opts.backend = em::Backend::kMmap;
+  opts.path = dir.File("borrow.blk");
+  auto dev = em::MakeBlockDevice(opts, true);
+  if (!dev->SupportsBorrowedReads()) {
+    GTEST_SKIP() << "kernel refused the mapping";
+  }
+  std::vector<em::word_t> buf(8);
+  for (em::BlockId id = 0; id < 8; ++id) {
+    for (std::uint32_t w = 0; w < 8; ++w) buf[w] = id * 10 + w;
+    dev->Write(id, buf.data());
+  }
+
+  em::BufferPool pool(dev.get(), 4);
+  // Read pin: the frame borrows (no copy into the frame buffer), and the
+  // read-only view serves the mapping's bytes.
+  std::uint32_t f = pool.Pin(2, em::BufferPool::PinMode::kRead);
+  EXPECT_TRUE(pool.FrameBorrowed(f));
+  EXPECT_EQ(pool.stats().borrows, 1u);
+  EXPECT_EQ(pool.ReadData(f)[3], 23u);
+
+  // First mutable access upgrades copy-on-write: borrowed -> owned, bytes
+  // preserved, mapping untouched by the mutation until write-back.
+  em::word_t* mut = pool.FrameData(f);
+  EXPECT_FALSE(pool.FrameBorrowed(f));
+  EXPECT_EQ(mut[3], 23u);
+  mut[3] = 777;
+  pool.Unpin(f, /*dirty=*/true);
+  EXPECT_EQ(dev->TryBorrowRead(2)[3], 23u);  // not yet written back
+  pool.FlushAll();
+  EXPECT_EQ(dev->TryBorrowRead(2)[3], 777u);  // write-back reached the file
+
+  // Re-pinning after the flush borrows again and sees the new bytes.
+  std::uint32_t f2 = pool.Pin(2, em::BufferPool::PinMode::kRead);
+  EXPECT_EQ(pool.ReadData(f2)[3], 777u);
+  pool.Unpin(f2, false);
+}
+
+TEST(BorrowedPinTest, EvictionNeverWritesBorrowedFrames) {
+  TempDir dir("borrow-evict");
+  em::EmOptions opts{.block_words = 8, .pool_frames = 4};
+  opts.backend = em::Backend::kMmap;
+  opts.path = dir.File("evict.blk");
+  auto dev = em::MakeBlockDevice(opts, true);
+  if (!dev->SupportsBorrowedReads()) {
+    GTEST_SKIP() << "kernel refused the mapping";
+  }
+  std::vector<em::word_t> buf(8, 1);
+  for (em::BlockId id = 0; id < 16; ++id) dev->Write(id, buf.data());
+  const std::uint64_t writes_before = dev->writes();
+
+  em::BufferPool pool(dev.get(), 4);
+  // Cycle far more blocks than frames through read pins: every miss
+  // borrows, every eviction drops a borrowed frame, and none of it may
+  // write a single block.
+  for (int round = 0; round < 4; ++round) {
+    for (em::BlockId id = 0; id < 16; ++id) {
+      std::uint32_t f = pool.Pin(id, em::BufferPool::PinMode::kRead);
+      EXPECT_TRUE(pool.FrameBorrowed(f));
+      pool.Unpin(f, false);
+    }
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_EQ(dev->writes(), writes_before);
+  pool.DropAll();
+  EXPECT_EQ(dev->writes(), writes_before);
+}
+
+TEST(BorrowedPinTest, PinManyAndPrefetchBorrow) {
+  TempDir dir("borrow-batch");
+  em::EmOptions opts{.block_words = 8, .pool_frames = 8};
+  opts.backend = em::Backend::kMmap;
+  opts.path = dir.File("batch.blk");
+  auto dev = em::MakeBlockDevice(opts, true);
+  if (!dev->SupportsBorrowedReads()) {
+    GTEST_SKIP() << "kernel refused the mapping";
+  }
+  std::vector<em::word_t> buf(8);
+  for (em::BlockId id = 0; id < 8; ++id) {
+    for (std::uint32_t w = 0; w < 8; ++w) buf[w] = id * 10 + w;
+    dev->Write(id, buf.data());
+  }
+
+  em::BufferPool pool(dev.get(), 8);
+  pool.Prefetch(std::vector<em::BlockId>{0, 1, 2});
+  EXPECT_EQ(pool.stats().prefetched, 3u);
+  EXPECT_EQ(pool.stats().borrows, 3u);
+
+  std::vector<std::uint32_t> frames;
+  pool.PinMany(std::vector<em::BlockId>{2, 4, 5}, &frames);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);    // 2 was prefetched
+  EXPECT_EQ(pool.stats().pool_misses, 2u);  // 4, 5 borrow on miss
+  EXPECT_EQ(pool.stats().borrows, 5u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(pool.FrameBorrowed(frames[i]));
+    pool.Unpin(frames[i], false);
+  }
+  EXPECT_EQ(pool.ReadData(frames[1])[2], 42u);
+}
+
+// ---------------------------------------------------------------------------
 // Backend parity on the full structure
 
 TEST(BackendParityTest, IdenticalIoCountsAndOracleResults) {
@@ -270,11 +473,12 @@ TEST(BackendParityTest, IdenticalIoCountsAndOracleResults) {
     std::vector<std::vector<Point>> results;
   };
   auto run = [&](em::Backend backend, const std::string& path,
-                 std::uint32_t qd) {
+                 std::uint32_t qd, bool reg = false) {
     em::EmOptions opts{.block_words = 64, .pool_frames = 16};
     opts.backend = backend;
     opts.path = path;
     opts.io_queue_depth = qd;
+    opts.io_register_buffers = reg;
     em::Pager pager(opts);
     RunOut out;
     auto built = core::TopkIndex::Build(&pager, points);
@@ -300,10 +504,14 @@ TEST(BackendParityTest, IdenticalIoCountsAndOracleResults) {
   RunOut file = run(em::Backend::kFile, dir.File("parity-file.blk"), 1);
   RunOut uring8 = run(em::Backend::kUring, dir.File("parity-u8.blk"), 8);
   RunOut uring32 = run(em::Backend::kUring, dir.File("parity-u32.blk"), 32);
+  RunOut uring_reg =
+      run(em::Backend::kUring, dir.File("parity-ureg.blk"), 8, /*reg=*/true);
+  RunOut mmap = run(em::Backend::kMmap, dir.File("parity-mmap.blk"), 1);
 
   // Logical I/O counts are a property of the access sequence, not the
-  // backend or the queue depth.
-  for (const RunOut* other : {&file, &uring8, &uring32}) {
+  // backend, the queue depth, kernel-side buffer registration, or whether
+  // reads were copied or borrowed.
+  for (const RunOut* other : {&file, &uring8, &uring32, &uring_reg, &mmap}) {
     EXPECT_EQ(mem.build.reads, other->build.reads);
     EXPECT_EQ(mem.build.writes, other->build.writes);
     EXPECT_EQ(mem.query.reads, other->query.reads);
@@ -378,6 +586,40 @@ TEST(ParallelCheckpointTest, MatchesSerialAndRecovers) {
     ASSERT_TRUE(rp.ok() && rs.ok());
     EXPECT_EQ(*rp, *rs) << "query " << i;
   }
+}
+
+TEST(ParallelCheckpointTest, CleanShardsAreSkippedAndStayRecoverable) {
+  TempDir dir("ckpt-clean");
+  Rng rng(95);
+  auto points = MakePoints(&rng, 2048);
+  engine::EngineOptions opts = BaseEngineOptions(dir.path());
+  auto built = engine::ShardedTopkEngine::Build(points, opts);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE((*built)->Checkpoint().ok());
+
+  // Nothing changed: a second checkpoint must skip every shard — zero
+  // block writes (the files already hold exactly this state).
+  em::IoStats before = (*built)->AggregatedIoStats();
+  ASSERT_TRUE((*built)->Checkpoint().ok());
+  EXPECT_EQ(((*built)->AggregatedIoStats() - before).writes, 0u);
+
+  // Dirty exactly one shard; the next checkpoint writes only that shard
+  // (strictly fewer blocks than the full first checkpoint flushed).
+  auto one = MakePoints(&rng, 1);
+  ASSERT_TRUE((*built)->Insert(one[0]).ok());
+  before = (*built)->AggregatedIoStats();
+  ASSERT_TRUE((*built)->Checkpoint().ok());
+  const std::uint64_t dirty_writes =
+      ((*built)->AggregatedIoStats() - before).writes;
+  EXPECT_GT(dirty_writes, 0u);
+
+  // Skipped checkpoints must not cost recoverability.
+  std::uint64_t final_size = (*built)->size();
+  built->reset();
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->size(), final_size);
+  (*recovered)->CheckInvariants();
 }
 
 TEST(ParallelCheckpointTest, RepeatedCheckpointsStayRecoverable) {

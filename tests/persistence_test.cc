@@ -5,15 +5,19 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/topk_index.h"
 #include "em/file_block_device.h"
 #include "em/pager.h"
 #include "engine/sharded_engine.h"
+#include "internal/naive.h"
 #include "util/point.h"
 #include "util/random.h"
 
@@ -525,6 +529,129 @@ TEST(EnginePersistenceTest, RecoverRejectsShardCountMismatch) {
   EXPECT_EQ(engine::ShardedTopkEngine::Recover(fewer).status().code(),
             StatusCode::kFailedPrecondition);
   ASSERT_TRUE(engine::ShardedTopkEngine::Recover(opts).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serving (OpenSnapshot: read-only mmap shards, zero-copy reads)
+
+/// Byte image of every shard file, for asserting the snapshot never writes.
+std::vector<std::string> ShardFileImages(const engine::EngineOptions& opts) {
+  std::vector<std::string> images;
+  for (std::uint32_t i = 0; i < opts.num_shards; ++i) {
+    std::ifstream in(opts.ShardEm(i).path, std::ios::binary);
+    images.emplace_back(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+    EXPECT_FALSE(images.back().empty());
+  }
+  return images;
+}
+
+TEST(SnapshotServingTest, OracleIdenticalQueriesWithoutWrites) {
+  TempDir dir("snap");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(41);
+  auto points = MakePoints(&rng, 2000);
+  auto queries = MakeQueries(&rng, 300);
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }  // restart: the snapshot serves the files alone
+
+  const auto images_before = ShardFileImages(opts);
+  auto snap = engine::ShardedTopkEngine::OpenSnapshot(opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto& eng = *snap;
+  EXPECT_TRUE(eng->snapshot());
+  EXPECT_EQ(eng->size(), points.size());
+  eng->CheckInvariants();
+
+  // Every query answers exactly as a plain index over the point set would
+  // — the borrowed zero-copy read path returns the same bytes.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto r = eng->TopK(queries[i].x1, queries[i].x2, queries[i].k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, internal::NaiveTopK(points, queries[i].x1, queries[i].x2,
+                                      queries[i].k))
+        << "query " << i;
+  }
+  // The zero-copy path actually engaged (mmap shards borrow their reads).
+  EXPECT_GT(eng->AggregatedIoStats().borrows, 0u);
+
+  // Concurrent readers: oracle-identical under contention, replicas shared.
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (std::size_t i = t; i < queries.size(); i += 2) {
+        auto r = eng->TopK(queries[i].x1, queries[i].x2, queries[i].k);
+        if (!r.ok() ||
+            *r != internal::NaiveTopK(points, queries[i].x1, queries[i].x2,
+                                      queries[i].k)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Read-only contract: every mutation path refuses...
+  EXPECT_EQ(eng->Insert(Point{5e6, 9.0}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(eng->Delete(points[0]).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(eng->Checkpoint().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(eng->Rebalance().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(eng->MaybeRebalance());
+  std::vector<engine::Request> batch;
+  batch.push_back(engine::Request::MakeInsert(Point{5e6, 9.0}));
+  batch.push_back(engine::Request::MakeTopk(0.0, 1e6, 5));
+  std::vector<engine::Response> out;
+  eng->ExecuteBatch(batch, &out);
+  EXPECT_EQ(out[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(out[1].points, internal::NaiveTopK(points, 0.0, 1e6, 5));
+
+  // ...and the files' bytes are untouched by all of the above.
+  EXPECT_EQ(ShardFileImages(opts), images_before);
+
+  // A live engine can still Recover() from the same (unmodified) directory
+  // and accept updates — after the snapshot closes (the serving contract:
+  // the files stay quiescent while a snapshot is open).
+  snap->reset();
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE((*recovered)->Insert(Point{5e6, 9.0}).ok());
+  (*recovered)->CheckInvariants();
+}
+
+TEST(SnapshotServingTest, RequiresStorageDirAndCheckpointedShards) {
+  engine::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  EXPECT_EQ(engine::ShardedTopkEngine::OpenSnapshot(opts).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TempDir dir("snap-missing");
+  opts.storage_dir = dir.path();
+  // No shard files at all: Pager::Open's NotFound propagates.
+  EXPECT_FALSE(engine::ShardedTopkEngine::OpenSnapshot(opts).ok());
+
+  // A checkpointed directory opened with the wrong shard count is refused.
+  Rng rng(43);
+  {
+    auto built = engine::ShardedTopkEngine::Build(MakePoints(&rng, 300), opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }
+  engine::EngineOptions wrong = opts;
+  wrong.num_shards = 1;
+  EXPECT_FALSE(engine::ShardedTopkEngine::OpenSnapshot(wrong).ok());
+  ASSERT_TRUE(engine::ShardedTopkEngine::OpenSnapshot(opts).ok());
 }
 
 }  // namespace
