@@ -118,7 +118,8 @@ inline void WriteJson() {
   if (!st.io_rows.empty()) {
     JsonTable io{"io_stats",
                  {"phase", "reads", "writes", "pool_hits", "pool_misses",
-                  "evictions", "prefetched", "borrows", "total_ios"},
+                  "evictions", "prefetched", "borrows", "wal_appends",
+                  "fsyncs", "total_ios"},
                  {}};
     for (const auto& [phase, s] : st.io_rows) {
       io.rows.push_back({phase, std::to_string(s.reads),
@@ -127,6 +128,8 @@ inline void WriteJson() {
                          std::to_string(s.evictions),
                          std::to_string(s.prefetched),
                          std::to_string(s.borrows),
+                         std::to_string(s.wal_appends),
+                         std::to_string(s.fsyncs),
                          std::to_string(s.TotalIos())});
     }
     tables.push_back(std::move(io));
@@ -196,7 +199,8 @@ inline void Row(const std::vector<std::string>& cells) {
 /// tracks block transfers per phase, not just wall time.
 inline void RecordIoStats(const std::string& phase, const em::IoStats& io) {
   std::printf("[io] %s: %s evictions=%llu prefetched=%llu total=%llu\n",
-              phase.c_str(), io.ToString().c_str(),  // includes borrows
+              phase.c_str(),
+              io.ToString().c_str(),  // includes borrows + wal/fsync counters
               static_cast<unsigned long long>(io.evictions),
               static_cast<unsigned long long>(io.prefetched),
               static_cast<unsigned long long>(io.TotalIos()));

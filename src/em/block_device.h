@@ -153,8 +153,14 @@ class BlockDevice {
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
+  /// Real durability barriers issued (fsync and friends). Page-cache no-op
+  /// Syncs are not counted — this tracks what the hardware was asked to do.
+  std::uint64_t syncs() const { return syncs_; }
 
  protected:
+  /// Backends call this from Sync() exactly when a real barrier ran.
+  void CountSync() { ++syncs_; }
+
   virtual void DoRead(BlockId id, word_t* dst) = 0;
   virtual void DoWrite(BlockId id, const word_t* src) = 0;
   virtual void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) {
@@ -183,6 +189,7 @@ class BlockDevice {
   std::uint32_t block_words_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t syncs_ = 0;
 };
 
 /// In-memory backend: the EM-model simulation the repository started with.

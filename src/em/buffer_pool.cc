@@ -54,6 +54,10 @@ void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
     if (batch != nullptr) {
       batch->push_back(IoRequest{f.id, f.buf.data()});
     } else {
+      if (barrier_ != nullptr) {
+        const BlockId id = f.id;
+        barrier_->BeforeHomeWrite({&id, 1});
+      }
       device_->Write(f.id, f.buf.data());
     }
     ++stats_.writes;
@@ -158,6 +162,12 @@ void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
     }
     if (out != nullptr) out->push_back(v);
   }
+  if (barrier_ != nullptr && !write_batch.empty()) {
+    std::vector<BlockId> ids;
+    ids.reserve(write_batch.size());
+    for (const IoRequest& r : write_batch) ids.push_back(r.id);
+    barrier_->BeforeHomeWrite(ids);
+  }
   device_->SubmitWrites(write_batch);
   device_->SubmitReads(read_batch);
   stats_.reads += read_batch.size();
@@ -194,6 +204,12 @@ void BufferPool::FlushAll() {
       ++stats_.writes;
       f.dirty = false;
     }
+  }
+  if (barrier_ != nullptr && !batch.empty()) {
+    std::vector<BlockId> ids;
+    ids.reserve(batch.size());
+    for (const IoRequest& r : batch) ids.push_back(r.id);
+    barrier_->BeforeHomeWrite(ids);
   }
   device_->SubmitWrites(batch);
 }

@@ -16,6 +16,20 @@
 
 namespace tokra::em {
 
+/// Observer invoked with the block ids of dirty frames immediately before
+/// their write-back reaches the home device — once per write-back batch, so
+/// an implementation can group-commit whatever guards those writes. This is
+/// the pager's WAL seam: it appends undo pre-images of checkpoint-live
+/// blocks (and, in fsync mode, makes them durable) before the home file is
+/// mutated, which is what lets recovery roll a torn inter-checkpoint state
+/// back to the exact last checkpoint. The observer must not re-enter the
+/// pool; reading the home device directly is fine.
+class WriteBarrier {
+ public:
+  virtual ~WriteBarrier() = default;
+  virtual void BeforeHomeWrite(std::span<const BlockId> ids) = 0;
+};
+
 /// Fixed-capacity LRU pool of block frames with pin/unpin semantics.
 ///
 /// A pin that misses reads the block from the device (one I/O); evicting a
@@ -127,6 +141,10 @@ class BufferPool {
   /// Discards any cached copy of `id` without write-back (used on Free).
   void Invalidate(BlockId id);
 
+  /// Installs (or clears, with nullptr) the pre-write-back observer. Not
+  /// owned; must outlive the pool or be cleared first.
+  void SetWriteBarrier(WriteBarrier* barrier) { barrier_ = barrier; }
+
   const IoStats& stats() const { return stats_; }
   std::uint32_t num_frames() const {
     return static_cast<std::uint32_t>(frames_.size());
@@ -189,6 +207,7 @@ class BufferPool {
                  std::vector<std::uint32_t>* out);
 
   BlockDevice* device_;
+  WriteBarrier* barrier_ = nullptr;
   std::vector<Frame> frames_;
   const bool borrow_;  // device supports zero-copy borrowed reads
   std::unordered_map<BlockId, std::uint32_t> map_;

@@ -45,7 +45,10 @@ void FileBlockDevice::EnsureCapacity(BlockId blocks) {
 }
 
 void FileBlockDevice::Sync() {
-  if (durable_sync_ && !read_only_) TOKRA_CHECK(::fsync(fd_) == 0);
+  if (durable_sync_ && !read_only_) {
+    TOKRA_CHECK(::fsync(fd_) == 0);
+    CountSync();
+  }
 }
 
 void FileBlockDevice::DropOsCache() {

@@ -24,8 +24,15 @@ struct IoStats {
                                   ///< pointers into the device mapping (each
                                   ///< also counted in `reads`: the logical
                                   ///< cost is backend-independent)
+  std::uint64_t wal_appends = 0;  ///< records appended to the write-ahead
+                                  ///< log (one per group-committed update
+                                  ///< batch or pre-image frame)
+  std::uint64_t fsyncs = 0;       ///< real durability barriers issued (home
+                                  ///< device fsyncs + WAL fsyncs); page-cache
+                                  ///< no-op Syncs are not counted
 
-  /// Total block transfers — the paper's cost metric.
+  /// Total block transfers — the paper's cost metric. WAL traffic lives on
+  /// its own log device and is reported separately (`wal_appends`).
   std::uint64_t TotalIos() const { return reads + writes; }
 
   IoStats& operator+=(const IoStats& rhs) {
@@ -36,6 +43,8 @@ struct IoStats {
     evictions += rhs.evictions;
     prefetched += rhs.prefetched;
     borrows += rhs.borrows;
+    wal_appends += rhs.wal_appends;
+    fsyncs += rhs.fsyncs;
     return *this;
   }
 
@@ -48,6 +57,8 @@ struct IoStats {
     d.evictions = evictions - rhs.evictions;
     d.prefetched = prefetched - rhs.prefetched;
     d.borrows = borrows - rhs.borrows;
+    d.wal_appends = wal_appends - rhs.wal_appends;
+    d.fsyncs = fsyncs - rhs.fsyncs;
     return d;
   }
 
@@ -55,7 +66,9 @@ struct IoStats {
     return "reads=" + std::to_string(reads) + " writes=" +
            std::to_string(writes) + " hits=" + std::to_string(pool_hits) +
            " misses=" + std::to_string(pool_misses) +
-           " borrows=" + std::to_string(borrows);
+           " borrows=" + std::to_string(borrows) +
+           " wal_appends=" + std::to_string(wal_appends) +
+           " fsyncs=" + std::to_string(fsyncs);
   }
 };
 

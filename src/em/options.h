@@ -78,6 +78,30 @@ struct EmOptions {
   /// other backends ignore it.
   std::uint32_t io_queue_depth = 32;
 
+  /// When non-empty, the pager runs a write-ahead log on this file (a
+  /// sibling of `path`, e.g. `shard-0.wal`): every home-file write between
+  /// checkpoints is preceded by an undo pre-image append, Checkpoint()
+  /// stamps the covered LSN into the superblock and truncates the log, and
+  /// Open() rolls torn inter-checkpoint writes back to the exact checkpoint
+  /// state before handing the pager out. Clients append their own logical
+  /// redo records through Pager::wal(). Requires a file-backed `path`-style
+  /// setup in spirit but works on any backend (the log itself is always a
+  /// file).
+  std::string wal_path = {};
+
+  /// WAL segment rotation threshold, in log blocks: Truncate() rotates to a
+  /// fresh segment file once the current one exceeds this many blocks
+  /// (smaller logs are truncated logically and keep their file). Bounds the
+  /// steady-state log size at max(one checkpoint interval, this).
+  std::uint32_t wal_rotate_blocks = 1024;
+
+  /// WAL power-loss durability: every Sync() of the log is a real fsync and
+  /// pre-image appends are made durable before the home write they guard.
+  /// Off, the log rides the OS page cache — it survives SIGKILL / process
+  /// death (the kill-and-recover contract) but not power loss, mirroring
+  /// `durable_sync` for the home file.
+  bool wal_fsync = false;
+
   /// kUring: pre-register the buffer pool's frames
   /// (IORING_REGISTER_BUFFERS) and the device fd (IORING_REGISTER_FILES)
   /// with the ring, so batch transfers skip the per-op pin/lookup the
@@ -92,6 +116,10 @@ struct EmOptions {
     TOKRA_CHECK(backend == Backend::kMem || !path.empty());
     TOKRA_CHECK(!read_only || backend != Backend::kMem);
     TOKRA_CHECK(io_queue_depth >= 1);
+    // A read-only pager must not own a log: scanning is fine (WalReader),
+    // but attaching one implies undo writes on open and appends later.
+    TOKRA_CHECK(wal_path.empty() || !read_only);
+    TOKRA_CHECK(wal_rotate_blocks >= 1);
   }
 };
 

@@ -1,5 +1,6 @@
 #include "em/pager.h"
 
+#include <cstdio>
 #include <filesystem>
 
 #include "util/bits.h"
@@ -31,6 +32,11 @@ constexpr std::size_t kWSpillBlocks = 7;
 constexpr std::size_t kWSpillStart = 8;
 constexpr std::size_t kWEpoch = 9;
 constexpr std::size_t kWChecksum = 10;
+// LSN covered by this checkpoint: every WAL record at or below it is
+// already reflected in the checkpointed state (0 = no log). Fits in the
+// header's previously-unused 12th word, so version 2 files stay readable
+// (their word 11 was written as 0, i.e. "no log").
+constexpr std::size_t kWWalLsn = 11;
 
 /// Mixes all superblock words except the checksum slot itself.
 word_t SuperChecksum(std::span<const word_t> words) {
@@ -52,6 +58,21 @@ Pager::Pager(const EmOptions& options)
   // Open() on an existing checkpoint.
   TOKRA_CHECK(!options.read_only);
   device_->EnsureCapacity(kReservedBlocks);  // the two superblock slots
+  if (!options.wal_path.empty()) {
+    // A fresh device makes any existing log stale: start the log fresh
+    // too. Until the first checkpoint nothing is recoverable, so the
+    // live-set stays empty and no pre-images are logged.
+    std::remove(options.wal_path.c_str());
+    WriteAheadLog::Options wo;
+    wo.path = options.wal_path;
+    wo.block_words = options.block_words;
+    wo.fsync = options.wal_fsync;
+    wo.rotate_blocks = options.wal_rotate_blocks;
+    auto wal = WriteAheadLog::Open(std::move(wo));
+    TOKRA_CHECK(wal.ok());
+    wal_ = std::move(*wal);
+    pool_.SetWriteBarrier(this);
+  }
 }
 
 Pager::Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device)
@@ -114,16 +135,106 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   super[kWSpillBlocks] = spill_blocks;
   super[kWSpillStart] = spill_start_;
   super[kWEpoch] = epoch_ + 1;
+  // Stamp the covered LSN: the FlushAll above already appended this
+  // checkpoint's own pre-images (the flush goes through the WriteBarrier),
+  // so the head here supersedes every record the log currently holds —
+  // both the logical tail being made durable and the undo records that
+  // guarded its propagation. A WAL-less pager re-stamps whatever it holds
+  // (0, or an OverrideWalCheckpointLsn from a side-file build).
+  const word_t covered_lsn =
+      wal_ != nullptr ? wal_->head_lsn() : wal_ckpt_lsn_;
+  super[kWWalLsn] = covered_lsn;
   super[kWChecksum] = SuperChecksum(super);
 
-  // Barrier, superblock to the alternate slot, barrier: data and spill are
-  // durable before a superblock references them, and a torn superblock
-  // write invalidates only the new slot (bad checksum), never the old one.
+  // Barrier, superblock to the alternate slot, barrier: data, spill, and
+  // the log must be durable before a superblock supersedes the old state,
+  // and a torn superblock write invalidates only the new slot (bad
+  // checksum), never the old one.
+  if (wal_ != nullptr) wal_->Sync();
   device_->Sync();
   device_->Write((epoch_ + 1) % kReservedBlocks, super.data());
   device_->Sync();
   ++epoch_;
   roots_.assign(roots.begin(), roots.end());
+  wal_ckpt_lsn_ = covered_lsn;
+  CaptureCheckpointLiveSet();
+  if (wal_ != nullptr) {
+    // Records at or below the stamp are inert from here on; truncation
+    // failing (rotation rename) leaves them inert on disk, so surface but
+    // do not roll back.
+    TOKRA_RETURN_IF_ERROR(wal_->Truncate(covered_lsn));
+  }
+  return Status::Ok();
+}
+
+void Pager::CaptureCheckpointLiveSet() {
+  ckpt_next_block_ = next_block_;
+  ckpt_free_.clear();
+  ckpt_free_.insert(free_list_.begin(), free_list_.end());
+  preimaged_.clear();
+}
+
+void Pager::BeforeHomeWrite(std::span<const BlockId> ids) {
+  if (wal_ == nullptr) return;
+  bool appended = false;
+  for (BlockId id : ids) {
+    if (id < kReservedBlocks) continue;      // superblock protocol is its own
+    if (id >= ckpt_next_block_) continue;    // beyond checkpoint high water
+    if (ckpt_free_.count(id) != 0) continue; // free at the checkpoint
+    if (!preimaged_.insert(id).second) continue;  // already guarded
+    preimage_scratch_.assign(std::size_t{B()} + 1, 0);
+    preimage_scratch_[0] = id;
+    // The home device still holds the checkpoint-time content: this is the
+    // block's first overwrite of the interval. One read I/O, charged like
+    // any other transfer, identically on every backend.
+    device_->Read(id, preimage_scratch_.data() + 1);
+    wal_->Append(WriteAheadLog::RecordType::kPreImage, preimage_scratch_);
+    appended = true;
+  }
+  // Write-ahead: the pre-images must not be reorderable after the home
+  // writes they guard. One barrier per write-back batch (a real fsync only
+  // in wal_fsync mode; page-cache mode needs no barrier for SIGKILL
+  // safety, since the kernel survives and writes back both files).
+  if (appended) wal_->Sync();
+}
+
+Status Pager::AttachWalAndUndo() {
+  WriteAheadLog::Options wo;
+  wo.path = options_.wal_path;
+  wo.block_words = options_.block_words;
+  wo.fsync = options_.wal_fsync;
+  wo.rotate_blocks = options_.wal_rotate_blocks;
+  TOKRA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(std::move(wo)));
+  pool_.SetWriteBarrier(this);
+  // A log whose head lags the stamped checkpoint cannot be the one the
+  // stamp was taken against (a shipped snapshot without its log, a log
+  // recreated out-of-band): everything it holds is stamped-inert, but
+  // letting appends continue below the stamp would make FUTURE records
+  // inert too — silently unprotected. Fast-forward the LSN space past the
+  // stamp so the guarantee resumes from here. (A healthy log always has
+  // head >= stamp: checkpoints stamp their own head.)
+  if (wal_->head_lsn() < wal_ckpt_lsn_) {
+    TOKRA_RETURN_IF_ERROR(wal_->AdvanceTo(wal_ckpt_lsn_ + 1));
+  }
+  // Roll the device back to the exact stamped checkpoint: pre-images are
+  // applied newest-first, so when several guard generations of the same
+  // block survive (replay after a previous partial recovery), the oldest —
+  // the checkpoint-time content — lands last. Logical records stay in the
+  // log for the client to replay.
+  const auto& recs = wal_->records();
+  std::vector<word_t> payload;
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+    if (it->lsn <= wal_ckpt_lsn_ ||
+        it->type != WriteAheadLog::RecordType::kPreImage) {
+      continue;
+    }
+    TOKRA_RETURN_IF_ERROR(wal_->ReadPayload(*it, &payload));
+    if (payload.size() != std::size_t{B()} + 1) {
+      return Status::Internal("malformed WAL pre-image record");
+    }
+    device_->Write(payload[0], payload.data() + 1);
+  }
+  CaptureCheckpointLiveSet();
   return Status::Ok();
 }
 
@@ -164,6 +275,7 @@ Status Pager::LoadSuperblock() {
   next_block_ = super[kWNextBlock];
   blocks_in_use_ = super[kWBlocksInUse];
   epoch_ = best_epoch;
+  wal_ckpt_lsn_ = super[kWWalLsn];
   const std::size_t root_count = super[kWRootCount];
   const std::size_t free_count = super[kWFreeCount];
   const std::uint32_t spill_blocks =
@@ -210,6 +322,13 @@ StatusOr<std::unique_ptr<Pager>> Pager::Open(const EmOptions& options) {
   auto pager =
       std::unique_ptr<Pager>(new Pager(options, std::move(device)));
   TOKRA_RETURN_IF_ERROR(pager->LoadSuperblock());
+  if (!options.wal_path.empty()) {
+    // Physical recovery: drop the log's torn tail, then undo torn
+    // inter-checkpoint home writes so the structure behind the roots is
+    // byte-exactly the checkpointed one. The surviving logical tail
+    // (records past wal_checkpoint_lsn()) is the caller's redo input.
+    TOKRA_RETURN_IF_ERROR(pager->AttachWalAndUndo());
+  }
   return pager;
 }
 

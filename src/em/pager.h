@@ -9,9 +9,17 @@
 // plus an application root directory into the next slot (epoch + checksum
 // make the checkpoint write itself atomic); Open() restores the newest
 // complete checkpoint, so a structure whose meta-block id is recorded as a
-// root survives process restarts without rebuilding. See Checkpoint() for
-// the precise crash contract — updates between checkpoints are not yet
-// crash-protected (no WAL).
+// root survives process restarts without rebuilding.
+//
+// Crash consistency between checkpoints: with EmOptions::wal_path set the
+// pager attaches a write-ahead log and becomes its pre-image (undo) writer —
+// before the first post-checkpoint overwrite of a checkpoint-live home
+// block, the block's checkpoint-time content is appended to the log (the
+// pool's WriteBarrier seam), so Open() can roll any torn inter-checkpoint
+// state back to the exact last checkpoint before clients replay their own
+// logical records from the same log (Pager::wal()). Checkpoint() stamps the
+// covered LSN into the superblock and truncates the log behind it. Without
+// a wal_path the contract stays checkpoint-granular, exactly as before.
 
 #ifndef TOKRA_EM_PAGER_H_
 #define TOKRA_EM_PAGER_H_
@@ -20,12 +28,14 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "em/block_device.h"
 #include "em/buffer_pool.h"
 #include "em/io_stats.h"
 #include "em/options.h"
+#include "em/wal.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -101,8 +111,20 @@ class PageRef {
   bool dirty_ = false;
 };
 
+/// Block-accounting snapshot — the measurement seed for free-space
+/// compaction: a long-lived file device never shrinks (freed blocks are
+/// reused but the file keeps its high-water mark), and the gap between
+/// `allocated_blocks` and `file_blocks` is exactly what a compactor could
+/// reclaim by relocating live blocks downward and truncating.
+struct SpaceStats {
+  std::uint64_t allocated_blocks = 0;  ///< application blocks in use
+  std::uint64_t free_blocks = 0;       ///< on the allocator free list
+  std::uint64_t reserved_blocks = 0;   ///< superblock slots + spill region
+  std::uint64_t file_blocks = 0;       ///< device high-water mark
+};
+
 /// Owns the device + pool; allocates and frees blocks; hands out pins.
-class Pager {
+class Pager : private WriteBarrier {
  public:
   /// A fresh pager on a fresh device (a file backend truncates any existing
   /// contents). Blocks 0 and 1 are reserved as superblock slots; allocation
@@ -178,23 +200,61 @@ class Pager {
   /// interrupted superblock write is detected by checksum and falls back to
   /// the previous slot, and free-list spill blocks stay reserved until the
   /// next checkpoint supersedes them — so checkpoint-then-exit is always
-  /// recoverable. Updates *between* checkpoints, however, mutate blocks in
-  /// place; a crash after such updates leaves the device a mix of old and
-  /// new block contents, and recovery of the previous checkpoint is not
-  /// guaranteed (a WAL is the roadmap follow-on closing that window).
+  /// recoverable. Updates *between* checkpoints mutate blocks in place;
+  /// without a WAL a crash after them leaves the device a mix of old and
+  /// new block contents and recovery of the previous checkpoint is not
+  /// guaranteed. With a WAL attached (EmOptions::wal_path) every such
+  /// in-place write is preceded by an undo pre-image append, Open() rolls
+  /// the mix back to the checkpoint, and this method additionally stamps
+  /// the covered LSN into the superblock and truncates the log once the
+  /// commit supersedes it.
   Status Checkpoint(std::span<const std::uint64_t> roots);
 
   /// Root directory recorded by the last Checkpoint() or restored by Open().
   const std::vector<std::uint64_t>& roots() const { return roots_; }
 
+  /// The attached write-ahead log (EmOptions::wal_path), else nullptr.
+  /// Clients append their logical redo records here (one per accepted
+  /// update group + one Sync is the group commit); records with LSN greater
+  /// than wal_checkpoint_lsn() are the replay tail.
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  /// LSN covered by the restored/last-written checkpoint: every record at
+  /// or below it is already reflected in the checkpointed state.
+  std::uint64_t wal_checkpoint_lsn() const { return wal_ckpt_lsn_; }
+
+  /// For WAL-less pagers only: makes the next Checkpoint() stamp `lsn` as
+  /// the covered LSN. This is how a replacement file built on the side
+  /// (the engine's rebalance) adopts the live shard's log without touching
+  /// it: the side file is checkpointed with the log's current head, so
+  /// once renamed into place every existing record is inert and the log
+  /// simply continues. A pager with its own log always stamps that log's
+  /// head instead.
+  void OverrideWalCheckpointLsn(std::uint64_t lsn) {
+    TOKRA_CHECK(wal_ == nullptr);
+    wal_ckpt_lsn_ = lsn;
+  }
+
   /// Space usage in blocks — the paper's space metric.
   std::uint64_t BlocksInUse() const { return blocks_in_use_; }
 
-  /// Combined device + pool counters.
+  /// Allocator/file accounting (free-space + high-water measurement seed).
+  SpaceStats Space() const {
+    SpaceStats s;
+    s.allocated_blocks = blocks_in_use_;
+    s.free_blocks = free_list_.size();
+    s.reserved_blocks = kReservedBlocks + spill_count_;
+    s.file_blocks = device_->NumBlocks();
+    return s;
+  }
+
+  /// Combined device + pool + log counters.
   IoStats stats() const {
     IoStats s = pool_.stats();
     s.reads = device_->reads();
     s.writes = device_->writes();
+    s.fsyncs = device_->syncs() + (wal_ != nullptr ? wal_->fsyncs() : 0);
+    s.wal_appends = wal_ != nullptr ? wal_->appends() : 0;
     return s;
   }
 
@@ -218,6 +278,20 @@ class Pager {
   /// device that was never checkpointed or disagrees with `options_`.
   Status LoadSuperblock();
 
+  /// WriteBarrier: appends undo pre-images of checkpoint-live blocks about
+  /// to be overwritten in place (first overwrite per interval only), then
+  /// makes them durable when the log is in fsync mode — the write-ahead
+  /// rule that keeps the last checkpoint recoverable mid-interval.
+  void BeforeHomeWrite(std::span<const BlockId> ids) override;
+
+  /// Opens the log (torn tail dropped), then rolls the device back to the
+  /// stamped checkpoint by applying pre-image records newest-first.
+  Status AttachWalAndUndo();
+
+  /// Snapshots which blocks the just-committed checkpoint considers live,
+  /// resetting the once-per-interval pre-image dedup.
+  void CaptureCheckpointLiveSet();
+
   EmOptions options_;
   std::unique_ptr<BlockDevice> device_;
   BufferPool pool_;
@@ -233,6 +307,18 @@ class Pager {
   // one allocation instead of building a fresh vector per spill run.
   std::vector<word_t> spill_scratch_;
   std::uint64_t epoch_ = 0;  // checkpoint counter; parity picks the slot
+
+  // Write-ahead log state (EmOptions::wal_path). The live-set snapshot
+  // (high-water + free set as of the last checkpoint) decides which home
+  // overwrites need a pre-image: blocks beyond the checkpoint's high water
+  // or on its free list are unreferenced by it, so their contents are
+  // irrelevant to recovery and cost nothing.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::uint64_t wal_ckpt_lsn_ = 0;
+  BlockId ckpt_next_block_ = kReservedBlocks;
+  std::unordered_set<BlockId> ckpt_free_;
+  std::unordered_set<BlockId> preimaged_;  // guarded this interval already
+  std::vector<word_t> preimage_scratch_;
 };
 
 inline std::size_t PageRef::WordsPerBlock() const {

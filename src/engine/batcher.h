@@ -6,6 +6,14 @@
 // pager pass per shard per batch), queries fanned out after. This amortizes
 // lock and pager traffic across everything that arrived in the window.
 //
+// Under a WAL durability mode the batcher is also the group-commit
+// boundary: each shard's update group lands in ONE write-ahead-log record
+// (one vectored append + one barrier), not one per update, and a future
+// resolves only after its batch executed — i.e. after its record was
+// logged. The coalescing window therefore amortizes the durability barrier
+// exactly like it amortizes the lock, which is what makes
+// kWalFsyncEveryBatch pay one fsync per shard per batch instead of per op.
+//
 // A batch flushes when it reaches `max_pending` (inline, on the submitting
 // thread) or when a caller invokes Flush(). Batch semantics follow
 // ExecuteBatch: within a batch, updates happen-before queries, and updates

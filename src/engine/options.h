@@ -15,8 +15,32 @@ namespace tokra::engine {
 /// Superblock roots each shard checkpoint records: index meta, lower bound,
 /// shard count, topology generation. EngineOptions::Validate() requires a
 /// block to fit the superblock header plus this many roots, so a validated
-/// engine can never fail a checkpoint on geometry at runtime.
+/// engine can never fail a checkpoint on geometry at runtime. (The covered
+/// WAL LSN is not a root: the pager stamps it in its own superblock header
+/// word.)
 inline constexpr std::uint32_t kShardCheckpointRoots = 4;
+
+/// How much of the update stream survives a crash.
+enum class Durability {
+  /// Nothing persists: Checkpoint() is refused even with a storage_dir.
+  /// The implied mode of a memory-backed engine.
+  kNone,
+  /// Today's default: Recover() restores the last completed Checkpoint();
+  /// updates accepted after it are lost on a crash.
+  kCheckpoint,
+  /// Write-ahead logging: every accepted update batch is group-committed
+  /// to its shard's log, and Recover() replays the tail past the
+  /// checkpoint LSN — a SIGKILL at any point after a batch was
+  /// acknowledged loses nothing (the log and the pre-image guards ride the
+  /// OS page cache, which survives process death). Power loss can still
+  /// lose the page cache.
+  kWal,
+  /// kWal plus real fsyncs: one per group commit, one per guarded
+  /// write-back batch, and home-device barriers at checkpoints
+  /// (em.durable_sync is forced on) — acknowledged updates survive power
+  /// loss. The costly mode.
+  kWalFsyncEveryBatch,
+};
 
 /// Parameters of a ShardedTopkEngine.
 ///
@@ -42,6 +66,13 @@ struct EngineOptions {
   /// directory must already exist.
   std::string storage_dir;
 
+  /// Crash-consistency mode. kWal and up give every shard a write-ahead
+  /// log `<storage_dir>/shard-<i>.wal`: the RequestBatcher's per-shard
+  /// update groups become the group-commit unit (one log append per shard
+  /// per batch), Checkpoint() stamps the covered LSN and truncates each
+  /// log, and Recover() replays the tails. Requires a storage_dir.
+  Durability durability = Durability::kCheckpoint;
+
   /// Run per-shard checkpoints concurrently on the engine's thread pool.
   /// Shards checkpoint independent pagers on disjoint files, so this only
   /// overlaps their flush + superblock writes; the per-shard crash-safety
@@ -61,12 +92,36 @@ struct EngineOptions {
   /// workers plus the calling thread).
   std::uint32_t snapshot_replicas = 0;
 
-  /// `em` specialized for shard `i`: the per-shard backing file applied.
+  /// Whether the engine runs write-ahead logs at all.
+  bool WalEnabled() const {
+    return durability == Durability::kWal ||
+           durability == Durability::kWalFsyncEveryBatch;
+  }
+
+  /// Shard `i`'s log file — THE naming scheme, shared by ShardEm and every
+  /// tail inspection, so a rename cannot silently disable one of them.
+  std::string ShardWalPath(std::uint32_t shard) const {
+    return storage_dir + "/shard-" + std::to_string(shard) + ".wal";
+  }
+
+  /// `em` specialized for shard `i`: the per-shard backing file (and, under
+  /// a WAL durability mode, the per-shard log) applied.
   em::EmOptions ShardEm(std::uint32_t shard) const {
     em::EmOptions o = em;
     if (!storage_dir.empty()) {
       if (o.backend == em::Backend::kMem) o.backend = em::Backend::kFile;
       o.path = storage_dir + "/shard-" + std::to_string(shard) + ".tokra";
+      if (WalEnabled()) {
+        o.wal_path = ShardWalPath(shard);
+        if (durability == Durability::kWalFsyncEveryBatch) {
+          o.wal_fsync = true;
+          // The power-loss mode needs the HOME device's checkpoint
+          // barriers to be real fsyncs too: a checkpoint commit that only
+          // reached the page cache while Truncate() durably rotated the
+          // log away would destroy the very records that could redo it.
+          o.durable_sync = true;
+        }
+      }
     }
     return o;
   }
@@ -89,6 +144,8 @@ struct EngineOptions {
     // A file-backed backend must come with a storage_dir: a single shared
     // em.path would have every shard truncate and overwrite the same file.
     TOKRA_CHECK(em.backend == em::Backend::kMem || !storage_dir.empty());
+    // The log is a file: WAL durability needs somewhere to put it.
+    TOKRA_CHECK(!WalEnabled() || !storage_dir.empty());
     TOKRA_CHECK(em.block_words >=
                 em::kSuperblockHeaderWords + kShardCheckpointRoots);
     ShardEm(0).Validate();

@@ -7,6 +7,7 @@
 #include <bit>
 #include <cerrno>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <limits>
 #include <string>
@@ -14,26 +15,82 @@
 
 #include "engine/merge.h"
 #include "util/check.h"
+#include "util/fsync_dir.h"
 
 namespace tokra::engine {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Side-file suffix used by in-place shard rebuilds (Rebalance).
+/// Side-file suffix used by in-place shard rebuilds (Rebalance). Applies to
+/// both the shard file and, under a WAL durability mode, its log.
 constexpr char kRebuildSuffix[] = ".rebuild";
 
-/// Makes directory-entry changes (our renames) durable. Callers under
-/// durable_sync TOKRA_CHECK the result — same contract as
-/// FileBlockDevice::Sync(), where a failed durability barrier has no
-/// recovery story.
-[[nodiscard]] bool FsyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
+/// Refuses to serve shard `shard` of `storage_dir` WITHOUT its log when
+/// the log holds ANY record past `stamp`: logical records are acknowledged
+/// updates a WAL-less open would hide, and pre-images are evidence of torn
+/// in-place home writes that only the undo pass can repair. A cleanly
+/// checkpointed shard has nothing past its stamp (the stamp is taken after
+/// the checkpoint's own guards), so this never fires spuriously. An
+/// unreadable log is refused too — its tail is unknowable.
+Status RequireNoWalTail(const EngineOptions& options, std::uint32_t shard,
+                        std::uint64_t stamp, const std::string& context) {
+  const std::string wal_path = options.ShardWalPath(shard);
+  const std::uint32_t block_words = options.em.block_words;
+  if (!std::filesystem::exists(wal_path)) return Status::Ok();
+  auto reader = em::WalReader::Open(wal_path, block_words);
+  if (!reader.ok()) {
+    return Status::FailedPrecondition(
+        context + ": shard " + std::to_string(shard) +
+        " has an unreadable WAL; run Recover() under a WAL durability "
+        "mode first");
+  }
+  const auto& recs = (*reader)->records();
+  const bool tail = std::any_of(recs.begin(), recs.end(), [&](const auto& r) {
+    return r.lsn > stamp;
+  });
+  if (tail) {
+    return Status::FailedPrecondition(
+        context + ": shard " + std::to_string(shard) +
+        " has a WAL tail past its checkpoint (unreplayed updates and/or "
+        "torn in-place writes); run Recover() under a WAL durability mode "
+        "first");
+  }
+  return Status::Ok();
 }
 }  // namespace
+
+std::vector<em::word_t> EncodeWalOps(std::span<const WalOp> ops) {
+  std::vector<em::word_t> payload;
+  payload.reserve(1 + 3 * ops.size());
+  payload.push_back(ops.size());
+  for (const WalOp& op : ops) {
+    payload.push_back(op.insert ? 1 : 0);
+    payload.push_back(std::bit_cast<em::word_t>(op.p.x));
+    payload.push_back(std::bit_cast<em::word_t>(op.p.score));
+  }
+  return payload;
+}
+
+StatusOr<std::vector<WalOp>> DecodeWalOps(
+    std::span<const em::word_t> payload) {
+  // Bound the count before the equality check: a crafted count can make
+  // 1 + 3*count wrap modulo 2^64 to the actual size, and the vector
+  // constructor below would then terminate on length_error instead of
+  // this returning the malformed-record error.
+  if (payload.empty() || payload[0] > (payload.size() - 1) / 3 ||
+      payload.size() != 1 + 3 * payload[0]) {
+    return Status::Internal("malformed WAL update record");
+  }
+  std::vector<WalOp> ops(payload[0]);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const em::word_t kind = payload[1 + 3 * i];
+    if (kind > 1) return Status::Internal("malformed WAL update record");
+    ops[i].insert = kind == 1;
+    ops[i].p.x = std::bit_cast<double>(payload[2 + 3 * i]);
+    ops[i].p.score = std::bit_cast<double>(payload[3 + 3 * i]);
+  }
+  return ops;
+}
 
 ShardedTopkEngine::ShardedTopkEngine(EngineOptions options)
     : options_(options), pool_(options.threads) {}
@@ -53,6 +110,12 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Build(
     }
   }
   TOKRA_RETURN_IF_ERROR(engine->BuildShardsLocked(std::move(points)));
+  if (options.WalEnabled()) {
+    // The zero-loss guarantee starts at the first checkpoint (there is no
+    // base state to replay onto before one), so take it now: every update
+    // acknowledged after Build returns is already WAL-protected.
+    TOKRA_RETURN_IF_ERROR(engine->Checkpoint());
+  }
   return engine;
 }
 
@@ -128,6 +191,12 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
       final_paths[i] = em.path;
       em.path += kRebuildSuffix;
       tmp_paths[i] = em.path;
+      // Side files are built WITHOUT a log: creating one would truncate
+      // the live shard's log while the old topology still needs its tail
+      // (a crash before commit must replay it). The side checkpoint below
+      // instead stamps the live log's current head as covered, so the
+      // renamed file adopts the existing log with every record inert.
+      em.wal_path.clear();
     }
     auto shard = std::make_unique<Shard>(em);
     shard->approx_size.store(chunks[i].size(), std::memory_order_relaxed);
@@ -148,6 +217,16 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
     // Recover() able to roll the commit forward from the remaining side
     // files.
     for (std::uint32_t i = 0; i < s; ++i) {
+      if (options_.WalEnabled()) {
+        // Adopt-by-stamp: shard i's replacement will serve shard-i.wal.
+        // Its checkpoint covers everything that log currently holds (the
+        // rebuild snapshot includes every applied update), so stamp the
+        // log's head; we hold the topology lock exclusively, so the head
+        // cannot move under us.
+        em::WriteAheadLog* live_wal = shards_[i]->pager->wal();
+        TOKRA_CHECK(live_wal != nullptr);
+        fresh[i]->pager->OverrideWalCheckpointLsn(live_wal->head_lsn());
+      }
       const std::uint64_t extra[kShardCheckpointRoots - 1] = {
           std::bit_cast<std::uint64_t>(bounds[i]), s, generation_};
       Status st = fresh[i]->index->Checkpoint(extra);
@@ -184,6 +263,30 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
     // The replaced shards (dropped below) still hold fds on the unlinked
     // previous inodes; their storage is released with them.
     //
+    // Under a WAL mode the committed files must now be served by pagers
+    // that own their logs again (the side builds deliberately had none):
+    // reopen each shard from its live name. The adopt-by-stamp makes the
+    // attach a no-op recovery — every existing record is at or below the
+    // stamped head, so nothing is undone or replayed, and appends simply
+    // continue past it.
+    if (options_.WalEnabled()) {
+      for (std::uint32_t i = 0; i < s; ++i) {
+        fresh[i]->index.reset();
+        fresh[i]->pager.reset();  // release the renamed fd before reopening
+        auto reopened = em::Pager::Open(options_.ShardEm(i));
+        if (!reopened.ok()) {
+          storage_failed_ = true;
+          return reopened.status();
+        }
+        fresh[i]->pager = std::move(*reopened);
+        auto idx = core::TopkIndex::Open(fresh[i]->pager.get());
+        if (!idx.ok()) {
+          storage_failed_ = true;
+          return idx.status();
+        }
+        fresh[i]->index = std::move(*idx);
+      }
+    }
     // Every fresh shard was just checkpointed (side file, then renamed),
     // so its live file already holds exactly this state: clean.
     for (auto& shard : fresh) {
@@ -203,7 +306,8 @@ std::size_t ShardedTopkEngine::ShardFor(double x) const {
   return static_cast<std::size_t>(it - lower_bounds_.begin()) - 1;
 }
 
-Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p) {
+Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p,
+                                       std::vector<WalOp>* group) {
   {
     std::lock_guard<std::mutex> rg(registry_mu_);
     if (by_x_.count(p.x) != 0) {
@@ -222,6 +326,19 @@ Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p) {
     sh.approx_size.fetch_add(1, std::memory_order_relaxed);
     sh.dirty.store(true, std::memory_order_relaxed);
     n_inserts_.fetch_add(1, std::memory_order_relaxed);
+    // Apply-then-log: the record reaches the log (and, per mode, the disk)
+    // before the caller acknowledges the op, which is all the zero-loss
+    // contract needs. A crash in the apply-to-log window loses only ops
+    // nobody was told about — recovery rolls the torn apply back to the
+    // checkpoint and replays the logged prefix.
+    if (options_.WalEnabled()) {
+      const WalOp op{true, p};
+      if (group != nullptr) {
+        group->push_back(op);
+      } else {
+        LogShardOps(sh, {&op, 1});
+      }
+    }
   } else {
     std::lock_guard<std::mutex> rg(registry_mu_);
     by_x_.erase(p.x);
@@ -230,7 +347,8 @@ Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p) {
   return st;
 }
 
-Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p) {
+Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p,
+                                       std::vector<WalOp>* group) {
   {
     std::lock_guard<std::mutex> rg(registry_mu_);
     auto it = by_x_.find(p.x);
@@ -252,27 +370,63 @@ Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p) {
     sh.approx_size.fetch_sub(1, std::memory_order_relaxed);
     sh.dirty.store(true, std::memory_order_relaxed);
     n_deletes_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.WalEnabled()) {
+      const WalOp op{false, p};
+      if (group != nullptr) {
+        group->push_back(op);
+      } else {
+        LogShardOps(sh, {&op, 1});
+      }
+    }
   }
   return st;
+}
+
+void ShardedTopkEngine::LogShardOps(Shard& sh, std::span<const WalOp> ops) {
+  if (ops.empty()) return;
+  em::WriteAheadLog* wal = sh.pager->wal();
+  TOKRA_CHECK(wal != nullptr);
+  // The group commit: however many updates the shard group carried, the
+  // log pays one append (one vectored block write) and one barrier.
+  wal->Append(em::WriteAheadLog::RecordType::kLogical, EncodeWalOps(ops));
+  wal->Sync();
 }
 
 Status ShardedTopkEngine::Insert(const Point& p) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
   // Shard mutex before the registry: every operation on a given x
   // serializes on its owning shard's mutex, so a registry reservation is
   // never observable while its index apply is still in flight.
   Shard& sh = *shards_[ShardFor(p.x)];
   std::lock_guard<std::mutex> g(sh.mu);
-  return InsertLocked(sh, p);
+  return InsertLocked(sh, p, nullptr);
 }
 
 Status ShardedTopkEngine::Delete(const Point& p) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
   Shard& sh = *shards_[ShardFor(p.x)];
   std::lock_guard<std::mutex> g(sh.mu);
-  return DeleteLocked(sh, p);
+  return DeleteLocked(sh, p, nullptr);
+}
+
+Status ShardedTopkEngine::RefuseWalAfterStorageFailureLocked() const {
+  // Under kCheckpoint, serving updates past a failed rebalance commit is
+  // safe: nothing after the failure is durable, and Checkpoint() refuses.
+  // Under a WAL mode the updates WOULD be durable — logged against the
+  // superseded topology, with LSNs past the committed side files' adopt
+  // stamp — and Recover()'s roll-forward would undo/replay them onto the
+  // NEW topology: corruption. Refuse instead; only a fresh process's
+  // Recover() can reconcile the disk.
+  if (options_.WalEnabled() && storage_failed_) {
+    return Status::FailedPrecondition(
+        "shard storage is inconsistent after a failed rebalance commit; "
+        "WAL updates would poison recovery — restart and Recover()");
+  }
+  return Status::Ok();
 }
 
 StatusOr<std::vector<Point>> ShardedTopkEngine::TopK(
@@ -386,6 +540,9 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
       // Read-only serving: updates are answered, not applied.
       (*out)[i].status = Status::FailedPrecondition("snapshot is read-only");
       n_rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else if (Status st = RefuseWalAfterStorageFailureLocked(); !st.ok()) {
+      (*out)[i].status = st;
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
     } else {
       groups[ShardFor(batch[i].point.x)].push_back(i);
     }
@@ -399,12 +556,21 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
     update_tasks.emplace_back([&, s] {
       Shard& sh = *shards_[s];
       std::lock_guard<std::mutex> g(sh.mu);
+      // The batch path is the group-commit boundary: every accepted update
+      // of this shard's group lands in ONE logical WAL record, appended and
+      // synced once after the group applied — the batcher's coalescing
+      // window amortizes the log barrier exactly like it amortizes the
+      // lock. Futures (acknowledgements) resolve only after ExecuteBatch
+      // returns, so nothing is acknowledged before its record is logged.
+      std::vector<WalOp> group_log;
+      group_log.reserve(groups[s].size());
       for (std::size_t i : groups[s]) {
         const Request& req = batch[i];
         (*out)[i].status = req.kind == Request::Kind::kInsert
-                               ? InsertLocked(sh, req.point)
-                               : DeleteLocked(sh, req.point);
+                               ? InsertLocked(sh, req.point, &group_log)
+                               : DeleteLocked(sh, req.point, &group_log);
       }
+      LogShardOps(sh, group_log);
     });
   }
   pool_.RunAll(std::move(update_tasks));
@@ -427,11 +593,16 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
   pool_.RunAll(std::move(query_tasks));
 }
 
-Status ShardedTopkEngine::Checkpoint() {
+Status ShardedTopkEngine::Checkpoint(
+    std::vector<std::uint64_t>* covered_lsns) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::unique_lock<std::shared_mutex> tl(topology_mu_);
   if (options_.storage_dir.empty()) {
     return Status::FailedPrecondition("engine has no storage_dir");
+  }
+  if (options_.durability == Durability::kNone) {
+    return Status::FailedPrecondition(
+        "engine is configured durability=kNone");
   }
   if (storage_failed_) {
     return Status::FailedPrecondition(
@@ -485,11 +656,18 @@ Status ShardedTopkEngine::Checkpoint() {
     }
   }
   for (const Status& st : statuses) TOKRA_RETURN_IF_ERROR(st);
+  if (covered_lsns != nullptr) {
+    covered_lsns->clear();
+    covered_lsns->reserve(shards_.size());
+    for (const auto& sh : shards_) {
+      covered_lsns->push_back(sh->pager->wal_checkpoint_lsn());
+    }
+  }
   return Status::Ok();
 }
 
 StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
-    EngineOptions options) {
+    EngineOptions options, RecoveryReport* report) {
   options.Validate();
   if (options.storage_dir.empty()) {
     return Status::InvalidArgument("Recover requires a storage_dir");
@@ -497,14 +675,24 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   auto engine =
       std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
   const std::uint32_t s = options.num_shards;
+  const bool wal_mode = options.WalEnabled();
 
-  // Open every live file first: the generation agreement check (and the
-  // interrupted-rebalance roll-forward below) needs all superblocks before
-  // any single shard can be trusted.
+  // Phase 1 — probe: open every live file WITHOUT its log to read the
+  // superblocks. The generation agreement check (and the interrupted-
+  // rebalance roll-forward below) needs all superblocks before any single
+  // shard can be trusted, and attaching a log rolls torn writes back —
+  // something that must only happen once each file is known to be the
+  // committed one. Superblocks themselves are always intact (their slots
+  // are never pre-imaged in place), so probing without undo is safe.
+  auto probe_em = [&](std::uint32_t i) {
+    em::EmOptions em = options.ShardEm(i);
+    em.wal_path.clear();
+    return em;
+  };
   std::vector<std::unique_ptr<em::Pager>> pagers(s);
   std::vector<std::uint64_t> gens(s);
   for (std::uint32_t i = 0; i < s; ++i) {
-    TOKRA_ASSIGN_OR_RETURN(pagers[i], em::Pager::Open(options.ShardEm(i)));
+    TOKRA_ASSIGN_OR_RETURN(pagers[i], em::Pager::Open(probe_em(i)));
     if (pagers[i]->roots().size() < kShardCheckpointRoots) {
       return Status::FailedPrecondition("shard checkpoint missing roots");
     }
@@ -514,6 +702,14 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
           ", checkpointed " + std::to_string(pagers[i]->roots()[2]) + ")");
     }
     gens[i] = pagers[i]->roots()[3];
+    if (!wal_mode) {
+      // Recovering a WAL-mode directory with the log switched off would
+      // silently discard its acknowledged tail (and skip the undo of torn
+      // writes). Refuse; the caller either recovers with a WAL durability
+      // mode or truncates deliberately.
+      TOKRA_RETURN_IF_ERROR(RequireNoWalTail(
+          options, i, pagers[i]->wal_checkpoint_lsn(), "WAL-less recovery"));
+    }
   }
 
   // Reconcile an interrupted rebalance. BuildShardsLocked checkpoints every
@@ -541,7 +737,7 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
       continue;
     }
     pagers[i].reset();  // release the stale live file before replacing it
-    em::EmOptions side_em = options.ShardEm(i);
+    em::EmOptions side_em = probe_em(i);
     side_em.path = side;
     auto side_pager = em::Pager::Open(side_em);
     if (!side_pager.ok() ||
@@ -567,6 +763,22 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   if (rolled_forward && options.em.durable_sync) {
     TOKRA_CHECK(FsyncDir(options.storage_dir));
   }
+  if (report != nullptr) report->rolled_forward_rebalance = rolled_forward;
+
+  // Phase 2 — attach the logs: every live file is now the committed one,
+  // so reopen each shard WITH its log. Pager::Open drops the log's torn
+  // tail and undoes torn inter-checkpoint home writes, handing back the
+  // byte-exact stamped checkpoint; the logical tail past the stamp is
+  // replayed below.
+  if (wal_mode) {
+    for (std::uint32_t i = 0; i < s; ++i) {
+      pagers[i].reset();
+      TOKRA_ASSIGN_OR_RETURN(pagers[i], em::Pager::Open(options.ShardEm(i)));
+      if (pagers[i]->roots().size() < kShardCheckpointRoots) {
+        return Status::FailedPrecondition("shard checkpoint missing roots");
+      }
+    }
+  }
 
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<double> bounds;
@@ -578,9 +790,50 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
     shard->pager = std::move(pagers[i]);
     TOKRA_ASSIGN_OR_RETURN(shard->index,
                            core::TopkIndex::Open(shard->pager.get()));
-    // The recovered in-memory state IS the file state: clean until the
-    // first accepted update.
-    shard->dirty.store(false, std::memory_order_relaxed);
+    // Redo: replay the acknowledged update batches past the stamped
+    // checkpoint LSN, in LSN order, through the normal index update path.
+    // Pre-image records are skipped here (the pager already consumed them)
+    // but keep guarding: replay evictions log fresh pre-images, so a crash
+    // mid-replay just recovers again, idempotently.
+    bool replayed = false;
+    if (wal_mode) {
+      em::WriteAheadLog* wal = shard->pager->wal();
+      const std::uint64_t covered = shard->pager->wal_checkpoint_lsn();
+      // Snapshot the tail before applying anything: replaying through the
+      // index appends fresh pre-image records to this same log (its
+      // evictions are guarded like any others), which would invalidate
+      // iterators into the live record directory.
+      std::vector<em::WriteAheadLog::Record> tail;
+      for (const auto& rec : wal->records()) {
+        if (rec.lsn > covered &&
+            rec.type == em::WriteAheadLog::RecordType::kLogical) {
+          tail.push_back(rec);
+        }
+      }
+      std::vector<em::word_t> payload;
+      for (const auto& rec : tail) {
+        TOKRA_RETURN_IF_ERROR(wal->ReadPayload(rec, &payload));
+        TOKRA_ASSIGN_OR_RETURN(auto ops, DecodeWalOps(payload));
+        for (const WalOp& op : ops) {
+          Status st = op.insert ? shard->index->Insert(op.p)
+                                : shard->index->Delete(op.p);
+          if (!st.ok()) {
+            return Status::Internal(
+                "WAL replay failed on shard " + std::to_string(i) + ": " +
+                st.ToString());
+          }
+        }
+        replayed = true;
+        if (report != nullptr) {
+          ++report->replayed_records;
+          report->replayed_ops += ops.size();
+        }
+      }
+    }
+    // Without replay the recovered in-memory state IS the file state:
+    // clean until the first accepted update. Replayed shards are ahead of
+    // their checkpoint again and must not be skipped by the next one.
+    shard->dirty.store(replayed, std::memory_order_relaxed);
     const std::uint64_t n = shard->index->size();
     shard->approx_size.store(n, std::memory_order_relaxed);
     if (n > 0) {
@@ -621,6 +874,10 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
     options.em.backend = em::Backend::kMmap;
   }
   options.em.read_only = true;
+  // A snapshot never appends, truncates, or replays — it must not own the
+  // logs (read-only pagers refuse them). Whether the directory's logs have
+  // an unreplayed tail is checked below regardless of the caller's mode.
+  options.durability = Durability::kCheckpoint;
   options.Validate();
   auto engine =
       std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
@@ -661,6 +918,12 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
               "generations); run Recover() on it first");
         }
         bounds.push_back(std::bit_cast<double>(roots[1]));
+        // A log tail past the stamped checkpoint means acknowledged
+        // updates this read-only snapshot could not serve, or torn
+        // in-place writes only undo can repair; both need a Recover()
+        // first — the same rule as the interrupted rebalance above.
+        TOKRA_RETURN_IF_ERROR(RequireNoWalTail(
+            options, i, rep->pager->wal_checkpoint_lsn(), "snapshot"));
       }
       TOKRA_ASSIGN_OR_RETURN(rep->index,
                              core::TopkIndex::Open(rep->pager.get()));

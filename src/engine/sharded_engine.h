@@ -42,6 +42,7 @@
 #include "core/topk_index.h"
 #include "em/io_stats.h"
 #include "em/pager.h"
+#include "em/wal.h"
 #include "engine/options.h"
 #include "engine/request.h"
 #include "engine/thread_pool.h"
@@ -49,6 +50,26 @@
 #include "util/status.h"
 
 namespace tokra::engine {
+
+/// One update inside a shard's logical WAL record.
+struct WalOp {
+  bool insert = true;  ///< false: delete
+  Point p;
+};
+
+/// Serializes a group of accepted updates as ONE logical WAL record payload
+/// — the engine's redo format and its replication wire format: a follower
+/// reads a shard's log tail (em::WalReader), decodes each record with
+/// DecodeWalOps, and applies the ops onto its snapshot copy.
+std::vector<em::word_t> EncodeWalOps(std::span<const WalOp> ops);
+StatusOr<std::vector<WalOp>> DecodeWalOps(std::span<const em::word_t> payload);
+
+/// What Recover() had to do beyond reopening checkpoints.
+struct RecoveryReport {
+  std::uint64_t replayed_records = 0;  ///< logical WAL records re-applied
+  std::uint64_t replayed_ops = 0;      ///< updates inside those records
+  bool rolled_forward_rebalance = false;
+};
 
 /// Per-query observability, aggregated across the queried shards.
 struct EngineQueryStats {
@@ -82,8 +103,16 @@ class ShardedTopkEngine {
   /// registry is rebuilt with one O(n_i/B) scan per shard — no index
   /// rebuild. `options` must match the checkpointed topology (same
   /// num_shards, same em geometry).
+  ///
+  /// Under a WAL durability mode this is full point-in-time recovery: an
+  /// interrupted rebalance is reconciled file-by-file (shard and log files
+  /// roll forward or back together), each shard's pager undoes torn
+  /// inter-checkpoint home writes back to its stamped checkpoint LSN, and
+  /// the log tail past that LSN — every acknowledged update batch — is
+  /// replayed through the index. A torn log tail (crash mid-append) is
+  /// dropped, which is exactly the never-acknowledged suffix.
   static StatusOr<std::unique_ptr<ShardedTopkEngine>> Recover(
-      EngineOptions options);
+      EngineOptions options, RecoveryReport* report = nullptr);
 
   /// Read-only snapshot serving mode: maps every checkpointed shard file
   /// immutably (backend forced to kMmap read-only unless the caller picked
@@ -109,15 +138,22 @@ class ShardedTopkEngine {
 
   /// Persists every shard: flushes dirty blocks and records each shard's
   /// index meta + lower bound + shard count + topology generation in its
-  /// pager superblock. Exclusive (waits for
-  /// in-flight operations); kFailedPrecondition without a storage_dir.
+  /// pager superblock. Exclusive (waits for in-flight operations);
+  /// kFailedPrecondition without a storage_dir or under Durability::kNone.
   /// Recover() restores the last completed checkpoint; it is guaranteed
   /// recoverable after checkpoint-then-exit (clean shutdown) or a crash
-  /// during the checkpoint itself. Updates applied between checkpoints
+  /// during the checkpoint itself.
+  ///
+  /// Under Durability::kCheckpoint, updates applied between checkpoints
   /// mutate shard blocks in place, so a crash after them can leave shards
-  /// unrecoverable to the earlier checkpoint — the WAL follow-on in
-  /// ROADMAP.md closes that window.
-  Status Checkpoint();
+  /// unrecoverable to the earlier checkpoint. Under the WAL modes each
+  /// shard's checkpoint additionally stamps the LSN it covers into the
+  /// shard superblock and truncates the log behind it (steady-state log
+  /// size is bounded by one checkpoint interval), and the inter-checkpoint
+  /// window is closed entirely. `covered_lsns`, when non-null, receives
+  /// each shard's stamped LSN (0 without a log) — the handle a replica
+  /// needs to ask for the right log tail.
+  Status Checkpoint(std::vector<std::uint64_t>* covered_lsns = nullptr);
 
   // All public methods below are thread-safe.
 
@@ -207,9 +243,22 @@ class ShardedTopkEngine {
 
   /// Validate-against-registry + apply + finalize for one update. Caller
   /// holds topology_mu_ shared and sh.mu (which excludes every other
-  /// operation on this point's x).
-  Status InsertLocked(Shard& sh, const Point& p);
-  Status DeleteLocked(Shard& sh, const Point& p);
+  /// operation on this point's x). With a WAL, an accepted op is appended
+  /// to `group` when non-null (the batch path's group commit — the caller
+  /// logs once per shard group) and logged immediately otherwise.
+  Status InsertLocked(Shard& sh, const Point& p, std::vector<WalOp>* group);
+  Status DeleteLocked(Shard& sh, const Point& p, std::vector<WalOp>* group);
+
+  /// Appends `ops` as one logical record to sh's log and runs the group-
+  /// commit barrier. Caller holds sh.mu. No-op when empty or WAL-less.
+  void LogShardOps(Shard& sh, std::span<const WalOp> ops);
+
+  /// Non-OK when a WAL mode must stop accepting updates because a failed
+  /// rebalance commit left the disk ahead of the in-memory topology (see
+  /// storage_failed_): logging against the superseded topology would
+  /// poison the roll-forward recovery. Caller holds topology_mu_ (any
+  /// mode — storage_failed_ writes hold it exclusively).
+  Status RefuseWalAfterStorageFailureLocked() const;
 
   /// (Re)creates shards and boundaries from `points`. Caller holds
   /// topology_mu_ exclusively (or is Build, pre-publication). When file-

@@ -341,6 +341,42 @@ TEST(PagedArrayTest, RangeIoTouchesEachBlockOnce) {
   }
 }
 
+// Free-space / high-water accounting (the compaction measurement seed).
+TEST(SpaceStatsTest, TracksAllocatorAndHighWater) {
+  EmOptions opts{.block_words = 64, .pool_frames = 8};
+  Pager pager(opts);
+  const SpaceStats s0 = pager.Space();
+  EXPECT_EQ(s0.allocated_blocks, 0u);
+  EXPECT_EQ(s0.free_blocks, 0u);
+  EXPECT_EQ(s0.reserved_blocks, Pager::kReservedBlocks);
+  EXPECT_EQ(s0.file_blocks, Pager::kReservedBlocks);
+
+  std::vector<BlockId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(pager.Allocate());
+  SpaceStats s1 = pager.Space();
+  EXPECT_EQ(s1.allocated_blocks, 20u);
+  EXPECT_EQ(s1.file_blocks, 22u);  // grown by exactly the allocations
+  // Every file block is accounted for: allocated + free + reserved.
+  EXPECT_EQ(s1.allocated_blocks + s1.free_blocks + s1.reserved_blocks,
+            s1.file_blocks);
+
+  // Freeing returns blocks to the allocator but never shrinks the file —
+  // the high-water mark a compactor would reclaim.
+  for (int i = 0; i < 10; ++i) pager.Free(ids[i]);
+  SpaceStats s2 = pager.Space();
+  EXPECT_EQ(s2.allocated_blocks, 10u);
+  EXPECT_EQ(s2.free_blocks, 10u);
+  EXPECT_EQ(s2.file_blocks, 22u);
+  EXPECT_EQ(s2.allocated_blocks + s2.free_blocks + s2.reserved_blocks,
+            s2.file_blocks);
+
+  // Reuse drains the free list before the file grows further.
+  for (int i = 0; i < 10; ++i) pager.Allocate();
+  EXPECT_EQ(pager.Space().free_blocks, 0u);
+  EXPECT_EQ(pager.Space().file_blocks, 22u);
+}
+
+
 TEST(IoStatsTest, DeltaArithmetic) {
   IoStats a{.reads = 10, .writes = 5, .pool_hits = 3, .pool_misses = 7,
             .evictions = 2};

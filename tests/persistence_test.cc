@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include "core/topk_index.h"
 #include "em/file_block_device.h"
 #include "em/pager.h"
+#include "em/wal.h"
 #include "engine/sharded_engine.h"
 #include "internal/naive.h"
 #include "util/point.h"
@@ -628,6 +630,494 @@ TEST(SnapshotServingTest, OracleIdenticalQueriesWithoutWrites) {
   ASSERT_TRUE((*recovered)->Insert(Point{5e6, 9.0}).ok());
   (*recovered)->CheckInvariants();
 }
+
+// ---------------------------------------------------------------------------
+// Write-ahead logging: point-in-time recovery of acknowledged updates.
+
+/// Applies `reqs` through ExecuteBatch and asserts every response OK —
+/// i.e. every update in the batch was ACKNOWLEDGED. One call = one WAL
+/// group commit per touched shard.
+void MustBatch(engine::ShardedTopkEngine* eng,
+               const std::vector<engine::Request>& reqs) {
+  std::vector<engine::Response> out;
+  eng->ExecuteBatch(reqs, &out);
+  for (const auto& r : out) ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+}
+
+/// The 10k-query oracle: the engine's every answer must match the naive
+/// reference over the expected point set.
+void ExpectMatchesOracle(engine::ShardedTopkEngine* eng,
+                         std::vector<Point> expected, std::size_t n_queries) {
+  ASSERT_EQ(eng->size(), expected.size());
+  Rng qrng(99);
+  auto queries = MakeQueries(&qrng, n_queries);
+  for (const Query& q : queries) {
+    auto r = eng->TopK(q.x1, q.x2, q.k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, internal::NaiveTopK(expected, q.x1, q.x2, q.k));
+  }
+  eng->CheckInvariants();
+}
+
+// The headline contract: a crash (process death without flush) at any point
+// after an update batch was acknowledged under durability=kWal loses zero
+// acknowledged updates, across checkpoints, direct ops, and batches.
+TEST(WalRecoveryTest, CrashBetweenCheckpointsLosesNothing) {
+  TempDir dir("wal-crash");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(31);
+  auto points = MakePoints(&rng, 1200);
+  std::vector<Point> expected = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    auto& eng = *built;
+    // Interval 1: direct ops on top of Build's automatic checkpoint.
+    for (int i = 0; i < 150; ++i) {
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      ASSERT_TRUE(eng->Insert(p).ok());
+      expected.push_back(p);
+    }
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(eng->Delete(points[i]).ok());
+    }
+    expected.erase(expected.begin(), expected.begin() + 60);
+    // A mid-stream checkpoint, then more acknowledged batches after it.
+    ASSERT_TRUE(eng->Checkpoint().ok());
+    std::vector<engine::Request> batch;
+    for (int i = 0; i < 200; ++i) {
+      Point p{3e6 + i, 4.0 + i * 1e-3};
+      batch.push_back(engine::Request::MakeInsert(p));
+      expected.push_back(p);
+    }
+    for (int i = 60; i < 90; ++i) {
+      batch.push_back(engine::Request::MakeDelete(points[i]));
+    }
+    MustBatch(eng.get(), batch);
+    expected.erase(expected.begin(), expected.begin() + 30);
+  }  // destroyed WITHOUT a final checkpoint: dirty pools die = SIGKILL
+
+  engine::RecoveryReport report;
+  auto recovered = engine::ShardedTopkEngine::Recover(opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(report.replayed_records, 0u);
+  EXPECT_GT(report.replayed_ops, 0u);
+  ExpectMatchesOracle(recovered->get(), expected, 2000);
+
+  // The recovered engine keeps the guarantee: more acknowledged updates,
+  // another crash, another loss-free recovery — without any checkpoint in
+  // between.
+  for (int i = 0; i < 40; ++i) {
+    Point p{4e6 + i, 6.0 + i * 1e-3};
+    ASSERT_TRUE((*recovered)->Insert(p).ok());
+    expected.push_back(p);
+  }
+  recovered->reset();
+  auto again = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ExpectMatchesOracle(again->get(), expected, 500);
+}
+
+// Corruption: a byte flip inside the last acknowledged batch's log frame.
+// Recovery must keep the intact prefix (earlier acknowledged batches),
+// drop the torn record, and still serve the 10k-query oracle for the
+// surviving committed state.
+TEST(WalRecoveryTest, FlippedByteDropsOnlyTheTornRecord) {
+  TempDir dir("wal-flip");
+  engine::EngineOptions opts;
+  opts.num_shards = 1;
+  opts.threads = 1;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(32);
+  auto points = MakePoints(&rng, 800);
+  std::vector<Point> surviving = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    std::vector<engine::Request> a, b;
+    for (int i = 0; i < 50; ++i) {
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      a.push_back(engine::Request::MakeInsert(p));
+      surviving.push_back(p);
+    }
+    for (int i = 0; i < 40; ++i) {
+      b.push_back(engine::Request::MakeInsert(Point{3e6 + i, 4.0 + i * 1e-3}));
+    }
+    MustBatch(built->get(), a);  // the record that must survive
+    MustBatch(built->get(), b);  // the record the corruption tears
+  }
+  // Flip one byte inside the LAST logical record's frame.
+  const std::string wal_path = dir.File("shard-0.wal");
+  std::uint64_t tear_offset = 0;
+  {
+    auto reader = em::WalReader::Open(wal_path, opts.em.block_words);
+    ASSERT_TRUE(reader.ok());
+    const auto& recs = (*reader)->records();
+    auto it = std::find_if(recs.rbegin(), recs.rend(), [](const auto& r) {
+      return r.type == em::WriteAheadLog::RecordType::kLogical;
+    });
+    ASSERT_NE(it, recs.rend());
+    tear_offset =
+        (it->first_block * opts.em.block_words + 5) * sizeof(em::word_t);
+  }
+  {
+    std::fstream f(wal_path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(tear_offset));
+    char c = 0;
+    f.read(&c, 1);
+    c ^= 0x10;
+    f.seekp(static_cast<std::streamoff>(tear_offset));
+    f.write(&c, 1);
+  }
+
+  engine::RecoveryReport report;
+  auto recovered = engine::ShardedTopkEngine::Recover(opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(report.replayed_records, 0u);  // batch A replayed
+  ExpectMatchesOracle(recovered->get(), surviving, 10000);
+}
+
+// Corruption: the log sheared mid-frame (truncated write). Same contract.
+TEST(WalRecoveryTest, ShearedLogRecoversThePrefix) {
+  TempDir dir("wal-shear");
+  engine::EngineOptions opts;
+  opts.num_shards = 1;
+  opts.threads = 1;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(33);
+  auto points = MakePoints(&rng, 600);
+  std::vector<Point> surviving = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    std::vector<engine::Request> a, b;
+    for (int i = 0; i < 30; ++i) {
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      a.push_back(engine::Request::MakeInsert(p));
+      surviving.push_back(p);
+    }
+    for (int i = 0; i < 64; ++i) {
+      b.push_back(engine::Request::MakeInsert(Point{3e6 + i, 4.0 + i * 1e-3}));
+    }
+    MustBatch(built->get(), a);
+    MustBatch(built->get(), b);
+  }
+  // Shear inside the last logical frame: keep its first block, lose the
+  // rest (64 inserts span several log blocks).
+  const std::string wal_path = dir.File("shard-0.wal");
+  {
+    auto reader = em::WalReader::Open(wal_path, opts.em.block_words);
+    ASSERT_TRUE(reader.ok());
+    const auto& recs = (*reader)->records();
+    auto it = std::find_if(recs.rbegin(), recs.rend(), [](const auto& r) {
+      return r.type == em::WriteAheadLog::RecordType::kLogical;
+    });
+    ASSERT_NE(it, recs.rend());
+    fs::resize_file(wal_path, (it->first_block + 1) * opts.em.block_words *
+                                  sizeof(em::word_t));
+  }
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectMatchesOracle(recovered->get(), surviving, 2000);
+}
+
+// Checkpoints stamp the covered LSN and truncate the log behind it: the
+// steady-state log is bounded by one checkpoint interval, not by history.
+TEST(WalRecoveryTest, CheckpointTruncatesAndBoundsTheLog) {
+  TempDir dir("wal-trunc");
+  engine::EngineOptions opts;
+  opts.num_shards = 1;
+  opts.threads = 1;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.em.wal_rotate_blocks = 4;  // rotate aggressively so size is visible
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(34);
+  auto built = engine::ShardedTopkEngine::Build(MakePoints(&rng, 400), opts);
+  ASSERT_TRUE(built.ok());
+  const std::string wal_path = dir.File("shard-0.wal");
+  const std::uint64_t block_bytes = opts.em.block_words * sizeof(em::word_t);
+  std::uint64_t last_lsn = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<engine::Request> batch;
+    for (int i = 0; i < 40; ++i) {
+      batch.push_back(engine::Request::MakeInsert(
+          Point{2e6 + round * 100 + i, 2.0 + round + i * 1e-3}));
+    }
+    MustBatch(built->get(), batch);
+    EXPECT_GT(fs::file_size(wal_path), opts.em.wal_rotate_blocks * block_bytes);
+    std::vector<std::uint64_t> lsns;
+    ASSERT_TRUE((*built)->Checkpoint(&lsns).ok());
+    ASSERT_EQ(lsns.size(), 1u);
+    EXPECT_GT(lsns[0], last_lsn);  // the stamp advances every interval
+    last_lsn = lsns[0];
+    // Truncation rotated the now-obsolete segment down to its header.
+    EXPECT_EQ(fs::file_size(wal_path), block_bytes);
+  }
+}
+
+// Rebalance under WAL: the rebuilt shards adopt the existing logs by
+// stamping their heads, so acknowledged updates before AND after the
+// rebalance survive a crash — including when the crash interrupts the
+// rename commit and Recover() must roll the topology forward first.
+TEST(WalRecoveryTest, RebalanceAdoptsLogsAndReplaysAcrossRollForward) {
+  TempDir dir("wal-rebalance");
+  engine::EngineOptions opts;
+  opts.num_shards = 3;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(35);
+  auto points = MakePoints(&rng, 900);
+  std::vector<Point> expected = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    auto& eng = *built;
+    for (int i = 0; i < 200; ++i) {  // skewed tail-shard inserts, logged
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      ASSERT_TRUE(eng->Insert(p).ok());
+      expected.push_back(p);
+    }
+    ASSERT_TRUE(eng->Rebalance().ok());
+    for (int i = 0; i < 120; ++i) {  // post-rebalance acknowledged updates
+      Point p{3e6 + i, 4.0 + i * 1e-3};
+      ASSERT_TRUE(eng->Insert(p).ok());
+      expected.push_back(p);
+    }
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(eng->Delete(points[i]).ok());
+    }
+    expected.erase(expected.begin(), expected.begin() + 50);
+  }  // crash
+
+  // Plain crash after a committed rebalance: recover and verify.
+  {
+    engine::RecoveryReport report;
+    auto recovered = engine::ShardedTopkEngine::Recover(opts, &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_GT(report.replayed_records, 0u);
+    ExpectMatchesOracle(recovered->get(), expected, 2000);
+    // Leave the directory exactly as recovered + checkpointed for the
+    // forged mid-rename stage below.
+    ASSERT_TRUE((*recovered)->Checkpoint().ok());
+    for (int i = 0; i < 30; ++i) {  // a fresh acknowledged tail
+      Point p{5e6 + i, 8.0 + i * 1e-3};
+      ASSERT_TRUE((*recovered)->Insert(p).ok());
+      expected.push_back(p);
+    }
+    ASSERT_TRUE((*recovered)->Rebalance().ok());
+  }  // crash again, now with a committed second rebalance on disk
+
+  // Forge the mid-rename crash: shard 1's committed file moved back to the
+  // side name, an old-generation stand-in at the live name. Recover() must
+  // roll the topology forward and still replay shard tails.
+  const std::string live = dir.File("shard-1.tokra");
+  const std::string side = live + ".rebuild";
+  fs::rename(live, side);
+  {
+    em::EmOptions em = opts.em;
+    em.backend = em::Backend::kFile;
+    em.path = live;
+    em::Pager pager(em);
+    auto idx = core::TopkIndex::Build(&pager, {});
+    ASSERT_TRUE(idx.ok());
+    const std::uint64_t extra[3] = {0, opts.num_shards, 0 /* old gen */};
+    ASSERT_TRUE((*idx)->Checkpoint(extra).ok());
+  }
+  engine::RecoveryReport report;
+  auto recovered = engine::ShardedTopkEngine::Recover(opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(report.rolled_forward_rebalance);
+  EXPECT_FALSE(fs::exists(side));
+  ExpectMatchesOracle(recovered->get(), expected, 2000);
+}
+
+// A read-only snapshot must refuse a directory whose log still holds
+// acknowledged-but-unreplayed updates (serving it would hide them); after
+// Recover() + Checkpoint() the same directory serves cleanly.
+TEST(WalRecoveryTest, SnapshotRefusesUnreplayedTail) {
+  TempDir dir("wal-snap");
+  engine::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.threads = 1;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(36);
+  auto points = MakePoints(&rng, 500);
+  std::vector<Point> expected = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    for (int i = 0; i < 80; ++i) {
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      ASSERT_TRUE((*built)->Insert(p).ok());
+      expected.push_back(p);
+    }
+  }  // crash with a log tail
+  auto snap = engine::ShardedTopkEngine::OpenSnapshot(opts);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kFailedPrecondition);
+  // Recovering with the log switched off would silently discard the
+  // acknowledged tail: refused for the same reason.
+  engine::EngineOptions no_wal = opts;
+  no_wal.durability = engine::Durability::kCheckpoint;
+  EXPECT_EQ(engine::ShardedTopkEngine::Recover(no_wal).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  {
+    auto recovered = engine::ShardedTopkEngine::Recover(opts);
+    ASSERT_TRUE(recovered.ok());
+    ASSERT_TRUE((*recovered)->Checkpoint().ok());
+  }
+  auto served = engine::ShardedTopkEngine::OpenSnapshot(opts);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ExpectMatchesOracle(served->get(), expected, 500);
+}
+
+// The decode path is the replication wire format: malformed records —
+// including a count crafted so 1 + 3*count wraps modulo 2^64 to the real
+// payload size — must come back as errors, never reach the vector
+// constructor (std::length_error -> terminate).
+TEST(WalRecoveryTest, DecodeRejectsMalformedRecords) {
+  EXPECT_FALSE(engine::DecodeWalOps({}).ok());
+  const std::vector<em::word_t> short_rec{3, 1, 0, 0};
+  EXPECT_FALSE(engine::DecodeWalOps(short_rec).ok());
+  std::vector<em::word_t> wrap(5, 0);
+  wrap[0] = em::word_t{4} * 0xAAAAAAAAAAAAAAABULL;  // 1 + 3*count == 5 mod 2^64
+  EXPECT_FALSE(engine::DecodeWalOps(wrap).ok());
+  std::vector<em::word_t> bad_kind{1, 2, 0, 0};  // op kind must be 0/1
+  EXPECT_FALSE(engine::DecodeWalOps(bad_kind).ok());
+
+  const engine::WalOp op{true, Point{1.5, 2.5}};
+  auto dec = engine::DecodeWalOps(engine::EncodeWalOps({&op, 1}));
+  ASSERT_TRUE(dec.ok());
+  ASSERT_EQ(dec->size(), 1u);
+  EXPECT_TRUE((*dec)[0].insert);
+  EXPECT_EQ((*dec)[0].p, op.p);
+}
+
+
+// A shipped snapshot can arrive without its logs (the DESIGN §9.5 recipe
+// ships shard files first), or a log can be recreated out-of-band. The
+// superblock stamp is then AHEAD of the fresh log; recovery must
+// fast-forward the log's LSN space past the stamp, or every update
+// acknowledged from now on would sort below it and be silently ignored by
+// the next recovery.
+TEST(WalRecoveryTest, MissingLogFastForwardsPastTheStamp) {
+  TempDir dir("wal-missing-log");
+  engine::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.threads = 1;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(37);
+  auto points = MakePoints(&rng, 500);
+  std::vector<Point> expected = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    // Drive the head LSN well past anything the post-loss appends reach.
+    for (int i = 0; i < 120; ++i) {
+      Point p{2e6 + i, 2.0 + i * 1e-3};
+      ASSERT_TRUE((*built)->Insert(p).ok());
+      expected.push_back(p);
+    }
+    std::vector<std::uint64_t> lsns;
+    ASSERT_TRUE((*built)->Checkpoint(&lsns).ok());
+    ASSERT_GT(lsns[1], 50u);  // the stamp the lost log must be pushed past
+  }
+  // The logs vanish in shipping.
+  ASSERT_TRUE(fs::remove(dir.File("shard-0.wal")));
+  ASSERT_TRUE(fs::remove(dir.File("shard-1.wal")));
+
+  // Recovery accepts the stamped-checkpoint state (nothing uncovered was
+  // lost with the logs) and re-arms the guarantee...
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  for (int i = 0; i < 50; ++i) {
+    Point p{3e6 + i, 4.0 + i * 1e-3};
+    ASSERT_TRUE((*recovered)->Insert(p).ok());
+    expected.push_back(p);
+  }
+  recovered->reset();  // crash
+  // ...so the freshly acknowledged updates survive the next crash.
+  engine::RecoveryReport report;
+  auto again = engine::ShardedTopkEngine::Recover(opts, &report);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(report.replayed_ops, 50u);
+  ExpectMatchesOracle(again->get(), expected, 1000);
+}
+
+
+// With the WAL enabled, the logical I/O counts — pre-image reads and log
+// appends included — stay identical across every backend: the counting
+// still lives in the base layers, never in backend code.
+TEST(BackendParityTest, IdenticalIoCountsWithWalEnabled) {
+  TempDir dir("wal-parity");
+  auto run = [&](const std::string& tag, em::Backend backend) -> em::IoStats {
+    em::EmOptions opts{.block_words = 64, .pool_frames = 16};
+    opts.backend = backend;
+    if (backend != em::Backend::kMem) {
+      opts.path = dir.File(tag + ".blk");
+    }
+    opts.wal_path = dir.File(tag + ".wal");
+    em::Pager pager(opts);
+    Rng rng(44);
+    auto points = MakePoints(&rng, 800);
+    auto built = core::TopkIndex::Build(&pager, points);
+    TOKRA_CHECK(built.ok());
+    auto& idx = *built;
+    TOKRA_CHECK((*built)->Checkpoint().ok());  // arm the pre-image guards
+    auto queries = MakeQueries(&rng, 100);
+    for (const Query& q : queries) {
+      pager.DropCache();
+      TOKRA_CHECK(idx->TopK(q.x1, q.x2, q.k).ok());
+    }
+    for (int i = 0; i < 100; ++i) {
+      TOKRA_CHECK(idx->Insert(Point{2e6 + i, 2.0 + i * 1e-3}).ok());
+      TOKRA_CHECK(idx->Delete(points[i]).ok());
+    }
+    pager.FlushAll();
+    TOKRA_CHECK(pager.stats().wal_appends > 0);
+    return pager.stats();
+  };
+  const em::IoStats mem = run("mem", em::Backend::kMem);
+  for (auto [tag, backend] :
+       {std::pair{"file", em::Backend::kFile},
+        std::pair{"uring", em::Backend::kUring},
+        std::pair{"mmap", em::Backend::kMmap}}) {
+    const em::IoStats got = run(tag, backend);
+    EXPECT_EQ(mem.reads, got.reads) << tag;
+    EXPECT_EQ(mem.writes, got.writes) << tag;
+    EXPECT_EQ(mem.pool_hits, got.pool_hits) << tag;
+    EXPECT_EQ(mem.pool_misses, got.pool_misses) << tag;
+    EXPECT_EQ(mem.evictions, got.evictions) << tag;
+    EXPECT_EQ(mem.wal_appends, got.wal_appends) << tag;
+    EXPECT_EQ(mem.fsyncs, got.fsyncs) << tag;
+  }
+}
+
 
 TEST(SnapshotServingTest, RequiresStorageDirAndCheckpointedShards) {
   engine::EngineOptions opts;
