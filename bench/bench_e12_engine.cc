@@ -80,6 +80,19 @@ double QueryThroughput(ShardedTopkEngine* eng, Workload wl) {
   return kClientThreads * kQueriesPerThread / (ms / 1000.0);
 }
 
+/// Engine-side query latency + per-stage breakdown for one finished run,
+/// pulled from the engine's own histograms (no bench-side timing).
+void RecordEngineLatency(const std::string& phase,
+                         const ShardedTopkEngine& eng) {
+  const engine::EngineMetricSet& ms = eng.metric_set();
+  if (ms.query_latency_us == nullptr) return;  // telemetry disabled
+  RecordLatency(phase + " query", ms.query_latency_us->Snapshot());
+  RecordStages(phase, {{"fanout", ms.stage_fanout_us->Snapshot()},
+                       {"probe", ms.stage_probe_us->Snapshot()},
+                       {"merge", ms.stage_merge_us->Snapshot()},
+                       {"reply", ms.stage_reply_us->Snapshot()}});
+}
+
 template <typename Workload>
 void ThroughputTable(const std::string& title, const std::vector<Point>& pts,
                      Workload wl) {
@@ -93,6 +106,8 @@ void ThroughputTable(const std::string& title, const std::vector<Point>& pts,
     double qps = QueryThroughput(eng->get(), wl);
     RecordIoStats(title.substr(0, 4) + " shards=" + U(shards),
                   eng->get()->AggregatedIoStats() - before);
+    RecordEngineLatency(title.substr(0, 4) + " shards=" + U(shards),
+                        *eng->get());
     if (shards == 1) base_qps = qps;
     double total = kClientThreads * kQueriesPerThread;
     Row({U(shards), U(kClientThreads), U(static_cast<std::uint64_t>(total)),
@@ -142,8 +157,51 @@ void BatchingTable(const std::vector<Point>& pts) {
     double total = kClientThreads * kOpsPerThread;
     RecordIoStats(mode == 0 ? "E12c direct" : "E12c batched",
                   eng->get()->AggregatedIoStats() - io_before);
+    if (mode == 1 && eng->get()->metric_set().admission_wait_us != nullptr) {
+      // The latency cost of coalescing: how long requests sat in the window.
+      RecordLatency("E12c batched admission_wait",
+                    eng->get()->metric_set().admission_wait_us->Snapshot());
+      RecordLatency("E12c batched batch_exec",
+                    eng->get()->metric_set().batch_exec_us->Snapshot());
+    }
     Row({mode == 0 ? "direct" : "batched(128)",
          U(static_cast<std::uint64_t>(total)), D(ms), D(total / ms * 1000.0, 0)});
+  }
+}
+
+/// E12e — the telemetry layer's own price: the identical uniform query
+/// workload with metrics+tracing enabled vs fully disabled. Both rows land
+/// in BENCH_e12_engine.json so the overhead ratio is tracked per PR; the
+/// acceptance bar is the enabled run within ~2% of disabled. The enabled
+/// leg also exports its span ring as chrome://tracing JSON.
+void OverheadTable(const std::vector<Point>& pts) {
+  Header("E12e: telemetry overhead (4 shards, uniform ranges)",
+         {"telemetry", "queries", "wall ms", "qps"});
+  for (bool enabled : {true, false}) {
+    EngineOptions o = EngOpts(4);
+    o.telemetry.enabled = enabled;
+    auto eng = ShardedTopkEngine::Build(pts, o);
+    Must(eng.status());
+    double qps = QueryThroughput(eng->get(), UniformRanges{});
+    double total = kClientThreads * kQueriesPerThread;
+    Row({enabled ? "on" : "off", U(static_cast<std::uint64_t>(total)),
+         D(total / qps * 1000.0), D(qps, 0)});
+    if (enabled) {
+      RecordEngineLatency("E12e telemetry=on", *eng->get());
+      const std::string trace = eng->get()->tracer()->ExportChromeJson();
+      std::FILE* f = std::fopen("TRACE_e12_engine.json", "w");
+      if (f != nullptr) {
+        std::fwrite(trace.data(), 1, trace.size(), f);
+        std::fclose(f);
+        std::printf("wrote TRACE_e12_engine.json (%zu bytes, %llu spans "
+                    "recorded, %llu dropped)\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(
+                        eng->get()->tracer()->recorded()),
+                    static_cast<unsigned long long>(
+                        eng->get()->tracer()->dropped()));
+      }
+    }
   }
 }
 
@@ -193,6 +251,7 @@ void Run() {
                   ZipfRanges{});
   BatchingTable(pts);
   RebalanceTable(pts);
+  OverheadTable(pts);
 }
 
 }  // namespace

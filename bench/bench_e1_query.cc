@@ -22,14 +22,29 @@ int main() {
     auto& idx = *built;
     std::uint64_t total = 0;
     const int probes = 20;
+    // Per-probe wall-time distribution, split into the cache-drop cost and
+    // the cold probe itself (the part Theorem 1 bounds).
+    obs::Histogram lat, drop_h, probe_h;
     for (int i = 0; i < probes; ++i) {
       double a = rng.UniformDouble(0, 1e6), b = rng.UniformDouble(0, 1e6);
       double x1 = std::min(a, b), x2 = std::max(a, b);
-      total += ColdIos(&pager, [&] { idx->TopK(x1, x2, 16).value(); });
+      const std::uint64_t t0 = obs::NowUs();
+      pager.DropCache();
+      const std::uint64_t t1 = obs::NowUs();
+      em::IoStats before = pager.stats();
+      idx->TopK(x1, x2, 16).value();
+      const std::uint64_t t2 = obs::NowUs();
+      total += (pager.stats() - before).TotalIos();
+      drop_h.Record(t1 - t0);
+      probe_h.Record(t2 - t1);
+      lat.Record(t2 - t0);
     }
     double avg = static_cast<double>(total) / probes;
     Row({U(n), U(Lg(n)), D(avg), D(avg / Lg(n))});
     RecordIoStats("E1a n=" + U(n), pager.stats());
+    RecordLatency("E1a n=" + U(n), lat.Snapshot());
+    RecordStages("E1a n=" + U(n), {{"drop_cache", drop_h.Snapshot()},
+                                   {"cold_probe", probe_h.Snapshot()}});
   }
 
   Header("E1b: query I/Os vs k (n=2^17, B=256)",
@@ -44,14 +59,17 @@ int main() {
     for (std::uint64_t k : {1u, 16u, 128u, 1024u, 4096u, 16384u}) {
       std::uint64_t total = 0;
       const int probes = 12;
+      obs::Histogram lat;
       for (int i = 0; i < probes; ++i) {
         double x1 = rng.UniformDouble(0, 4e5);
         double x2 = x1 + 5e5;  // wide range so k points exist
+        obs::ScopedTimer probe_timer(&lat);
         total += ColdIos(&pager, [&] { idx->TopK(x1, x2, k).value(); });
       }
       double avg = static_cast<double>(total) / probes;
       if (k == 1) base = avg;
       Row({U(k), D(static_cast<double>(k) / 256.0), D(avg), D(avg - base)});
+      RecordLatency("E1b k=" + U(k), lat.Snapshot());
     }
     RecordIoStats("E1b total", pager.stats());
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "em/pager.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/point.h"
 #include "util/random.h"
@@ -72,6 +73,12 @@ struct JsonState {
   std::string name;
   std::vector<JsonTable> tables;
   std::vector<std::pair<std::string, em::IoStats>> io_rows;
+  // Per-phase latency distributions ("latency_us" table) and per-stage
+  // breakdowns ("stage_breakdown_us" table), mirrored from obs histograms.
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> lat_rows;
+  std::vector<std::pair<std::pair<std::string, std::string>,
+                        obs::HistogramSnapshot>>
+      stage_rows;
 };
 
 inline JsonState& State() {
@@ -133,6 +140,44 @@ inline void WriteJson() {
                          std::to_string(s.TotalIos())});
     }
     tables.push_back(std::move(io));
+  }
+  // Latency distributions mirrored from obs histograms: exact count/max,
+  // log-bucket-interpolated percentiles — the per-PR latency trajectory.
+  auto fmt1 = [](double v) {
+    char b[32];
+    std::snprintf(b, sizeof(b), "%.1f", v);
+    return std::string(b);
+  };
+  auto dist_cells = [&](const obs::HistogramSnapshot& s) {
+    return std::vector<std::string>{
+        std::to_string(s.count), fmt1(s.Percentile(0.50)),
+        fmt1(s.Percentile(0.95)), fmt1(s.Percentile(0.99)),
+        std::to_string(s.max)};
+  };
+  if (!st.lat_rows.empty()) {
+    JsonTable lat{"latency_us",
+                  {"phase", "count", "p50_us", "p95_us", "p99_us", "max_us"},
+                  {}};
+    for (const auto& [phase, s] : st.lat_rows) {
+      std::vector<std::string> row{phase};
+      auto cells = dist_cells(s);
+      row.insert(row.end(), cells.begin(), cells.end());
+      lat.rows.push_back(std::move(row));
+    }
+    tables.push_back(std::move(lat));
+  }
+  if (!st.stage_rows.empty()) {
+    JsonTable stg{"stage_breakdown_us",
+                  {"phase", "stage", "count", "p50_us", "p95_us", "p99_us",
+                   "max_us"},
+                  {}};
+    for (const auto& [key, s] : st.stage_rows) {
+      std::vector<std::string> row{key.first, key.second};
+      auto cells = dist_cells(s);
+      row.insert(row.end(), cells.begin(), cells.end());
+      stg.rows.push_back(std::move(row));
+    }
+    tables.push_back(std::move(stg));
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
                JsonEscape(st.name).c_str());
@@ -198,14 +243,48 @@ inline void Row(const std::vector<std::string>& cells) {
 /// to BENCH_<name>.json as an "io_stats" table, so the perf trajectory
 /// tracks block transfers per phase, not just wall time.
 inline void RecordIoStats(const std::string& phase, const em::IoStats& io) {
-  std::printf("[io] %s: %s evictions=%llu prefetched=%llu total=%llu\n",
-              phase.c_str(),
-              io.ToString().c_str(),  // includes borrows + wal/fsync counters
-              static_cast<unsigned long long>(io.evictions),
-              static_cast<unsigned long long>(io.prefetched),
+  std::printf("[io] %s: %s total=%llu\n", phase.c_str(),
+              io.ToString().c_str(),  // now covers every counter
               static_cast<unsigned long long>(io.TotalIos()));
   detail::JsonState& st = detail::State();
   if (st.enabled) st.io_rows.emplace_back(phase, io);
+}
+
+/// Records one phase's latency distribution. Echoed to stdout and written to
+/// BENCH_<name>.json as a "latency_us" table: exact count/max, p50/p95/p99
+/// from the histogram's log buckets — tail latency per PR, not just means.
+inline void RecordLatency(const std::string& phase,
+                          const obs::HistogramSnapshot& s) {
+  std::printf(
+      "[lat] %s: count=%llu p50=%lluus p95=%lluus p99=%lluus max=%lluus\n",
+      phase.c_str(), static_cast<unsigned long long>(s.count),
+      static_cast<unsigned long long>(s.Percentile(0.50)),
+      static_cast<unsigned long long>(s.Percentile(0.95)),
+      static_cast<unsigned long long>(s.Percentile(0.99)),
+      static_cast<unsigned long long>(s.max));
+  detail::JsonState& st = detail::State();
+  if (st.enabled) st.lat_rows.emplace_back(phase, s);
+}
+
+/// Records a phase's per-stage latency breakdown (one histogram snapshot per
+/// pipeline stage) into the "stage_breakdown_us" table — where inside the
+/// query pipeline the time went.
+inline void RecordStages(
+    const std::string& phase,
+    const std::vector<std::pair<std::string, obs::HistogramSnapshot>>&
+        stages) {
+  for (const auto& [stage, s] : stages) {
+    std::printf(
+        "[stage] %s/%s: count=%llu p50=%lluus p95=%lluus p99=%lluus "
+        "max=%lluus\n",
+        phase.c_str(), stage.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.Percentile(0.50)),
+        static_cast<unsigned long long>(s.Percentile(0.95)),
+        static_cast<unsigned long long>(s.Percentile(0.99)),
+        static_cast<unsigned long long>(s.max));
+    detail::JsonState& st = detail::State();
+    if (st.enabled) st.stage_rows.emplace_back(std::make_pair(phase, stage), s);
+  }
 }
 
 /// Wall-clock microseconds of fn() — for experiments comparing real

@@ -3,14 +3,25 @@
 // and the rebalance hook.
 //
 //   cmake --build build && ./build/sharded_service
+//
+// Flags:
+//   --stats-interval=N   dump the Prometheus metrics exposition every N
+//                        seconds while the concurrent phase runs (0 = off,
+//                        the default; a final dump always prints).
 
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,10 +30,20 @@
 #include "engine/sharded_engine.h"
 #include "util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tokra;
   using engine::Request;
   using engine::Response;
+
+  int stats_interval_s = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+      stats_interval_s = std::atoi(argv[i] + 17);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
 
   // 8 shards, 4 worker threads; each shard is a private EM machine.
   engine::EngineOptions opts;
@@ -31,6 +52,9 @@ int main() {
   opts.em = em::EmOptions{.block_words = 256, .pool_frames = 32};
   opts.rebalance_skew = 1.2;
   opts.rebalance_min_points = 1024;
+  // Low slow-query bar for the demo: the shutdown dump should actually have
+  // span trees to show (production would sit at milliseconds).
+  opts.telemetry.slow_query_us = 500;
 
   // 50,000 random points: x in [0, 1e6), distinct scores.
   Rng rng(42);
@@ -80,6 +104,24 @@ int main() {
   // queries out afterwards; auto_rebalance runs the skew hook per batch.
   engine::RequestBatcher batcher(eng.get(), /*max_pending=*/128,
                                  /*auto_rebalance=*/true);
+
+  // --stats-interval=N: a background exporter dumping the full metrics
+  // exposition every N seconds (what a real service would scrape).
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (stats_interval_s > 0) {
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lk(stats_mu);
+      while (!stats_cv.wait_for(lk, std::chrono::seconds(stats_interval_s),
+                                [&] { return stats_stop; })) {
+        std::string dump = eng->DumpMetrics();
+        std::printf("\n---- periodic metrics ----\n%s----\n", dump.c_str());
+      }
+    });
+  }
+
   constexpr int kClients = 4;
   constexpr int kOpsPerClient = 2000;
   std::vector<std::thread> clients;
@@ -110,6 +152,14 @@ int main() {
   }
   for (auto& t : clients) t.join();
   batcher.Flush();
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
 
   auto counters = eng->counters();
   auto bstats = batcher.stats();
@@ -128,6 +178,19 @@ int main() {
 
   eng->CheckInvariants();
   std::printf("invariants OK\n");
+
+  // ---- shutdown telemetry dump ------------------------------------------
+  // The full exposition (every counter, gauge, and histogram summary) plus
+  // whatever the slow-query log caught: each entry is the query's span tree
+  // with per-shard I/O deltas — the "why was THAT one slow" artifact.
+  std::printf("\n---- final metrics ----\n%s", eng->DumpMetrics().c_str());
+  if (eng->slow_query_log() != nullptr) {
+    std::printf("\n---- slow queries (> %llu us): %llu captured ----\n%s",
+                static_cast<unsigned long long>(opts.telemetry.slow_query_us),
+                static_cast<unsigned long long>(
+                    eng->slow_query_log()->captured()),
+                eng->slow_query_log()->Dump().c_str());
+  }
 
   // ---- durability: checkpoint -> "restart" -> recover -------------------
   // A file-backed engine persists across process restarts: each shard runs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tokra::em {
 
 void BufferPool::LruPushFront(std::uint32_t f) {
@@ -54,6 +56,10 @@ void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
     if (batch != nullptr) {
       batch->push_back(IoRequest{f.id, f.buf.data()});
     } else {
+      // The requester is stalled on this write-back before it can reuse
+      // the frame: the eviction stall (batched victims are timed at their
+      // SubmitWrites in BatchLoad instead).
+      obs::ScopedTimer stall(evict_stall_us_);
       if (barrier_ != nullptr) {
         const BlockId id = f.id;
         barrier_->BeforeHomeWrite({&id, 1});
@@ -162,13 +168,19 @@ void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
     }
     if (out != nullptr) out->push_back(v);
   }
-  if (barrier_ != nullptr && !write_batch.empty()) {
-    std::vector<BlockId> ids;
-    ids.reserve(write_batch.size());
-    for (const IoRequest& r : write_batch) ids.push_back(r.id);
-    barrier_->BeforeHomeWrite(ids);
+  {
+    // The whole batch stalls on its victims' write-backs before the reads
+    // can land in their frames: one eviction-stall sample per batch that
+    // actually wrote (clean batches skip the timer entirely).
+    obs::ScopedTimer stall(write_batch.empty() ? nullptr : evict_stall_us_);
+    if (barrier_ != nullptr && !write_batch.empty()) {
+      std::vector<BlockId> ids;
+      ids.reserve(write_batch.size());
+      for (const IoRequest& r : write_batch) ids.push_back(r.id);
+      barrier_->BeforeHomeWrite(ids);
+    }
+    device_->SubmitWrites(write_batch);
   }
-  device_->SubmitWrites(write_batch);
   device_->SubmitReads(read_batch);
   stats_.reads += read_batch.size();
   for (std::uint32_t v : unpin_after) frames_[v].pins = 0;

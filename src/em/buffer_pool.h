@@ -145,6 +145,12 @@ class BufferPool {
   /// owned; must outlive the pool or be cleared first.
   void SetWriteBarrier(WriteBarrier* barrier) { barrier_ = barrier; }
 
+  /// Attaches the eviction-stall sink: time a pin (or batch) spends
+  /// writing back dirty victims — the page-replacement cost the requester
+  /// is stalled on. Null (the default) disables timing; clean evictions
+  /// are never timed (they free the frame instantly).
+  void SetEvictionStallHistogram(obs::Histogram* h) { evict_stall_us_ = h; }
+
   const IoStats& stats() const { return stats_; }
   std::uint32_t num_frames() const {
     return static_cast<std::uint32_t>(frames_.size());
@@ -208,6 +214,7 @@ class BufferPool {
 
   BlockDevice* device_;
   WriteBarrier* barrier_ = nullptr;
+  obs::Histogram* evict_stall_us_ = nullptr;  // dirty write-back stall sink
   std::vector<Frame> frames_;
   const bool borrow_;  // device supports zero-copy borrowed reads
   std::unordered_map<BlockId, std::uint32_t> map_;

@@ -66,6 +66,8 @@ struct IoStats {
     return "reads=" + std::to_string(reads) + " writes=" +
            std::to_string(writes) + " hits=" + std::to_string(pool_hits) +
            " misses=" + std::to_string(pool_misses) +
+           " evictions=" + std::to_string(evictions) +
+           " prefetched=" + std::to_string(prefetched) +
            " borrows=" + std::to_string(borrows) +
            " wal_appends=" + std::to_string(wal_appends) +
            " fsyncs=" + std::to_string(fsyncs);

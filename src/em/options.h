@@ -8,6 +8,10 @@
 
 #include "util/check.h"
 
+namespace tokra::obs {
+class Histogram;
+}  // namespace tokra::obs
+
 namespace tokra::em {
 
 /// One machine word of the EM model. 64 bits >= Omega(lg n) for any input this
@@ -42,6 +46,18 @@ enum class Backend {
   kMmap,   ///< file backend serving reads from a shared mapping: warm reads
            ///< borrow pointers into the OS page cache (zero-copy) instead of
            ///< copying into pool frames; writes stay on the pwrite path
+};
+
+/// Latency histograms the em layer records into when attached (all
+/// optional; a null pointer disables that timer entirely — no clock
+/// reads). The pointers must outlive every pager/pool/WAL built from the
+/// carrying EmOptions; the engine owns them in its MetricsRegistry and
+/// destroys telemetry after the shards.
+struct EmMetrics {
+  obs::Histogram* eviction_stall_us = nullptr;  ///< dirty-frame write-backs
+  obs::Histogram* wal_append_us = nullptr;      ///< WriteAheadLog::Append
+  obs::Histogram* wal_fsync_us = nullptr;       ///< real WAL fsync barriers
+  obs::Histogram* checkpoint_us = nullptr;      ///< Pager::Checkpoint
 };
 
 /// Aggarwal-Vitter model parameters: a memory of `M` words and a disk of
@@ -109,6 +125,11 @@ struct EmOptions {
   /// registration (memlock limits, old kernel), the device silently keeps
   /// the unregistered submission path. Other backends ignore it.
   bool io_register_buffers = false;
+
+  /// Optional telemetry sink (see EmMetrics). Copied by value through
+  /// ShardEm-style specializations, so one engine-owned struct reaches
+  /// every shard's pager, pool, and log.
+  const EmMetrics* metrics = nullptr;
 
   void Validate() const {
     TOKRA_CHECK(block_words >= kMinBlockWords);

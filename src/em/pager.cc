@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "util/bits.h"
 
 namespace tokra::em {
@@ -68,6 +69,10 @@ Pager::Pager(const EmOptions& options)
     wo.block_words = options.block_words;
     wo.fsync = options.wal_fsync;
     wo.rotate_blocks = options.wal_rotate_blocks;
+    if (options.metrics != nullptr) {
+      wo.append_us = options.metrics->wal_append_us;
+      wo.fsync_us = options.metrics->wal_fsync_us;
+    }
     auto wal = WriteAheadLog::Open(std::move(wo));
     TOKRA_CHECK(wal.ok());
     wal_ = std::move(*wal);
@@ -80,6 +85,9 @@ Pager::Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device)
       device_(std::move(device)),
       pool_(device_.get(), options.pool_frames) {
   options.Validate();
+  if (options.metrics != nullptr) {
+    pool_.SetEvictionStallHistogram(options.metrics->eviction_stall_us);
+  }
 }
 
 Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
@@ -91,6 +99,9 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
       roots.size() > b - kSuperHeaderWords) {
     return Status::InvalidArgument("root directory exceeds superblock");
   }
+  obs::ScopedTimer timer(options_.metrics != nullptr
+                             ? options_.metrics->checkpoint_us
+                             : nullptr);
   pool_.FlushAll();
 
   // The previous checkpoint's spill region becomes free the moment this
@@ -204,6 +215,10 @@ Status Pager::AttachWalAndUndo() {
   wo.block_words = options_.block_words;
   wo.fsync = options_.wal_fsync;
   wo.rotate_blocks = options_.wal_rotate_blocks;
+  if (options_.metrics != nullptr) {
+    wo.append_us = options_.metrics->wal_append_us;
+    wo.fsync_us = options_.metrics->wal_fsync_us;
+  }
   TOKRA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(std::move(wo)));
   pool_.SetWriteBarrier(this);
   // A log whose head lags the stamped checkpoint cannot be the one the

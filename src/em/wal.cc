@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "em/file_block_device.h"
+#include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/fsync_dir.h"
@@ -180,6 +181,7 @@ void WriteAheadLog::ScanFrames() {
 std::uint64_t WriteAheadLog::Append(RecordType type,
                                     std::span<const word_t> payload) {
   TOKRA_CHECK(!options_.read_only);
+  obs::ScopedTimer timer(options_.append_us);
   const std::uint32_t b = options_.block_words;
   const std::uint64_t lsn = head_lsn_ + 1;
   const std::uint64_t frame_blocks =
@@ -214,7 +216,10 @@ std::uint64_t WriteAheadLog::Append(RecordType type,
 
 void WriteAheadLog::Sync() {
   // FileBlockDevice::Sync is the real barrier exactly when options_.fsync
-  // configured durable_sync on the log device; it counts itself.
+  // configured durable_sync on the log device; it counts itself. Only real
+  // barriers are worth timing: the page-cache no-op would pollute the
+  // fsync histogram with sub-microsecond samples.
+  obs::ScopedTimer timer(options_.fsync ? options_.fsync_us : nullptr);
   device_->Sync();
 }
 

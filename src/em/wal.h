@@ -58,6 +58,10 @@ class WriteAheadLog {
     /// Scan an existing log without creating, truncating, or repairing it
     /// (the WalReader mode; Append/Truncate are refused).
     bool read_only = false;
+    /// Optional latency sinks (null = no timing, no clock reads). Must
+    /// outlive the log.
+    obs::Histogram* append_us = nullptr;
+    obs::Histogram* fsync_us = nullptr;
   };
 
   enum class RecordType : std::uint32_t {

@@ -13,6 +13,8 @@ RequestBatcher::RequestBatcher(ShardedTopkEngine* engine,
       auto_rebalance_(auto_rebalance) {
   TOKRA_CHECK(engine != nullptr);
   TOKRA_CHECK(max_pending >= 1);
+  admission_wait_us_ = engine->metric_set().admission_wait_us;
+  queue_depth_ = engine->metric_set().queue_depth;
 }
 
 RequestBatcher::~RequestBatcher() { Flush(); }
@@ -20,12 +22,16 @@ RequestBatcher::~RequestBatcher() { Flush(); }
 std::future<Response> RequestBatcher::Submit(Request req) {
   Item item;
   item.req = std::move(req);
+  if (admission_wait_us_ != nullptr) item.submit_us = obs::NowUs();
   std::future<Response> fut = item.promise.get_future();
   std::vector<Item> ready;
   {
     std::lock_guard<std::mutex> g(mu_);
     ++stats_.requests;
     pending_.push_back(std::move(item));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<std::int64_t>(pending_.size()));
+    }
     if (pending_.size() >= max_pending_) ready.swap(pending_);
   }
   if (!ready.empty()) Execute(std::move(ready));
@@ -42,6 +48,16 @@ void RequestBatcher::Flush() {
 }
 
 void RequestBatcher::Execute(std::vector<Item> batch) {
+  if (queue_depth_ != nullptr) queue_depth_->Set(0);
+  if (admission_wait_us_ != nullptr) {
+    // Admission wait: time each request sat in the coalescing window
+    // before its batch started executing — the latency cost of batching,
+    // the first stage of a batched query's life.
+    const std::uint64_t now = obs::NowUs();
+    for (const Item& item : batch) {
+      if (item.submit_us != 0) admission_wait_us_->Record(now - item.submit_us);
+    }
+  }
   std::vector<Request> requests;
   requests.reserve(batch.size());
   for (const Item& item : batch) requests.push_back(item.req);

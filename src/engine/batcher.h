@@ -66,6 +66,7 @@ class RequestBatcher {
   struct Item {
     Request req;
     std::promise<Response> promise;
+    std::uint64_t submit_us = 0;  ///< admission-wait stamp (0 = untimed)
   };
 
   /// Runs one batch on the calling thread.
@@ -74,6 +75,11 @@ class RequestBatcher {
   ShardedTopkEngine* engine_;
   const std::size_t max_pending_;
   const bool auto_rebalance_;
+  // Engine-owned telemetry (null when disabled): how long a request sat in
+  // the coalescing window before its batch executed, and the window's
+  // instantaneous depth.
+  obs::Histogram* admission_wait_us_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<Item> pending_;

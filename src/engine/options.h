@@ -3,6 +3,7 @@
 #ifndef TOKRA_ENGINE_OPTIONS_H_
 #define TOKRA_ENGINE_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -42,6 +43,29 @@ enum class Durability {
   kWalFsyncEveryBatch,
 };
 
+/// Telemetry configuration (see src/obs/ and DESIGN.md §10).
+struct TelemetryOptions {
+  /// Master switch. Off, the engine creates no registry/tracer/slow-query
+  /// log and every instrumentation site compiles down to a null-pointer
+  /// check — no clock reads, no atomics touched.
+  bool enabled = true;
+
+  /// Queries at or above this total latency are captured in the slow-query
+  /// log with their stage breakdown and per-shard IoStats deltas.
+  std::uint64_t slow_query_us = 10'000;
+
+  /// Span slots the tracer ring retains (rounded up to a power of two).
+  std::size_t trace_capacity = 4096;
+
+  /// Entries the slow-query log retains (oldest evicted).
+  std::size_t slow_query_capacity = 64;
+
+  /// Emit per-query spans (root + one per probed shard + merge). Histograms
+  /// and the slow-query log work regardless; this only controls tracer
+  /// traffic.
+  bool trace_queries = true;
+};
+
 /// Parameters of a ShardedTopkEngine.
 ///
 /// Each shard is an independent TopkIndex on its own em::Pager, so the
@@ -58,6 +82,11 @@ struct EngineOptions {
 
   /// EM model parameters for each shard's private pager.
   em::EmOptions em;
+
+  /// Telemetry switches. The engine owns the registry/tracer/slow-query
+  /// log; `em.metrics` is wired up automatically at construction so every
+  /// shard's pager, pool, and WAL records into the engine's histograms.
+  TelemetryOptions telemetry;
 
   /// When non-empty, every shard runs on its own backing file
   /// `<storage_dir>/shard-<i>.tokra` (em.backend is promoted from kMem to

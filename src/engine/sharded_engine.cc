@@ -93,7 +93,88 @@ StatusOr<std::vector<WalOp>> DecodeWalOps(
 }
 
 ShardedTopkEngine::ShardedTopkEngine(EngineOptions options)
-    : options_(options), pool_(options.threads) {}
+    : options_(options), pool_(options.threads) {
+  InitTelemetry();
+}
+
+void ShardedTopkEngine::InitTelemetry() {
+  if (!options_.telemetry.enabled) return;
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  tracer_ = std::make_unique<obs::Tracer>(options_.telemetry.trace_capacity);
+  slow_log_ = std::make_unique<obs::SlowQueryLog>(
+      options_.telemetry.slow_query_us,
+      options_.telemetry.slow_query_capacity);
+  obs::MetricsRegistry& r = *metrics_;
+  // Naming convention (DESIGN.md §10): tokra_<subsystem>_<what>_<unit>;
+  // per-stage histograms share one family with a stage label.
+  mset_.query_latency_us = r.GetHistogram("tokra_engine_query_latency_us");
+  mset_.stage_fanout_us =
+      r.GetHistogram("tokra_engine_stage_us", "stage=\"fanout\"");
+  mset_.stage_probe_us =
+      r.GetHistogram("tokra_engine_stage_us", "stage=\"probe\"");
+  mset_.stage_merge_us =
+      r.GetHistogram("tokra_engine_stage_us", "stage=\"merge\"");
+  mset_.stage_reply_us =
+      r.GetHistogram("tokra_engine_stage_us", "stage=\"reply\"");
+  mset_.update_latency_us = r.GetHistogram("tokra_engine_update_latency_us");
+  mset_.batch_exec_us = r.GetHistogram("tokra_engine_batch_exec_us");
+  mset_.admission_wait_us = r.GetHistogram("tokra_batcher_admission_wait_us");
+  mset_.queue_depth = r.GetGauge("tokra_batcher_queue_depth");
+  mset_.checkpoint_us = r.GetHistogram("tokra_engine_checkpoint_us");
+  mset_.recover_us = r.GetHistogram("tokra_engine_recover_us");
+  mset_.rebalance_us = r.GetHistogram("tokra_engine_rebalance_us");
+  mset_.pool_task_wait_us = r.GetHistogram("tokra_pool_task_wait_us");
+  mset_.pool_task_run_us = r.GetHistogram("tokra_pool_task_run_us");
+  mset_.em.eviction_stall_us = r.GetHistogram("tokra_em_eviction_stall_us");
+  mset_.em.wal_append_us = r.GetHistogram("tokra_wal_append_us");
+  mset_.em.wal_fsync_us = r.GetHistogram("tokra_wal_fsync_us");
+  mset_.em.checkpoint_us = r.GetHistogram("tokra_em_checkpoint_us");
+  // Every ShardEm(i) copy from here on carries the sink, so each shard's
+  // pager, buffer pool, and WAL records into this registry.
+  options_.em.metrics = &mset_.em;
+  pool_.SetMetrics(mset_.pool_task_wait_us, mset_.pool_task_run_us);
+}
+
+std::string ShardedTopkEngine::DumpMetrics() const {
+  if (metrics_ == nullptr) return {};
+  obs::MetricsRegistry& r = *metrics_;
+  // Refresh the exposition-only mirrors: service counters (kept as plain
+  // atomics on the hot path) and the per-shard space accounting.
+  const EngineCounters c = counters();
+  r.GetGauge("tokra_engine_inserts_total")->Set(static_cast<std::int64_t>(c.inserts));
+  r.GetGauge("tokra_engine_deletes_total")->Set(static_cast<std::int64_t>(c.deletes));
+  r.GetGauge("tokra_engine_queries_total")->Set(static_cast<std::int64_t>(c.queries));
+  r.GetGauge("tokra_engine_rejected_total")->Set(static_cast<std::int64_t>(c.rejected));
+  r.GetGauge("tokra_engine_batches_total")->Set(static_cast<std::int64_t>(c.batches));
+  r.GetGauge("tokra_engine_rebalances_total")->Set(static_cast<std::int64_t>(c.rebalances));
+  em::SpaceStats space;
+  {
+    std::shared_lock<std::shared_mutex> tl(topology_mu_);
+    for (const auto& sh : shards_) {
+      em::SpaceStats s;
+      if (snapshot_) {
+        std::lock_guard<std::mutex> g(sh->replicas[0]->mu);
+        s = sh->replicas[0]->pager->Space();
+      } else {
+        std::lock_guard<std::mutex> g(sh->mu);
+        s = sh->pager->Space();
+      }
+      space.allocated_blocks += s.allocated_blocks;
+      space.free_blocks += s.free_blocks;
+      space.reserved_blocks += s.reserved_blocks;
+      space.file_blocks += s.file_blocks;
+    }
+  }
+  r.GetGauge("tokra_engine_space_blocks", "kind=\"allocated\"")
+      ->Set(static_cast<std::int64_t>(space.allocated_blocks));
+  r.GetGauge("tokra_engine_space_blocks", "kind=\"free\"")
+      ->Set(static_cast<std::int64_t>(space.free_blocks));
+  r.GetGauge("tokra_engine_space_blocks", "kind=\"reserved\"")
+      ->Set(static_cast<std::int64_t>(space.reserved_blocks));
+  r.GetGauge("tokra_engine_space_blocks", "kind=\"file\"")
+      ->Set(static_cast<std::int64_t>(space.file_blocks));
+  return r.DumpMetrics();
+}
 
 StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Build(
     std::vector<Point> points, EngineOptions options) {
@@ -394,6 +475,7 @@ void ShardedTopkEngine::LogShardOps(Shard& sh, std::span<const WalOp> ops) {
 
 Status ShardedTopkEngine::Insert(const Point& p) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
+  obs::ScopedTimer timer(mset_.update_latency_us);
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
   // Shard mutex before the registry: every operation on a given x
@@ -406,6 +488,7 @@ Status ShardedTopkEngine::Insert(const Point& p) {
 
 Status ShardedTopkEngine::Delete(const Point& p) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
+  obs::ScopedTimer timer(mset_.update_latency_us);
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
   Shard& sh = *shards_[ShardFor(p.x)];
@@ -442,6 +525,16 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
   n_queries_.fetch_add(1, std::memory_order_relaxed);
   if (k == 0) return std::vector<Point>{};
 
+  // Telemetry: when enabled, stage timestamps chain through the function
+  // (start -> fan-out done -> merge done -> end) and a root span + one span
+  // per shard probe land in the tracer. Disabled, `timed` is false and no
+  // clock is read.
+  const bool timed = mset_.query_latency_us != nullptr;
+  obs::Tracer* tr = options_.telemetry.trace_queries ? tracer_.get() : nullptr;
+  const std::uint64_t t_start = timed ? obs::NowUs() : 0;
+  obs::ScopedSpan query_span(tr, "query");
+  const std::uint64_t root_id = query_span.id();
+
   const std::size_t s1 = ShardFor(x1), s2 = ShardFor(x2);
   const std::size_t q = s2 - s1 + 1;
   std::vector<std::vector<Point>> parts(q);
@@ -450,6 +543,10 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
 
   auto run_one = [&](std::size_t j, em::Pager* pager,
                      core::TopkIndex* index) {
+    // Explicit parent: on the pool this thread's implicit chain belongs to
+    // some other query's spans, not ours.
+    obs::ScopedSpan probe_span(tr, "shard_probe", root_id);
+    obs::ScopedTimer probe_timer(mset_.stage_probe_us);
     em::IoStats before = pager->stats();
     auto r = index->TopK(x1, x2, k);
     if (r.ok()) {
@@ -499,13 +596,20 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
   } else {
     for (std::size_t j = 0; j < q; ++j) run_shard(j);
   }
+  const std::uint64_t t_fanout = timed ? obs::NowUs() : 0;
 
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }
 
   select::SelectStats sstats;
-  std::vector<Point> merged = MergeTopK(parts, k, &sstats);
+  std::vector<Point> merged;
+  {
+    obs::ScopedSpan merge_span(tr, "merge");
+    merged = MergeTopK(parts, k, &sstats);
+  }
+  const std::uint64_t t_merge = timed ? obs::NowUs() : 0;
+
   if (stats != nullptr) {
     stats->shards_queried = static_cast<std::uint32_t>(q);
     stats->shard_candidates = 0;
@@ -514,6 +618,33 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
     stats->io = em::IoStats{};
     for (const em::IoStats& d : deltas) stats->io += d;
   }
+
+  if (timed) {
+    const std::uint64_t t_end = obs::NowUs();
+    const std::uint64_t total = t_end - t_start;
+    mset_.stage_fanout_us->Record(t_fanout - t_start);
+    mset_.stage_merge_us->Record(t_merge - t_fanout);
+    mset_.stage_reply_us->Record(t_end - t_merge);
+    mset_.query_latency_us->Record(total);
+    if (slow_log_->ShouldCapture(total)) {
+      obs::SlowQueryEntry e;
+      e.start_us = t_start;
+      e.total_us = total;
+      e.x1 = x1;
+      e.x2 = x2;
+      e.k = static_cast<std::uint32_t>(std::min<std::uint64_t>(k, ~std::uint32_t{0}));
+      e.results = merged.size();
+      e.stages = {{"fanout", t_fanout - t_start},
+                  {"merge", t_merge - t_fanout},
+                  {"reply", t_end - t_merge}};
+      e.shards.reserve(q);
+      for (std::size_t j = 0; j < q; ++j) {
+        e.shards.push_back({static_cast<std::uint32_t>(s1 + j),
+                            parts[j].size(), deltas[j]});
+      }
+      slow_log_->Capture(std::move(e));
+    }
+  }
   return merged;
 }
 
@@ -521,6 +652,10 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
                                      std::vector<Response>* out) {
   out->clear();
   out->resize(batch.size());
+  obs::ScopedTimer timer(mset_.batch_exec_us);
+  obs::ScopedSpan span(options_.telemetry.trace_queries ? tracer_.get()
+                                                        : nullptr,
+                       "batch");
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   n_batches_.fetch_add(1, std::memory_order_relaxed);
 
@@ -609,6 +744,8 @@ Status ShardedTopkEngine::Checkpoint(
         "shard storage is inconsistent after a failed rebalance commit; "
         "restart and Recover() to roll it forward");
   }
+  obs::ScopedTimer timer(mset_.checkpoint_us);
+  obs::ScopedSpan span(tracer_.get(), "checkpoint");
   // Root 0 is the index meta (written by TopkIndex::Checkpoint); root 1
   // carries this shard's lower bound so Recover restores the partition;
   // root 2 records the shard count so Recover rejects a topology
@@ -674,6 +811,11 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   }
   auto engine =
       std::unique_ptr<ShardedTopkEngine>(new ShardedTopkEngine(options));
+  // Telemetry note: every pager below opens via engine->options_.ShardEm
+  // (not the plain `options` parameter) so the engine's EmMetrics sink
+  // reaches the recovered shards' pools and logs.
+  const std::uint64_t t_recover =
+      engine->telemetry_enabled() ? obs::NowUs() : 0;
   const std::uint32_t s = options.num_shards;
   const bool wal_mode = options.WalEnabled();
 
@@ -685,7 +827,7 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   // committed one. Superblocks themselves are always intact (their slots
   // are never pre-imaged in place), so probing without undo is safe.
   auto probe_em = [&](std::uint32_t i) {
-    em::EmOptions em = options.ShardEm(i);
+    em::EmOptions em = engine->options_.ShardEm(i);
     em.wal_path.clear();
     return em;
   };
@@ -773,7 +915,8 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   if (wal_mode) {
     for (std::uint32_t i = 0; i < s; ++i) {
       pagers[i].reset();
-      TOKRA_ASSIGN_OR_RETURN(pagers[i], em::Pager::Open(options.ShardEm(i)));
+      TOKRA_ASSIGN_OR_RETURN(pagers[i],
+                             em::Pager::Open(engine->options_.ShardEm(i)));
       if (pagers[i]->roots().size() < kShardCheckpointRoots) {
         return Status::FailedPrecondition("shard checkpoint missing roots");
       }
@@ -857,6 +1000,9 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   }
   engine->shards_ = std::move(shards);
   engine->lower_bounds_ = std::move(bounds);
+  if (engine->mset_.recover_us != nullptr) {
+    engine->mset_.recover_us->Record(obs::NowUs() - t_recover);
+  }
   return engine;
 }
 
@@ -896,7 +1042,9 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
     auto shard = std::make_unique<Shard>();
     for (std::uint32_t r = 0; r < nrep; ++r) {
       auto rep = std::make_unique<Replica>();
-      TOKRA_ASSIGN_OR_RETURN(rep->pager, em::Pager::Open(options.ShardEm(i)));
+      // engine->options_ rather than `options`: carries the EmMetrics sink.
+      TOKRA_ASSIGN_OR_RETURN(rep->pager,
+                             em::Pager::Open(engine->options_.ShardEm(i)));
       if (r == 0) {
         const auto& roots = rep->pager->roots();
         if (roots.size() < kShardCheckpointRoots) {
@@ -974,6 +1122,8 @@ bool ShardedTopkEngine::MaybeRebalance() {
 }
 
 Status ShardedTopkEngine::RebalanceLocked() {
+  obs::ScopedTimer timer(mset_.rebalance_us);
+  obs::ScopedSpan span(tracer_.get(), "rebalance");
   if (storage_failed_) {
     return Status::FailedPrecondition(
         "shard storage is inconsistent after a failed rebalance commit; "

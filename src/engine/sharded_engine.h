@@ -46,6 +46,9 @@
 #include "engine/options.h"
 #include "engine/request.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "util/point.h"
 #include "util/status.h"
 
@@ -77,6 +80,36 @@ struct EngineQueryStats {
   std::uint64_t shard_candidates = 0;    ///< per-shard hits fed to the merge
   std::uint64_t merge_nodes_visited = 0; ///< tournament-heap visits (<= k+q)
   em::IoStats io;                        ///< summed I/O delta of the query
+};
+
+/// Cached pointers into the engine's MetricsRegistry — one registry lookup
+/// per metric at construction, then every record is a direct histogram/
+/// gauge hit. All null when telemetry is disabled, which turns every
+/// instrumentation site into a branch on nullptr (DESIGN.md §10 overhead
+/// budget). `em` is handed to every shard's pager/pool/WAL via
+/// EmOptions::metrics.
+struct EngineMetricSet {
+  // Query path.
+  obs::Histogram* query_latency_us = nullptr;  ///< whole TopK, end to end
+  obs::Histogram* stage_fanout_us = nullptr;   ///< dispatch + slowest probe
+  obs::Histogram* stage_probe_us = nullptr;    ///< one per shard probe
+  obs::Histogram* stage_merge_us = nullptr;    ///< k-bounded tournament merge
+  obs::Histogram* stage_reply_us = nullptr;    ///< stats aggregation + return
+  // Update / batch path.
+  obs::Histogram* update_latency_us = nullptr;  ///< direct Insert/Delete
+  obs::Histogram* batch_exec_us = nullptr;      ///< whole ExecuteBatch
+  obs::Histogram* admission_wait_us = nullptr;  ///< batcher window wait
+  obs::Gauge* queue_depth = nullptr;            ///< batcher pending requests
+  // Maintenance.
+  obs::Histogram* checkpoint_us = nullptr;  ///< whole engine Checkpoint()
+  obs::Histogram* recover_us = nullptr;     ///< whole Recover()
+  obs::Histogram* rebalance_us = nullptr;   ///< whole Rebalance()
+  // Thread pool.
+  obs::Histogram* pool_task_wait_us = nullptr;
+  obs::Histogram* pool_task_run_us = nullptr;
+  // The em layer's sinks (eviction stall, WAL append/fsync, pager
+  // checkpoint), pointed into the same registry.
+  em::EmMetrics em;
 };
 
 /// Monotonic service counters (snapshot).
@@ -208,6 +241,21 @@ class ShardedTopkEngine {
   /// O(n); exclusive.
   void CheckInvariants() const;
 
+  // ---- Telemetry (null/no-op when options.telemetry.enabled is false) ----
+
+  bool telemetry_enabled() const { return metrics_ != nullptr; }
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::Tracer* tracer() const { return tracer_.get(); }
+  obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+  /// The cached metric pointers (all null when disabled) — the batcher and
+  /// benches record through these directly.
+  const EngineMetricSet& metric_set() const { return mset_; }
+
+  /// Prometheus-style text exposition of every registered metric, with the
+  /// service counters and per-shard Space() gauges refreshed first. Empty
+  /// when telemetry is disabled.
+  std::string DumpMetrics() const;
+
  private:
   /// One independent read handle on a snapshot shard: its own pager (own
   /// mmap of the shared file, own pool bookkeeping) + index view. mu
@@ -237,6 +285,11 @@ class ShardedTopkEngine {
   };
 
   explicit ShardedTopkEngine(EngineOptions options);
+
+  /// Creates the registry/tracer/slow-query log, registers every metric,
+  /// and wires options_.em.metrics + the pool's sinks. Called from the
+  /// constructor only; no-op when telemetry is disabled.
+  void InitTelemetry();
 
   /// Index of the shard owning x. Caller holds topology_mu_.
   std::size_t ShardFor(double x) const;
@@ -279,6 +332,15 @@ class ShardedTopkEngine {
   bool SkewedLocked() const;
 
   EngineOptions options_;
+  // Telemetry sits directly after options_ so it is destroyed LAST: shard
+  // pagers/pools/WALs and the thread pool all hold raw pointers into the
+  // registry (via EmOptions::metrics / SetMetrics) and may record during
+  // their own destruction.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  EngineMetricSet mset_;
+
   bool snapshot_ = false;  // read-only serving mode (OpenSnapshot)
   mutable std::shared_mutex topology_mu_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -22,16 +22,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  if (wait_us_ != nullptr) task.enqueue_us = obs::NowUs();
   {
     std::lock_guard<std::mutex> g(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
 }
 
+void ThreadPool::RunTask(Task task) {
+  if (wait_us_ != nullptr && task.enqueue_us != 0) {
+    wait_us_->Record(obs::NowUs() - task.enqueue_us);
+  }
+  obs::ScopedTimer run(run_us_);
+  task.fn();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> g(mu_);
       cv_.wait(g, [this] { return stop_ || !queue_.empty(); });
@@ -39,7 +50,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(std::move(task));
   }
 }
 

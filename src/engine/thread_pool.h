@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tokra::engine {
 
 class ThreadPool {
@@ -28,6 +30,14 @@ class ThreadPool {
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(workers_.size()); }
 
+  /// Attaches queue-wait / task-run latency sinks (null = no timing, no
+  /// clock reads on the task path). Call before the first Submit; the
+  /// histograms must outlive the pool.
+  void SetMetrics(obs::Histogram* task_wait_us, obs::Histogram* task_run_us) {
+    wait_us_ = task_wait_us;
+    run_us_ = task_run_us;
+  }
+
   /// Enqueues one task. Fire-and-forget; pair with RunAll for joins.
   void Submit(std::function<void()> fn);
 
@@ -37,11 +47,20 @@ class ThreadPool {
   void RunAll(std::vector<std::function<void()>> tasks);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_us = 0;  // stamped only when wait_us_ attached
+  };
+
   void WorkerLoop();
+  void RunTask(Task task);
+
+  obs::Histogram* wait_us_ = nullptr;  // time from Submit to pop
+  obs::Histogram* run_us_ = nullptr;   // task body duration
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tokra::obs {
+
+std::uint64_t NowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::uint32_t ThreadSlot() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target record, 1-based: the smallest r with r >= q*count.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cum + buckets[b] < rank) {
+      cum += buckets[b];
+      continue;
+    }
+    // The rank-th record lies in bucket b: interpolate linearly across the
+    // bucket's value range by the rank's position inside the bucket.
+    const double lo = static_cast<double>(BucketLo(b));
+    const double hi = static_cast<double>(BucketHi(b));
+    const double frac = static_cast<double>(rank - cum) /
+                        static_cast<double>(buckets[b]);
+    double v = lo + (hi - lo) * frac;
+    // The exact max bounds the top of the distribution tighter than the
+    // last bucket's upper edge.
+    return std::min(v, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (const Shard& sh : shards_) {
+    for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = sh.buckets[b].load(std::memory_order_relaxed);
+      s.buckets[b] += n;
+      s.count += n;
+    }
+    s.sum += sh.sum.load(std::memory_order_relaxed);
+  }
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    Kind kind, const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      TOKRA_CHECK(e->kind == kind && "metric re-registered as another kind");
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->kind = kind;
+  e->name = name;
+  e->labels = labels;
+  switch (kind) {
+    case Kind::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  return FindOrCreate(Kind::kCounter, name, labels)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  return FindOrCreate(Kind::kGauge, name, labels)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels) {
+  return FindOrCreate(Kind::kHistogram, name, labels)->histogram.get();
+}
+
+namespace {
+
+/// `name{labels} value` with the braces omitted when there are no labels.
+void AppendLine(std::string* out, const std::string& name,
+                const std::string& labels, const std::string& value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Merges a quantile label into an existing label body.
+std::string WithQuantile(const std::string& labels, const char* q) {
+  std::string out = labels;
+  if (!out.empty()) out += ',';
+  out += "quantile=\"";
+  out += q;
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpMetrics() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::string out;
+  std::string last_typed;  // one TYPE comment per metric family
+  for (const auto& e : entries_) {
+    const char* type = e->kind == Kind::kCounter   ? "counter"
+                       : e->kind == Kind::kGauge   ? "gauge"
+                                                   : "summary";
+    if (e->name != last_typed) {
+      out += "# TYPE " + e->name + " " + type + "\n";
+      last_typed = e->name;
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        AppendLine(&out, e->name, e->labels,
+                   std::to_string(e->counter->Value()));
+        break;
+      case Kind::kGauge:
+        AppendLine(&out, e->name, e->labels,
+                   std::to_string(e->gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot s = e->histogram->Snapshot();
+        AppendLine(&out, e->name, WithQuantile(e->labels, "0.5"),
+                   FormatDouble(s.Percentile(0.5)));
+        AppendLine(&out, e->name, WithQuantile(e->labels, "0.95"),
+                   FormatDouble(s.Percentile(0.95)));
+        AppendLine(&out, e->name, WithQuantile(e->labels, "0.99"),
+                   FormatDouble(s.Percentile(0.99)));
+        AppendLine(&out, e->name + "_max", e->labels, std::to_string(s.max));
+        AppendLine(&out, e->name + "_sum", e->labels, std::to_string(s.sum));
+        AppendLine(&out, e->name + "_count", e->labels,
+                   std::to_string(s.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tokra::obs

@@ -1,0 +1,188 @@
+// Low-overhead telemetry: counters, gauges, and log-bucketed latency
+// histograms behind a named registry.
+//
+// Design constraints (DESIGN.md §10):
+//   * Recording must be cheap enough to stay on every hot path — one
+//     relaxed fetch-add on a per-thread shard, no locks, no allocation.
+//     The only mutex in this file guards metric *registration*, which
+//     happens once per metric at engine construction.
+//   * Reads (DumpMetrics, Snapshot) tolerate concurrent writers: relaxed
+//     sums may be slightly behind in-flight increments but never torn —
+//     after writers quiesce (thread join) the totals are exact.
+//   * Histograms bucket by powers of two (bucket b holds values v with
+//     bit_width(v) == b, so bucket 0 = {0} and bucket b covers
+//     [2^(b-1), 2^b - 1]): Record is a bit_width + fetch_add, percentile
+//     extraction walks 65 buckets, and the recorded maximum is exact.
+
+#ifndef TOKRA_OBS_METRICS_H_
+#define TOKRA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tokra::obs {
+
+/// Microseconds since an arbitrary process-wide steady epoch. The shared
+/// timebase of every histogram record, span, and trace export.
+std::uint64_t NowUs();
+
+/// Dense per-thread index used to pick a metric shard: the first
+/// kMetricShards threads get distinct shards, later ones wrap.
+std::uint32_t ThreadSlot();
+
+inline constexpr std::uint32_t kMetricShards = 8;
+
+/// Monotonic counter. Add is one relaxed fetch-add on this thread's shard.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    shards_[ThreadSlot() % kMetricShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-write-wins signed value (queue depths, space accounting).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Bucket count of a Histogram: bit_width ranges over [0, 64].
+inline constexpr std::uint32_t kHistogramBuckets = 65;
+
+/// Inclusive value range of histogram bucket `b`.
+constexpr std::uint64_t BucketLo(std::uint32_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+constexpr std::uint64_t BucketHi(std::uint32_t b) {
+  return b == 0 ? 0 : (BucketLo(b) - 1) + BucketLo(b);
+}
+/// Bucket holding value `v`.
+constexpr std::uint32_t BucketOf(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::bit_width(v));
+}
+
+/// Point-in-time view of a histogram's distribution.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;  ///< exact largest recorded value
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Value at quantile q in (0, 1]: the bucket holding the ceil(q*count)-th
+  /// smallest record, linearly interpolated inside it (so the result always
+  /// lies within that bucket's [lo, hi] range and is capped by `max`).
+  /// 0 when empty.
+  double Percentile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed latency/value histogram with per-thread sharded buckets.
+class Histogram {
+ public:
+  void Record(std::uint64_t v) {
+    Shard& s = shards_[ThreadSlot() % kMetricShards];
+    s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    // Exact max: CAS loop, contended only while the maximum is actually
+    // advancing (rare after warm-up).
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Records NowUs()-elapsed into a histogram on destruction. A null
+/// histogram disables the timer entirely (no clock reads), so
+/// instrumented code pays nothing when telemetry is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), start_(h ? NowUs() : 0) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Record(NowUs() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+/// Named metric registry with a Prometheus-style text exposition.
+///
+/// Get* registers on first use and returns a stable pointer (callers cache
+/// it; recording never goes through the registry again). `labels` is an
+/// optional Prometheus label body without braces, e.g. `shard="3"` — the
+/// same name may be registered once per distinct label set.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "");
+
+  /// `name{label} value` exposition lines, one metric family per TYPE
+  /// comment, registration order. Histograms dump as summaries: quantile
+  /// lines (0.5/0.95/0.99) plus _max/_sum/_count.
+  std::string DumpMetrics() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(Kind kind, const std::string& name,
+                      const std::string& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // stable pointers
+};
+
+}  // namespace tokra::obs
+
+#endif  // TOKRA_OBS_METRICS_H_

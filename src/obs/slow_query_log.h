@@ -1,0 +1,87 @@
+// Ring of the most recent queries slower than a configurable threshold,
+// each captured with its full stage breakdown and per-shard IoStats deltas.
+//
+// The histogram tells you *that* p99 moved; the slow-query log tells you
+// *which* queries moved it and *where* their time went (fan-out vs probe vs
+// merge, and which shard burned the block transfers). Capture happens only
+// on the slow path — a query under the threshold costs one comparison —
+// so the mutex here never touches the common case.
+
+#ifndef TOKRA_OBS_SLOW_QUERY_LOG_H_
+#define TOKRA_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "em/io_stats.h"
+
+namespace tokra::obs {
+
+/// One captured slow query.
+struct SlowQueryEntry {
+  std::uint64_t seq = 0;       ///< capture order (monotonic, 1-based)
+  std::uint64_t start_us = 0;  ///< NowUs() timebase
+  std::uint64_t total_us = 0;
+  double x1 = 0, x2 = 0;  ///< query range
+  std::uint32_t k = 0;
+  std::uint64_t results = 0;  ///< points returned
+
+  /// Stage breakdown, outermost first (e.g. fanout / merge / reply).
+  struct Stage {
+    const char* name;
+    std::uint64_t us;
+  };
+  std::vector<Stage> stages;
+
+  /// Per-shard work: the IoStats delta this query caused on each probed
+  /// shard plus its partial-result size.
+  struct ShardWork {
+    std::uint32_t shard;
+    std::uint64_t part_results;
+    em::IoStats io;
+  };
+  std::vector<ShardWork> shards;
+
+  std::string ToString() const;
+};
+
+/// Bounded ring of SlowQueryEntry, newest wins.
+class SlowQueryLog {
+ public:
+  /// Queries taking >= `threshold_us` get captured; `capacity` bounds
+  /// retention (oldest evicted).
+  explicit SlowQueryLog(std::uint64_t threshold_us, std::size_t capacity = 64)
+      : threshold_us_(threshold_us), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::uint64_t threshold_us() const { return threshold_us_; }
+
+  /// Cheap pre-check so callers skip building an entry for fast queries.
+  bool ShouldCapture(std::uint64_t total_us) const {
+    return total_us >= threshold_us_;
+  }
+
+  void Capture(SlowQueryEntry entry);
+
+  /// Captured entries, oldest first.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// Total queries ever captured (>= Entries().size() once evicting).
+  std::uint64_t captured() const;
+
+  /// Human-readable dump of every retained entry.
+  std::string Dump() const;
+
+ private:
+  const std::uint64_t threshold_us_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // ring_[next_] is the oldest
+  std::size_t next_ = 0;
+  std::uint64_t captured_ = 0;
+};
+
+}  // namespace tokra::obs
+
+#endif  // TOKRA_OBS_SLOW_QUERY_LOG_H_

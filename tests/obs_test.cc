@@ -1,0 +1,483 @@
+// Tests for the telemetry layer: histogram bucketing and percentiles
+// against a sorted-vector oracle, exact concurrent sums, tracer nesting and
+// ring wraparound, chrome-trace JSON validity (checked with a real parser),
+// the slow-query log's retention contract, the Prometheus exposition
+// format, and end-to-end engine integration (including disabled mode).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace tokra::obs {
+namespace {
+
+// ---------------------------------------------------------------- buckets --
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly {0}; bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(BucketOf(0), 0u);
+  EXPECT_EQ(BucketOf(1), 1u);
+  EXPECT_EQ(BucketOf(2), 2u);
+  EXPECT_EQ(BucketOf(3), 2u);
+  EXPECT_EQ(BucketOf(4), 3u);
+  EXPECT_EQ(BucketOf(~std::uint64_t{0}), 64u);
+  for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(BucketOf(BucketLo(b)), b);
+    EXPECT_EQ(BucketOf(BucketHi(b)), b);
+  }
+  // Buckets tile the value space with no gap or overlap.
+  for (std::uint32_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+    EXPECT_EQ(BucketHi(b) + 1, BucketLo(b + 1));
+  }
+}
+
+TEST(HistogramTest, PercentileMatchesSortedOracle) {
+  // The log buckets cannot reproduce the oracle value exactly, but every
+  // percentile must land in the same bucket as the rank-selected element of
+  // the sorted recordings, and max must be exact.
+  Histogram h;
+  Rng rng(99);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed mix across many buckets.
+    std::uint64_t v = rng.Uniform(1u << (1 + rng.Uniform(20)));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.count, values.size());
+  EXPECT_EQ(s.max, values.back());
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : values) sum += v;
+  EXPECT_EQ(s.sum, sum);
+  for (double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(s.count))));
+    const std::uint64_t oracle = values[rank - 1];
+    const double got = s.Percentile(q);
+    EXPECT_EQ(BucketOf(static_cast<std::uint64_t>(got)), BucketOf(oracle))
+        << "q=" << q << " got=" << got << " oracle=" << oracle;
+    EXPECT_LE(got, static_cast<double>(s.max));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), static_cast<double>(s.max));
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_EQ(h.Snapshot().Percentile(0.99), 0.0);
+  h.Record(42);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max, 42u);
+  EXPECT_EQ(BucketOf(static_cast<std::uint64_t>(s.Percentile(0.5))),
+            BucketOf(42));
+}
+
+TEST(HistogramTest, ConcurrentRecordingSumsExactly) {
+  // Sharded relaxed counters lose nothing: after the writers join, count
+  // and sum are exact.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(i % 100) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t per_thread_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) per_thread_sum += i % 100 + 1;
+  EXPECT_EQ(s.sum, per_thread_sum * kThreads);
+  EXPECT_EQ(s.max, 100u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsInert) {
+  { ScopedTimer t(nullptr); }  // must not crash (and reads no clock)
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+// ----------------------------------------------------------------- tracer --
+
+TEST(TracerTest, ImplicitNestingRecordsParentIds) {
+  Tracer tracer(16);
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    outer_id = outer.id();
+    {
+      ScopedSpan inner(&tracer, "inner");
+      inner_id = inner.id();
+    }
+  }
+  ASSERT_NE(outer_id, 0u);
+  ASSERT_NE(inner_id, 0u);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const Tracer::Span* outer_sp = nullptr;
+  const Tracer::Span* inner_sp = nullptr;
+  for (const auto& s : spans) {
+    if (s.id == outer_id) outer_sp = &s;
+    if (s.id == inner_id) inner_sp = &s;
+  }
+  ASSERT_NE(outer_sp, nullptr);
+  ASSERT_NE(inner_sp, nullptr);
+  EXPECT_EQ(outer_sp->parent, 0u);
+  EXPECT_EQ(inner_sp->parent, outer_id);
+  EXPECT_STREQ(inner_sp->name, "inner");
+  EXPECT_LE(outer_sp->start_us, inner_sp->start_us);
+}
+
+TEST(TracerTest, ExplicitParentCrossesThreads) {
+  Tracer tracer(16);
+  std::uint64_t root_id = 0, child_id = 0;
+  {
+    ScopedSpan root(&tracer, "root");
+    root_id = root.id();
+    std::thread worker([&] {
+      ScopedSpan child(&tracer, "child", root_id);
+      child_id = child.id();
+    });
+    worker.join();
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans) {
+    if (s.id == child_id) {
+      EXPECT_EQ(s.parent, root_id);
+    }
+  }
+}
+
+TEST(TracerTest, NullTracerSpanIsInert) {
+  ScopedSpan inert(nullptr, "nothing");
+  EXPECT_EQ(inert.id(), 0u);
+  ScopedSpan defaulted;
+  EXPECT_EQ(defaulted.id(), 0u);
+}
+
+TEST(TracerTest, RingWraparoundKeepsMostRecent) {
+  Tracer tracer(4);  // rounded to a power of two
+  ASSERT_EQ(tracer.capacity(), 4u);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan s(&tracer, "span");
+    ids.push_back(s.id());
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Exactly the last capacity() spans survive.
+  for (const auto& s : spans) {
+    EXPECT_TRUE(std::find(ids.end() - 4, ids.end(), s.id) != ids.end())
+        << "stale span id " << s.id;
+  }
+}
+
+TEST(TracerTest, ConcurrentRecordingStaysConsistent) {
+  // Hammer the ring from many threads; Snapshot must only ever observe
+  // fully-written spans (name non-null, id non-zero).
+  Tracer tracer(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        ScopedSpan s(&tracer, "stress");
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& s : tracer.Snapshot()) {
+        ASSERT_NE(s.name, nullptr);
+        ASSERT_NE(s.id, 0u);
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(tracer.recorded(), 4u * 5000u);
+}
+
+// Minimal recursive-descent JSON validator: the exported trace must be a
+// syntactically complete JSON document, not just look like one.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return Consume('"');
+  }
+  bool Number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TracerTest, ChromeJsonExportIsValidJson) {
+  Tracer tracer(16);
+  {
+    ScopedSpan a(&tracer, "query");
+    ScopedSpan b(&tracer, "shard_probe");
+  }
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("shard_probe"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyExportIsValidJson) {
+  Tracer tracer(4);
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+}
+
+// --------------------------------------------------------- slow query log --
+
+TEST(SlowQueryLogTest, ThresholdAndRetention) {
+  SlowQueryLog log(/*threshold_us=*/100, /*capacity=*/2);
+  EXPECT_FALSE(log.ShouldCapture(99));
+  EXPECT_TRUE(log.ShouldCapture(100));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    SlowQueryEntry e;
+    e.total_us = 100 + i;
+    e.x1 = 1.0;
+    e.x2 = 2.0;
+    e.k = 5;
+    e.stages.push_back({"fanout", 40});
+    e.shards.push_back({0, 3, {}});
+    log.Capture(std::move(e));
+  }
+  EXPECT_EQ(log.captured(), 3u);
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);  // oldest evicted
+  EXPECT_EQ(entries[0].total_us, 101u);
+  EXPECT_EQ(entries[1].total_us, 102u);
+  EXPECT_LT(entries[0].seq, entries[1].seq);
+  EXPECT_NE(entries[0].ToString().find("fanout"), std::string::npos);
+  EXPECT_FALSE(log.Dump().empty());
+}
+
+// ----------------------------------------------------------------- registry --
+
+TEST(MetricsRegistryTest, StablePointersAndLabels) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("tokra_test_total");
+  Counter* c2 = reg.GetCounter("tokra_test_total");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("tokra_test_us", "stage=\"merge\"");
+  Histogram* h2 = reg.GetHistogram("tokra_test_us", "stage=\"probe\"");
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, reg.GetHistogram("tokra_test_us", "stage=\"merge\""));
+}
+
+TEST(MetricsRegistryTest, DumpMetricsExpositionFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("tokra_ops_total")->Add(7);
+  reg.GetGauge("tokra_depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("tokra_lat_us", "stage=\"merge\"");
+  for (std::uint64_t v = 1; v <= 100; ++v) h->Record(v);
+  const std::string dump = reg.DumpMetrics();
+  EXPECT_NE(dump.find("# TYPE tokra_ops_total counter"), std::string::npos);
+  EXPECT_NE(dump.find("tokra_ops_total 7"), std::string::npos);
+  EXPECT_NE(dump.find("tokra_depth -3"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE tokra_lat_us summary"), std::string::npos);
+  EXPECT_NE(dump.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(dump.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(dump.find("stage=\"merge\""), std::string::npos);
+  EXPECT_NE(dump.find("tokra_lat_us_count{stage=\"merge\"} 100"),
+            std::string::npos);
+  EXPECT_NE(dump.find("tokra_lat_us_max{stage=\"merge\"} 100"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ engine integration --
+
+std::vector<Point> TestPoints(std::size_t n) {
+  Rng rng(7);
+  auto xs = rng.DistinctDoubles(n, 0.0, 1e6);
+  auto scores = rng.DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+TEST(EngineTelemetryTest, QueriesPopulateMetricsTracesAndSlowLog) {
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 256, .pool_frames = 32};
+  opts.telemetry.slow_query_us = 0;  // every query is "slow": all captured
+  auto built = engine::ShardedTopkEngine::Build(TestPoints(2000), opts);
+  ASSERT_TRUE(built.ok());
+  auto& eng = *built;
+  ASSERT_TRUE(eng->telemetry_enabled());
+  for (int i = 0; i < 10; ++i) {
+    auto r = eng->TopK(i * 1e5, i * 1e5 + 3e5, 8);
+    ASSERT_TRUE(r.ok());
+  }
+  ASSERT_TRUE(eng->Insert(Point{2e6, 5.0}).ok());
+
+  const engine::EngineMetricSet& ms = eng->metric_set();
+  ASSERT_NE(ms.query_latency_us, nullptr);
+  EXPECT_EQ(ms.query_latency_us->Snapshot().count, 10u);
+  EXPECT_EQ(ms.stage_merge_us->Snapshot().count, 10u);
+  EXPECT_GE(ms.stage_probe_us->Snapshot().count, 10u);  // >=1 shard/query
+  EXPECT_EQ(ms.update_latency_us->Snapshot().count, 1u);
+
+  const std::string dump = eng->DumpMetrics();
+  EXPECT_NE(dump.find("tokra_engine_query_latency_us"), std::string::npos);
+  EXPECT_NE(dump.find("tokra_engine_stage_us"), std::string::npos);
+  EXPECT_NE(dump.find("tokra_engine_queries_total 10"), std::string::npos);
+  EXPECT_NE(dump.find("tokra_engine_space_blocks"), std::string::npos);
+
+  // Spans: one query root + >=1 probe + 1 merge per query.
+  EXPECT_GE(eng->tracer()->recorded(), 30u);
+  EXPECT_TRUE(JsonValidator(eng->tracer()->ExportChromeJson()).Valid());
+
+  EXPECT_EQ(eng->slow_query_log()->captured(), 10u);
+  auto entries = eng->slow_query_log()->Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().k, 8u);
+  EXPECT_FALSE(entries.back().stages.empty());
+  EXPECT_FALSE(entries.back().shards.empty());
+}
+
+TEST(EngineTelemetryTest, DisabledTelemetryIsFullyInert) {
+  engine::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 256, .pool_frames = 32};
+  opts.telemetry.enabled = false;
+  auto built = engine::ShardedTopkEngine::Build(TestPoints(500), opts);
+  ASSERT_TRUE(built.ok());
+  auto& eng = *built;
+  EXPECT_FALSE(eng->telemetry_enabled());
+  EXPECT_EQ(eng->metrics(), nullptr);
+  EXPECT_EQ(eng->tracer(), nullptr);
+  EXPECT_EQ(eng->slow_query_log(), nullptr);
+  EXPECT_EQ(eng->metric_set().query_latency_us, nullptr);
+  auto r = eng->TopK(0, 1e6, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+  EXPECT_TRUE(eng->DumpMetrics().empty());
+}
+
+}  // namespace
+}  // namespace tokra::obs
