@@ -8,7 +8,12 @@
 //     the lock/pager amortization claim.
 // (d) An adversarial insert stream aimed at one shard, with and without the
 //     skew-rebalance hook — tail shard size and throughput after.
+// (f) Fence pruning on/off at 8 shards on wide ranges over zipf-weight and
+//     adversarial score layouts — the sketch-routing claim, with a
+//     fingerprint CHECK that the pruned path answers byte-identically.
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -238,6 +243,121 @@ void RebalanceTable(const std::vector<Point>& pts) {
   }
 }
 
+/// E12f workload shape: wide ranges (cover ~3/4 of the key space, always
+/// including the weight hotspot) so every query overlaps most of the 8
+/// shards — the fan-out regime pruning is for.
+struct WideRanges {
+  double Lo(Rng* rng) const { return rng->UniformDouble(0, kXHi * 0.2); }
+  double Width(Rng*) const { return kXHi * 0.75; }
+};
+
+/// Zipf-ish weight skew: the points in the hottest 5% of the key space
+/// ([0.45, 0.5) * kXHi) carry the globally top scores, so a wide query's
+/// top-k lives almost entirely in one shard and the other overlapping
+/// shards' fences can't beat the frontier.
+std::vector<Point> ZipfWeightPoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, kXHi);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = scores[i];
+    if (xs[i] >= 0.45 * kXHi && xs[i] < 0.5 * kXHi) s += 100.0;
+    pts[i] = Point{xs[i], s};
+  }
+  return pts;
+}
+
+/// Adversarial-for-fanout layout: score strictly increasing in x, so a wide
+/// query's top-k sits at its right edge and every shard left of it is
+/// provably dead weight once the frontier fills.
+std::vector<Point> MonotonePoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, kXHi);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  std::sort(scores.begin(), scores.end());
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+/// FNV-1a over the (x, score) bit patterns of a fixed, deterministic query
+/// set, run single-threaded — the cross-config answer oracle.
+std::uint64_t Fingerprint(ShardedTopkEngine* eng) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  Rng rng(424242);
+  WideRanges wl;
+  for (int i = 0; i < 2000; ++i) {
+    double lo = wl.Lo(&rng);
+    auto r = eng->TopK(lo, lo + wl.Width(&rng), kK);
+    Must(r.status());
+    mix(r->size());
+    for (const Point& p : *r) {
+      mix(std::bit_cast<std::uint64_t>(p.x));
+      mix(std::bit_cast<std::uint64_t>(p.score));
+    }
+  }
+  return h;
+}
+
+void PruningTable() {
+  Header("E12f: fence pruning on/off (8 shards, wide ranges)",
+         {"workload", "pruning", "queries", "wall ms", "qps",
+          "speedup off->on", "avg shards pruned/query", "fingerprint"});
+  Rng rng(77);
+  struct Workload {
+    const char* name;
+    std::vector<Point> pts;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"zipf-weight", ZipfWeightPoints(&rng, kPoints)});
+  workloads.push_back({"adversarial", MonotonePoints(&rng, kPoints)});
+  for (auto& wl : workloads) {
+    double off_qps = 0;
+    std::uint64_t off_fp = 0;
+    for (bool on : {false, true}) {
+      EngineOptions o = EngOpts(8);
+      o.pruning.enabled = on;
+      // Small waves maximize early termination: the frontier usually fills
+      // from the first (best-bounded) shards, so later waves never launch.
+      if (on) o.pruning.dispatch_wave = 2;
+      auto eng = ShardedTopkEngine::Build(wl.pts, o);
+      Must(eng.status());
+      const std::uint64_t fp = Fingerprint(eng->get());
+      const engine::EngineCounters before_c = eng->get()->counters();
+      em::IoStats before = eng->get()->AggregatedIoStats();
+      double qps = QueryThroughput(eng->get(), WideRanges{});
+      const engine::EngineCounters c = eng->get()->counters();
+      const double total = kClientThreads * kQueriesPerThread;
+      RecordIoStats(std::string("E12f ") + wl.name +
+                        (on ? " pruning=on" : " pruning=off"),
+                    eng->get()->AggregatedIoStats() - before,
+                    c.shards_pruned - before_c.shards_pruned,
+                    c.fence_checks - before_c.fence_checks,
+                    c.query_waves - before_c.query_waves);
+      if (!on) {
+        off_qps = qps;
+        off_fp = fp;
+      } else {
+        // The pruned path must be answer-identical to the unpruned one:
+        // fences only skip work the merge provably cannot use.
+        TOKRA_CHECK_EQ(fp, off_fp);
+      }
+      char fpbuf[32];
+      std::snprintf(fpbuf, sizeof(fpbuf), "%016llx",
+                    static_cast<unsigned long long>(fp));
+      Row({wl.name, on ? "on" : "off", U(static_cast<std::uint64_t>(total)),
+           D(total / qps * 1000.0), D(qps, 0), D(on ? qps / off_qps : 1.0),
+           D(static_cast<double>(c.shards_pruned - before_c.shards_pruned) /
+             total),
+           fpbuf});
+    }
+  }
+}
+
 void Run() {
   // Scaling is bounded by physical parallelism; on a single-core host the
   // residual speedup comes from smaller per-shard structures (lower lg n_i,
@@ -252,6 +372,7 @@ void Run() {
   BatchingTable(pts);
   RebalanceTable(pts);
   OverheadTable(pts);
+  PruningTable();
 }
 
 }  // namespace

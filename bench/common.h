@@ -68,11 +68,21 @@ struct JsonTable {
   std::vector<std::vector<std::string>> rows;
 };
 
+struct IoRow {
+  std::string phase;
+  em::IoStats io;
+  // Fence-pruning counters for the phase (zero when it ran unpruned or
+  // predates pruning) — see EngineQueryStats.
+  std::uint64_t shards_pruned = 0;
+  std::uint64_t fence_checks = 0;
+  std::uint64_t waves = 0;
+};
+
 struct JsonState {
   bool enabled = false;
   std::string name;
   std::vector<JsonTable> tables;
-  std::vector<std::pair<std::string, em::IoStats>> io_rows;
+  std::vector<IoRow> io_rows;
   // Per-phase latency distributions ("latency_us" table) and per-stage
   // breakdowns ("stage_breakdown_us" table), mirrored from obs histograms.
   std::vector<std::pair<std::string, obs::HistogramSnapshot>> lat_rows;
@@ -126,10 +136,12 @@ inline void WriteJson() {
     JsonTable io{"io_stats",
                  {"phase", "reads", "writes", "pool_hits", "pool_misses",
                   "evictions", "prefetched", "borrows", "wal_appends",
-                  "fsyncs", "total_ios"},
+                  "fsyncs", "total_ios", "shards_pruned", "fence_checks",
+                  "waves"},
                  {}};
-    for (const auto& [phase, s] : st.io_rows) {
-      io.rows.push_back({phase, std::to_string(s.reads),
+    for (const auto& row : st.io_rows) {
+      const em::IoStats& s = row.io;
+      io.rows.push_back({row.phase, std::to_string(s.reads),
                          std::to_string(s.writes), std::to_string(s.pool_hits),
                          std::to_string(s.pool_misses),
                          std::to_string(s.evictions),
@@ -137,7 +149,10 @@ inline void WriteJson() {
                          std::to_string(s.borrows),
                          std::to_string(s.wal_appends),
                          std::to_string(s.fsyncs),
-                         std::to_string(s.TotalIos())});
+                         std::to_string(s.TotalIos()),
+                         std::to_string(row.shards_pruned),
+                         std::to_string(row.fence_checks),
+                         std::to_string(row.waves)});
     }
     tables.push_back(std::move(io));
   }
@@ -241,13 +256,27 @@ inline void Row(const std::vector<std::string>& cells) {
 
 /// Records one phase's aggregate I/O counters. Echoed to stdout and written
 /// to BENCH_<name>.json as an "io_stats" table, so the perf trajectory
-/// tracks block transfers per phase, not just wall time.
-inline void RecordIoStats(const std::string& phase, const em::IoStats& io) {
-  std::printf("[io] %s: %s total=%llu\n", phase.c_str(),
+/// tracks block transfers per phase, not just wall time. The trailing
+/// arguments are the phase's fence-pruning totals (summed EngineQueryStats);
+/// phases that predate pruning or ran with it off just leave them zero.
+inline void RecordIoStats(const std::string& phase, const em::IoStats& io,
+                          std::uint64_t shards_pruned = 0,
+                          std::uint64_t fence_checks = 0,
+                          std::uint64_t waves = 0) {
+  std::printf("[io] %s: %s total=%llu", phase.c_str(),
               io.ToString().c_str(),  // now covers every counter
               static_cast<unsigned long long>(io.TotalIos()));
+  if (shards_pruned != 0 || fence_checks != 0 || waves != 0) {
+    std::printf(" pruned=%llu fence_checks=%llu waves=%llu",
+                static_cast<unsigned long long>(shards_pruned),
+                static_cast<unsigned long long>(fence_checks),
+                static_cast<unsigned long long>(waves));
+  }
+  std::printf("\n");
   detail::JsonState& st = detail::State();
-  if (st.enabled) st.io_rows.emplace_back(phase, io);
+  if (st.enabled) {
+    st.io_rows.push_back({phase, io, shards_pruned, fence_checks, waves});
+  }
 }
 
 /// Records one phase's latency distribution. Echoed to stdout and written to

@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "select/heap_view.h"
@@ -50,8 +52,12 @@ class ChainMergeView : public select::HeapView {
     return (*parts_)[ListOf(node)][PosOf(node)];
   }
 
- private:
+  /// NodeId codec — public so tests can exercise the width limits. Each
+  /// half gets 32 bits; a wider list/pos would silently alias another node,
+  /// so Pack refuses it in debug builds instead of truncating.
   static select::NodeId Pack(std::size_t list, std::size_t pos) {
+    TOKRA_DCHECK_LT(list, std::size_t{1} << 32);
+    TOKRA_DCHECK_LT(pos, std::size_t{1} << 32);
     return (static_cast<select::NodeId>(list) << 32) |
            static_cast<select::NodeId>(pos);
   }
@@ -62,6 +68,7 @@ class ChainMergeView : public select::HeapView {
     return static_cast<std::size_t>(id & 0xFFFFFFFFu);
   }
 
+ private:
   const std::vector<std::vector<Point>>* parts_;
 };
 
@@ -79,6 +86,51 @@ inline std::vector<Point> MergeTopK(
   std::sort(out.begin(), out.end(), ByScoreDesc{});
   return out;
 }
+
+/// Running lower bound on the final answer's k-th score, fed by shard
+/// results as they arrive mid-query. Once `full()`, any shard whose fence
+/// upper bound is <= `kth()` cannot place a point in the top k (the engine
+/// keeps scores globally distinct, so ties cannot displace a held result)
+/// and need not be dispatched at all.
+///
+/// A bounded min-heap of the k best scores seen so far: kth() is the heap
+/// minimum. k == 0 never fills (nothing to prune toward — every shard must
+/// run so the merge can prove emptiness is correct); a k larger than the
+/// total result count never fills either, which is exactly right: until k
+/// results exist, no shard is provably useless.
+class MergeFrontier {
+ public:
+  explicit MergeFrontier(std::uint64_t k) : k_(k) {}
+
+  /// Offers one result score. Keeps only the k best.
+  void Push(double score) {
+    if (k_ == 0) return;
+    if (best_.size() < k_) {
+      best_.push(score);
+    } else if (score > best_.top()) {
+      best_.pop();
+      best_.push(score);
+    }
+  }
+
+  void PushAll(const std::vector<Point>& points) {
+    for (const Point& p : points) Push(p.score);
+  }
+
+  /// True once k results are held — only then is kth() a valid prune bar.
+  bool full() const { return k_ > 0 && best_.size() >= k_; }
+
+  /// The k-th best score seen (heap minimum). Only meaningful when full().
+  double kth() const {
+    TOKRA_DCHECK(full());
+    return best_.top();
+  }
+
+ private:
+  std::uint64_t k_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      best_;
+};
 
 }  // namespace tokra::engine
 

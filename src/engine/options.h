@@ -14,12 +14,13 @@
 namespace tokra::engine {
 
 /// Superblock roots each shard checkpoint records: index meta, lower bound,
-/// shard count, topology generation. EngineOptions::Validate() requires a
+/// shard count, topology generation, fence chain head (kNullBlock when the
+/// shard checkpointed without a fence). EngineOptions::Validate() requires a
 /// block to fit the superblock header plus this many roots, so a validated
 /// engine can never fail a checkpoint on geometry at runtime. (The covered
 /// WAL LSN is not a root: the pager stamps it in its own superblock header
 /// word.)
-inline constexpr std::uint32_t kShardCheckpointRoots = 4;
+inline constexpr std::uint32_t kShardCheckpointRoots = 5;
 
 /// How much of the update stream survives a crash.
 enum class Durability {
@@ -64,6 +65,31 @@ struct TelemetryOptions {
   /// and the slow-query log work regardless; this only controls tracer
   /// traffic.
   bool trace_queries = true;
+};
+
+/// Sketch-guided shard pruning (see src/sketch/shard_fence.h and
+/// DESIGN.md §11). When enabled, every shard keeps a ShardFence; queries
+/// route with it (provably-empty ranges and Bloom-missed point lookups are
+/// never dispatched), dispatch the survivors in descending
+/// best-possible-weight waves, and stop dispatching once the merge
+/// frontier's k-th score beats every remaining shard's fence bound.
+struct PruningOptions {
+  /// Master switch. Off, fences are neither built nor persisted and every
+  /// query fans out to all overlapping shards (the pre-fence behaviour).
+  bool enabled = true;
+
+  /// Max-weight sub-ranges per shard fence.
+  std::uint32_t fence_slots = 64;
+
+  /// Bloom bits per key at fence (re)build time; 0 disables the point-query
+  /// filter while keeping range fences.
+  std::uint32_t bloom_bits_per_key = 8;
+
+  /// Shards dispatched per wave on the parallel path: after each wave the
+  /// router re-checks the frontier before paying for the next. 0 derives
+  /// `threads` (full first wave, no idle workers); serial queries always
+  /// use wave size 1.
+  std::uint32_t dispatch_wave = 0;
 };
 
 /// Parameters of a ShardedTopkEngine.
@@ -155,6 +181,10 @@ struct EngineOptions {
     return o;
   }
 
+  /// Fence-based query pruning (on by default; results are identical with
+  /// it off, only the fan-out cost changes).
+  PruningOptions pruning;
+
   /// Forwarded to every shard's TopkIndex.
   core::TopkIndex::Options index;
 
@@ -177,6 +207,7 @@ struct EngineOptions {
     TOKRA_CHECK(!WalEnabled() || !storage_dir.empty());
     TOKRA_CHECK(em.block_words >=
                 em::kSuperblockHeaderWords + kShardCheckpointRoots);
+    TOKRA_CHECK(pruning.fence_slots >= 1);
     ShardEm(0).Validate();
   }
 };

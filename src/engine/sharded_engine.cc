@@ -57,6 +57,93 @@ Status RequireNoWalTail(const EngineOptions& options, std::uint32_t shard,
   }
   return Status::Ok();
 }
+
+// ---- Fence persistence (DESIGN.md §11) -----------------------------------
+// A serialized ShardFence is stored in its shard's own pager as a chain of
+// blocks: word 0 of every block is the next block id (kNullBlock ends the
+// chain), word 1 of the HEAD block is the total payload length, and the
+// remaining words carry payload. The head id is checkpoint root 4; a shard
+// checkpointed without a fence records kNullBlock there. Chain blocks ride
+// the pager's ordinary flush/checkpoint machinery, so the fence commits or
+// vanishes atomically with the checkpoint that references it.
+
+em::BlockId WriteFenceChain(em::Pager* pager,
+                            std::span<const em::word_t> payload) {
+  const std::size_t bw = pager->B();
+  const em::BlockId head = pager->Allocate();
+  em::BlockId cur = head;
+  std::size_t at = 0;
+  bool first = true;
+  for (;;) {
+    em::PageRef page = pager->Create(cur);
+    const std::size_t data0 = first ? 2 : 1;
+    if (first) page.Set(1, payload.size());
+    const std::size_t take = std::min(payload.size() - at, bw - data0);
+    for (std::size_t i = 0; i < take; ++i) {
+      page.Set(data0 + i, payload[at + i]);
+    }
+    at += take;
+    if (at == payload.size()) {
+      page.Set(0, em::kNullBlock);
+      return head;
+    }
+    const em::BlockId next = pager->Allocate();
+    page.Set(0, next);
+    cur = next;
+    first = false;
+  }
+}
+
+StatusOr<std::vector<em::word_t>> ReadFenceChain(em::Pager* pager,
+                                                 em::BlockId head) {
+  const std::size_t bw = pager->B();
+  std::vector<em::word_t> payload;
+  em::BlockId cur = head;
+  bool first = true;
+  std::size_t total = 0, visited = 0;
+  while (cur != em::kNullBlock) {
+    // A corrupt root could name a block whose word 0 loops; the payload
+    // bound caps the walk.
+    if (++visited > (std::size_t{1} << 22)) {
+      return Status::Internal("fence chain does not terminate");
+    }
+    em::PageRef page = pager->Fetch(cur);
+    const std::size_t data0 = first ? 2 : 1;
+    if (first) {
+      total = page.Get(1);
+      if (total > (std::size_t{1} << 32)) {
+        return Status::Internal("fence chain length implausible");
+      }
+      payload.reserve(total);
+    }
+    const std::size_t take = std::min(total - payload.size(), bw - data0);
+    for (std::size_t i = 0; i < take; ++i) {
+      payload.push_back(page.Get(data0 + i));
+    }
+    cur = page.Get(0);
+    first = false;
+    if (payload.size() == total && cur != em::kNullBlock) {
+      return Status::Internal("fence chain longer than its payload");
+    }
+  }
+  if (payload.size() != total) {
+    return Status::Internal("fence chain truncated");
+  }
+  return payload;
+}
+
+void FreeFenceChain(em::Pager* pager, em::BlockId head) {
+  em::BlockId cur = head;
+  while (cur != em::kNullBlock) {
+    em::BlockId next;
+    {
+      em::PageRef page = pager->Fetch(cur);
+      next = page.Get(0);
+    }
+    pager->Free(cur);
+    cur = next;
+  }
+}
 }  // namespace
 
 std::vector<em::word_t> EncodeWalOps(std::span<const WalOp> ops) {
@@ -125,6 +212,9 @@ void ShardedTopkEngine::InitTelemetry() {
   mset_.rebalance_us = r.GetHistogram("tokra_engine_rebalance_us");
   mset_.pool_task_wait_us = r.GetHistogram("tokra_pool_task_wait_us");
   mset_.pool_task_run_us = r.GetHistogram("tokra_pool_task_run_us");
+  mset_.shards_pruned_total = r.GetCounter("tokra_engine_shards_pruned_total");
+  mset_.fence_checks_total = r.GetCounter("tokra_engine_fence_checks_total");
+  mset_.query_waves_total = r.GetCounter("tokra_engine_query_waves_total");
   mset_.em.eviction_stall_us = r.GetHistogram("tokra_em_eviction_stall_us");
   mset_.em.wal_append_us = r.GetHistogram("tokra_wal_append_us");
   mset_.em.wal_fsync_us = r.GetHistogram("tokra_wal_fsync_us");
@@ -281,6 +371,15 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
     }
     auto shard = std::make_unique<Shard>(em);
     shard->approx_size.store(chunks[i].size(), std::memory_order_relaxed);
+    if (options_.pruning.enabled) {
+      // Fresh fence per (re)build: rebuilds are where stale slot maxima and
+      // grown-loose key bounds are tightened back to exact.
+      sketch::ShardFenceOptions fo;
+      fo.fence_slots = options_.pruning.fence_slots;
+      fo.bloom_bits_per_key = options_.pruning.bloom_bits_per_key;
+      shard->fence = sketch::ShardFence::Build(chunks[i], fo);
+      shard->has_fence = true;
+    }
     auto idx = core::TopkIndex::Build(shard->pager.get(),
                                       std::move(chunks[i]), options_.index);
     if (!idx.ok()) {
@@ -308,8 +407,13 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
         TOKRA_CHECK(live_wal != nullptr);
         fresh[i]->pager->OverrideWalCheckpointLsn(live_wal->head_lsn());
       }
+      if (fresh[i]->has_fence) {
+        fresh[i]->fence_root =
+            WriteFenceChain(fresh[i]->pager.get(), fresh[i]->fence.Serialize());
+      }
       const std::uint64_t extra[kShardCheckpointRoots - 1] = {
-          std::bit_cast<std::uint64_t>(bounds[i]), s, generation_};
+          std::bit_cast<std::uint64_t>(bounds[i]), s, generation_,
+          fresh[i]->fence_root};
       Status st = fresh[i]->index->Checkpoint(extra);
       if (!st.ok()) {
         discard_side_files();
@@ -404,6 +508,7 @@ Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p,
   }
   Status st = sh.index->Insert(p);
   if (st.ok()) {
+    FenceApply(sh, /*insert=*/true, p);
     sh.approx_size.fetch_add(1, std::memory_order_relaxed);
     sh.dirty.store(true, std::memory_order_relaxed);
     n_inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -448,6 +553,7 @@ Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p,
       by_x_.erase(p.x);
       scores_.erase(p.score);
     }
+    FenceApply(sh, /*insert=*/false, p);
     sh.approx_size.fetch_sub(1, std::memory_order_relaxed);
     sh.dirty.store(true, std::memory_order_relaxed);
     n_deletes_.fetch_add(1, std::memory_order_relaxed);
@@ -461,6 +567,17 @@ Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p,
     }
   }
   return st;
+}
+
+void ShardedTopkEngine::FenceApply(Shard& sh, bool insert,
+                                   const Point& p) const {
+  if (!sh.has_fence) return;
+  std::lock_guard<std::mutex> fg(sh.fence_mu);
+  if (insert) {
+    sh.fence.Insert(p);
+  } else {
+    sh.fence.Delete(p);
+  }
 }
 
 void ShardedTopkEngine::LogShardOps(Shard& sh, std::span<const WalOp> ops) {
@@ -588,13 +705,84 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
     run_one(j, sh.pager.get(), sh.index.get());
   };
 
-  if (parallel && q > 1) {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(q);
-    for (std::size_t j = 0; j < q; ++j) tasks.emplace_back([&, j] { run_shard(j); });
-    pool_.RunAll(std::move(tasks));
-  } else {
-    for (std::size_t j = 0; j < q; ++j) run_shard(j);
+  // ---- Fence routing (DESIGN.md §11) ----
+  // Consult each overlapping shard's fence under fence_mu only (never the
+  // shard mutex, which in-flight probes hold for their whole duration):
+  // provably-empty ranges and Bloom-missed point lookups are dropped here,
+  // every survivor gets its best-possible-score upper bound.
+  struct Cand {
+    std::size_t j;
+    double bound;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(q);
+  std::uint32_t fence_checks = 0, pruned = 0;
+  const bool prune = options_.pruning.enabled;
+  for (std::size_t j = 0; j < q; ++j) {
+    const Shard& sh = *shards_[s1 + j];
+    double bound = kInf;
+    if (prune) {
+      std::lock_guard<std::mutex> fg(sh.fence_mu);
+      if (sh.has_fence) {
+        ++fence_checks;
+        if (x1 == x2 && !sh.fence.MightContain(x1)) {
+          ++pruned;
+          continue;
+        }
+        const sketch::FenceBound fb = sh.fence.RangeBound(x1, x2);
+        if (!fb.maybe_nonempty) {
+          ++pruned;
+          continue;
+        }
+        bound = fb.best_score;
+      }
+    }
+    cands.push_back({j, bound});
+  }
+  // Dispatch in descending best-possible-score waves. After each wave the
+  // merge frontier (the k best scores seen so far) is consulted: once it is
+  // full and the next candidate's fence bound cannot beat its k-th score,
+  // no remaining candidate can either (they are sorted), so the fan-out
+  // stops early. Sound because bounds are upper bounds and the registry
+  // keeps scores globally distinct — a pruned shard's in-range scores are
+  // strictly below the k already-held results (see DESIGN.md §11).
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.bound > b.bound; });
+  std::size_t wave = cands.size();
+  if (prune) {
+    // Serial queries re-check after every shard; parallel ones dispatch a
+    // pool-filling wave at a time so early termination never idles workers.
+    wave = !parallel ? 1
+                     : (options_.pruning.dispatch_wave != 0
+                            ? options_.pruning.dispatch_wave
+                            : options_.threads);
+    wave = std::max<std::size_t>(wave, 1);
+  }
+  MergeFrontier frontier(k);
+  std::uint32_t waves = 0, dispatched = 0;
+  std::size_t next = 0;
+  while (next < cands.size()) {
+    if (prune && frontier.full() && cands[next].bound <= frontier.kth()) {
+      pruned += static_cast<std::uint32_t>(cands.size() - next);
+      break;
+    }
+    const std::size_t end = std::min(cands.size(), next + wave);
+    ++waves;
+    if (parallel && end - next > 1) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(end - next);
+      for (std::size_t i = next; i < end; ++i) {
+        tasks.emplace_back([&, i] { run_shard(cands[i].j); });
+      }
+      pool_.RunAll(std::move(tasks));
+    } else {
+      for (std::size_t i = next; i < end; ++i) run_shard(cands[i].j);
+    }
+    for (std::size_t i = next; i < end; ++i) {
+      frontier.PushAll(parts[cands[i].j]);
+    }
+    dispatched += static_cast<std::uint32_t>(end - next);
+    next = end;
   }
   const std::uint64_t t_fanout = timed ? obs::NowUs() : 0;
 
@@ -606,12 +794,30 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
   std::vector<Point> merged;
   {
     obs::ScopedSpan merge_span(tr, "merge");
+    // Skipped shards left their `parts` slot empty, so the tournament merge
+    // over all q lists is byte-identical to the unpruned answer.
     merged = MergeTopK(parts, k, &sstats);
   }
   const std::uint64_t t_merge = timed ? obs::NowUs() : 0;
 
+  n_shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  n_fence_checks_.fetch_add(fence_checks, std::memory_order_relaxed);
+  n_query_waves_.fetch_add(waves, std::memory_order_relaxed);
+  if (mset_.shards_pruned_total != nullptr && pruned > 0) {
+    mset_.shards_pruned_total->Add(pruned);
+  }
+  if (mset_.fence_checks_total != nullptr && fence_checks > 0) {
+    mset_.fence_checks_total->Add(fence_checks);
+  }
+  if (mset_.query_waves_total != nullptr && waves > 0) {
+    mset_.query_waves_total->Add(waves);
+  }
+
   if (stats != nullptr) {
-    stats->shards_queried = static_cast<std::uint32_t>(q);
+    stats->shards_queried = dispatched;
+    stats->shards_pruned = pruned;
+    stats->fence_checks = fence_checks;
+    stats->waves = waves;
     stats->shard_candidates = 0;
     for (const auto& part : parts) stats->shard_candidates += part.size();
     stats->merge_nodes_visited = sstats.nodes_visited;
@@ -763,11 +969,34 @@ Status ShardedTopkEngine::Checkpoint(
     Shard& sh = *shards_[i];
     if (options_.skip_clean_shard_checkpoints &&
         !sh.dirty.load(std::memory_order_relaxed)) {
+      // A clean shard's fence is also unchanged, so its old fence root (or
+      // kNullBlock) is still exactly right.
       return Status::Ok();
+    }
+    // Root 4 is the fence chain head. Rewrite it fresh each checkpoint (the
+    // fence mutates with every update); the old chain's blocks are freed
+    // first so a long-lived shard doesn't leak a chain per checkpoint. A
+    // crash inside this window is safe: the superseded superblock still
+    // references the old chain's blocks, and the pager's checkpoint
+    // machinery keeps a referenced block's storage live until the NEXT
+    // completed checkpoint stops referencing it.
+    if (sh.has_fence || sh.fence_root != em::kNullBlock) {
+      if (sh.fence_root != em::kNullBlock) {
+        FreeFenceChain(sh.pager.get(), sh.fence_root);
+        sh.fence_root = em::kNullBlock;
+      }
+      if (sh.has_fence) {
+        std::vector<em::word_t> blob;
+        {
+          std::lock_guard<std::mutex> fg(sh.fence_mu);
+          blob = sh.fence.Serialize();
+        }
+        sh.fence_root = WriteFenceChain(sh.pager.get(), blob);
+      }
     }
     const std::uint64_t extra[kShardCheckpointRoots - 1] = {
         std::bit_cast<std::uint64_t>(lower_bounds_[i]),
-        options_.num_shards, generation_};
+        options_.num_shards, generation_, sh.fence_root};
     Status st = sh.index->Checkpoint(extra);
     if (st.ok()) sh.dirty.store(false, std::memory_order_relaxed);
     return st;
@@ -933,6 +1162,22 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
     shard->pager = std::move(pagers[i]);
     TOKRA_ASSIGN_OR_RETURN(shard->index,
                            core::TopkIndex::Open(shard->pager.get()));
+    // Reconstruct the pruning fence from checkpoint root 4 BEFORE the WAL
+    // replay below, so the replayed tail updates it exactly like the live
+    // engine's update path did. A shard checkpointed with pruning off
+    // recorded kNullBlock; the registry scan further down rebuilds a fence
+    // from scratch in that case.
+    if (options.pruning.enabled) {
+      const em::BlockId froot = shard->pager->roots()[4];
+      if (froot != em::kNullBlock) {
+        TOKRA_ASSIGN_OR_RETURN(auto blob,
+                               ReadFenceChain(shard->pager.get(), froot));
+        TOKRA_ASSIGN_OR_RETURN(shard->fence,
+                               sketch::ShardFence::Deserialize(blob));
+        shard->has_fence = true;
+        shard->fence_root = froot;
+      }
+    }
     // Redo: replay the acknowledged update batches past the stamped
     // checkpoint LSN, in LSN order, through the normal index update path.
     // Pre-image records are skipped here (the pager already consumed them)
@@ -965,6 +1210,15 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
                 "WAL replay failed on shard " + std::to_string(i) + ": " +
                 st.ToString());
           }
+          // Keep the fence in step with the replayed tail (no fence_mu:
+          // the engine is not published yet).
+          if (shard->has_fence) {
+            if (op.insert) {
+              shard->fence.Insert(op.p);
+            } else {
+              shard->fence.Delete(op.p);
+            }
+          }
         }
         replayed = true;
         if (report != nullptr) {
@@ -992,6 +1246,18 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
           return Status::Internal("recovered shards overlap");
         }
       }
+      // No persisted fence (checkpoint predates pruning, or it was off):
+      // rebuild one from the scan we already paid for.
+      if (options.pruning.enabled && !shard->has_fence) {
+        sketch::ShardFenceOptions fo;
+        fo.fence_slots = options.pruning.fence_slots;
+        fo.bloom_bits_per_key = options.pruning.bloom_bits_per_key;
+        shard->fence = sketch::ShardFence::Build(*r, fo);
+        shard->has_fence = true;
+      }
+    } else if (options.pruning.enabled && !shard->has_fence) {
+      shard->fence = sketch::ShardFence::Build({}, {});
+      shard->has_fence = true;
     }
     shards.push_back(std::move(shard));
   }
@@ -1072,6 +1338,17 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
         // first — the same rule as the interrupted rebalance above.
         TOKRA_RETURN_IF_ERROR(RequireNoWalTail(
             options, i, rep->pager->wal_checkpoint_lsn(), "snapshot"));
+        // Pruning for read-only serving comes straight from checkpoint root
+        // 4; a snapshot never scans, so a fence-less checkpoint simply
+        // serves this shard unpruned (has_fence stays false).
+        if (options.pruning.enabled && roots[4] != em::kNullBlock) {
+          TOKRA_ASSIGN_OR_RETURN(
+              auto blob, ReadFenceChain(rep->pager.get(), roots[4]));
+          TOKRA_ASSIGN_OR_RETURN(shard->fence,
+                                 sketch::ShardFence::Deserialize(blob));
+          shard->has_fence = true;
+          shard->fence_root = roots[4];
+        }
       }
       TOKRA_ASSIGN_OR_RETURN(rep->index,
                              core::TopkIndex::Open(rep->pager.get()));
@@ -1219,6 +1496,9 @@ EngineCounters ShardedTopkEngine::counters() const {
   c.rejected = n_rejected_.load(std::memory_order_relaxed);
   c.batches = n_batches_.load(std::memory_order_relaxed);
   c.rebalances = n_rebalances_.load(std::memory_order_relaxed);
+  c.shards_pruned = n_shards_pruned_.load(std::memory_order_relaxed);
+  c.fence_checks = n_fence_checks_.load(std::memory_order_relaxed);
+  c.query_waves = n_query_waves_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -1238,10 +1518,18 @@ void ShardedTopkEngine::CheckInvariants() const {
     std::uint64_t n = index->size();
     TOKRA_CHECK_EQ(n, sh.approx_size.load(std::memory_order_relaxed));
     total += n;
-    if (n == 0) continue;
+    if (n == 0) {
+      // Fence soundness for the empty shard: it must not claim residents.
+      if (sh.has_fence) sh.fence.CheckAgainst({});
+      continue;
+    }
     auto r = index->TopK(-kInf, kInf, n);
     TOKRA_CHECK(r.ok());
     TOKRA_CHECK_EQ(r->size(), n);
+    // Fence soundness: exact count, every live point inside the fence's
+    // bounds and never excludable by RangeBound/MightContain — the
+    // invariant that makes pruning answer-preserving (DESIGN.md §11).
+    if (sh.has_fence) sh.fence.CheckAgainst(*r);
     for (const Point& p : *r) {
       TOKRA_CHECK_EQ(ShardFor(p.x), i);  // point lives in its owning shard
       if (snapshot_) continue;  // no registry: nothing can be inserted

@@ -49,6 +49,7 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "sketch/shard_fence.h"
 #include "util/point.h"
 #include "util/status.h"
 
@@ -76,10 +77,14 @@ struct RecoveryReport {
 
 /// Per-query observability, aggregated across the queried shards.
 struct EngineQueryStats {
-  std::uint32_t shards_queried = 0;
+  std::uint32_t shards_queried = 0;      ///< shards actually probed
   std::uint64_t shard_candidates = 0;    ///< per-shard hits fed to the merge
   std::uint64_t merge_nodes_visited = 0; ///< tournament-heap visits (<= k+q)
-  em::IoStats io;                        ///< summed I/O delta of the query
+  // Fence-guided pruning (all zero with pruning disabled; DESIGN.md §11).
+  std::uint32_t shards_pruned = 0;  ///< overlapping shards proven skippable
+  std::uint32_t fence_checks = 0;   ///< fence consultations for this query
+  std::uint32_t waves = 0;          ///< dispatch waves the fan-out took
+  em::IoStats io;                   ///< summed I/O delta of the query
 };
 
 /// Cached pointers into the engine's MetricsRegistry — one registry lookup
@@ -107,6 +112,10 @@ struct EngineMetricSet {
   // Thread pool.
   obs::Histogram* pool_task_wait_us = nullptr;
   obs::Histogram* pool_task_run_us = nullptr;
+  // Fence-guided pruning (DESIGN.md §11).
+  obs::Counter* shards_pruned_total = nullptr;
+  obs::Counter* fence_checks_total = nullptr;
+  obs::Counter* query_waves_total = nullptr;
   // The em layer's sinks (eviction stall, WAL append/fsync, pager
   // checkpoint), pointed into the same registry.
   em::EmMetrics em;
@@ -120,6 +129,9 @@ struct EngineCounters {
   std::uint64_t rejected = 0;   ///< duplicate inserts + missing deletes
   std::uint64_t batches = 0;
   std::uint64_t rebalances = 0;
+  std::uint64_t shards_pruned = 0;  ///< fence-skipped shard probes (lifetime)
+  std::uint64_t fence_checks = 0;   ///< fence consultations (lifetime)
+  std::uint64_t query_waves = 0;    ///< dispatch waves across all queries
 };
 
 class ShardedTopkEngine {
@@ -282,6 +294,17 @@ class ShardedTopkEngine {
     // free replica instead (see TopKLocked).
     std::vector<std::unique_ptr<Replica>> replicas;
     mutable std::atomic<std::uint32_t> next_replica{0};
+    // Pruning sketch (DESIGN.md §11). fence_mu lets the router read bounds
+    // without taking the shard mutex (which queries in flight hold for the
+    // whole probe); updates touch the fence under BOTH mu and fence_mu, so
+    // a router holding only fence_mu still sees a sound fence. has_fence
+    // false => the router must dispatch this shard unconditionally.
+    mutable std::mutex fence_mu;
+    sketch::ShardFence fence;
+    bool has_fence = false;
+    // Pager block chain holding the fence blob of the LAST checkpoint
+    // (kNullBlock before the first); freed and rewritten by the next one.
+    em::BlockId fence_root = em::kNullBlock;
   };
 
   explicit ShardedTopkEngine(EngineOptions options);
@@ -305,6 +328,11 @@ class ShardedTopkEngine {
   /// Appends `ops` as one logical record to sh's log and runs the group-
   /// commit barrier. Caller holds sh.mu. No-op when empty or WAL-less.
   void LogShardOps(Shard& sh, std::span<const WalOp> ops);
+
+  /// Folds one ACCEPTED update into sh's fence (no-op when the shard has no
+  /// fence). Caller holds sh.mu; takes sh.fence_mu internally so routers
+  /// reading bounds under fence_mu alone always see a sound fence.
+  void FenceApply(Shard& sh, bool insert, const Point& p) const;
 
   /// Non-OK when a WAL mode must stop accepting updates because a failed
   /// rebalance commit left the disk ahead of the in-memory topology (see
@@ -367,6 +395,8 @@ class ShardedTopkEngine {
 
   mutable std::atomic<std::uint64_t> n_inserts_{0}, n_deletes_{0},
       n_queries_{0}, n_rejected_{0}, n_batches_{0}, n_rebalances_{0};
+  mutable std::atomic<std::uint64_t> n_shards_pruned_{0}, n_fence_checks_{0},
+      n_query_waves_{0};
 };
 
 }  // namespace tokra::engine

@@ -1,0 +1,208 @@
+#include "sketch/shard_fence.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tokra::sketch {
+
+namespace {
+
+constexpr std::uint64_t kFenceMagic = 0x746f6b72'66656e63ULL;  // "tokrfenc"
+constexpr std::uint64_t kFenceVersion = 1;
+
+inline std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t KeyHash(double x) {
+  return SplitMix64(std::bit_cast<std::uint64_t>(x));
+}
+
+inline std::uint64_t DoubleBits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+inline double BitsDouble(std::uint64_t w) { return std::bit_cast<double>(w); }
+
+}  // namespace
+
+ShardFence ShardFence::Build(std::span<const Point> points,
+                             const ShardFenceOptions& options) {
+  ShardFence f;
+  f.slots_.assign(std::max<std::uint32_t>(options.fence_slots, 1), Slot{});
+  if (!points.empty()) {
+    double lo = points.front().x, hi = points.front().x;
+    for (const Point& p : points) {
+      lo = std::min(lo, p.x);
+      hi = std::max(hi, p.x);
+    }
+    f.anchored_ = hi > lo;
+    f.lo_ = lo;
+    f.hi_ = hi;
+  }
+  if (options.bloom_bits_per_key > 0 && !points.empty()) {
+    // Round the filter up to whole blocks; at 8 bits/key the false-positive
+    // rate is a few percent, plenty for a routing hint.
+    std::size_t bits = points.size() * std::size_t{options.bloom_bits_per_key};
+    std::size_t blocks = (bits + kBloomBlockWords * 64 - 1) /
+                         (kBloomBlockWords * 64);
+    f.bloom_.assign(std::max<std::size_t>(blocks, 1) * kBloomBlockWords, 0);
+  }
+  for (const Point& p : points) f.Insert(p);
+  return f;
+}
+
+std::size_t ShardFence::SlotFor(double x) const {
+  if (!anchored_ || slots_.size() <= 1) return 0;
+  if (x <= lo_) return 0;
+  if (x >= hi_) return slots_.size() - 1;
+  double t = (x - lo_) / (hi_ - lo_);
+  auto s = static_cast<std::size_t>(t * static_cast<double>(slots_.size()));
+  return std::min(s, slots_.size() - 1);
+}
+
+void ShardFence::Insert(const Point& p) {
+  ++count_;
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  if (!slots_.empty()) {
+    Slot& s = slots_[SlotFor(p.x)];
+    ++s.count;
+    s.max_score = std::max(s.max_score, p.score);
+  }
+  BloomAdd(p.x);
+}
+
+void ShardFence::Delete(const Point& p) {
+  TOKRA_DCHECK_GT(count_, 0u);
+  --count_;
+  // min_x_/max_x_ stay: loose outer bounds are still sound. The slot count
+  // is exact because SlotFor is a fixed function of x; the slot max goes
+  // stale (still an upper bound) until the next rebuild tightens it.
+  if (!slots_.empty()) {
+    Slot& s = slots_[SlotFor(p.x)];
+    TOKRA_DCHECK_GT(s.count, 0u);
+    --s.count;
+  }
+  // Bloom bits are never cleared — false positives only, never negatives.
+}
+
+FenceBound ShardFence::RangeBound(double x1, double x2) const {
+  if (count_ == 0 || x2 < min_x_ || x1 > max_x_) return {false, 0.0};
+  if (slots_.empty()) return {};  // slot-less fence: claim nothing
+  // Clamp the query into the anchored span; SlotFor is monotone, so the
+  // residents of [x1, x2] all live in slots [SlotFor(x1), SlotFor(x2)].
+  std::size_t s1 = SlotFor(x1), s2 = SlotFor(x2);
+  bool nonempty = false;
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t s = s1; s <= s2; ++s) {
+    if (slots_[s].count == 0) continue;
+    nonempty = true;
+    best = std::max(best, slots_[s].max_score);
+  }
+  if (!nonempty) return {false, 0.0};
+  return {true, best};
+}
+
+bool ShardFence::MightContain(double x) const {
+  if (count_ == 0 || x < min_x_ || x > max_x_) return false;
+  return BloomTest(x);
+}
+
+void ShardFence::BloomAdd(double x) {
+  if (bloom_.empty()) return;
+  std::uint64_t h = KeyHash(x);
+  std::size_t block =
+      (h % (bloom_.size() / kBloomBlockWords)) * kBloomBlockWords;
+  for (std::uint32_t i = 0; i < kBloomProbes; ++i) {
+    std::uint64_t bit = (h >> (8 + 9 * i)) % (kBloomBlockWords * 64);
+    bloom_[block + bit / 64] |= std::uint64_t{1} << (bit % 64);
+  }
+}
+
+bool ShardFence::BloomTest(double x) const {
+  if (bloom_.empty()) return true;  // filter disabled: cannot exclude
+  std::uint64_t h = KeyHash(x);
+  std::size_t block =
+      (h % (bloom_.size() / kBloomBlockWords)) * kBloomBlockWords;
+  for (std::uint32_t i = 0; i < kBloomProbes; ++i) {
+    std::uint64_t bit = (h >> (8 + 9 * i)) % (kBloomBlockWords * 64);
+    if ((bloom_[block + bit / 64] & (std::uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<em::word_t> ShardFence::Serialize() const {
+  std::vector<em::word_t> w;
+  w.reserve(10 + 2 * slots_.size() + bloom_.size());
+  w.push_back(kFenceMagic);
+  w.push_back(kFenceVersion);
+  w.push_back(count_);
+  w.push_back(DoubleBits(min_x_));
+  w.push_back(DoubleBits(max_x_));
+  w.push_back(anchored_ ? 1 : 0);
+  w.push_back(DoubleBits(lo_));
+  w.push_back(DoubleBits(hi_));
+  w.push_back(slots_.size());
+  w.push_back(bloom_.size());
+  for (const Slot& s : slots_) {
+    w.push_back(s.count);
+    w.push_back(DoubleBits(s.max_score));
+  }
+  w.insert(w.end(), bloom_.begin(), bloom_.end());
+  return w;
+}
+
+StatusOr<ShardFence> ShardFence::Deserialize(
+    std::span<const em::word_t> words) {
+  if (words.size() < 10) {
+    return Status::Internal("fence blob truncated header");
+  }
+  if (words[0] != kFenceMagic) return Status::Internal("fence magic");
+  if (words[1] != kFenceVersion) return Status::Internal("fence version");
+  std::uint64_t nslots = words[8], nbloom = words[9];
+  if (nslots > (std::uint64_t{1} << 20) || nbloom > (std::uint64_t{1} << 32)) {
+    return Status::Internal("fence sizes implausible");
+  }
+  if (words.size() < 10 + 2 * nslots + nbloom) {
+    return Status::Internal("fence blob truncated body");
+  }
+  if (nbloom % kBloomBlockWords != 0) {
+    return Status::Internal("fence bloom not block-aligned");
+  }
+  ShardFence f;
+  f.count_ = words[2];
+  f.min_x_ = BitsDouble(words[3]);
+  f.max_x_ = BitsDouble(words[4]);
+  f.anchored_ = words[5] != 0;
+  f.lo_ = BitsDouble(words[6]);
+  f.hi_ = BitsDouble(words[7]);
+  f.slots_.resize(nslots);
+  std::size_t at = 10;
+  for (std::uint64_t s = 0; s < nslots; ++s) {
+    f.slots_[s].count = words[at++];
+    f.slots_[s].max_score = BitsDouble(words[at++]);
+  }
+  f.bloom_.assign(words.begin() + at, words.begin() + at + nbloom);
+  return f;
+}
+
+void ShardFence::CheckAgainst(std::span<const Point> points) const {
+  TOKRA_CHECK_EQ(count_, points.size());
+  for (const Point& p : points) {
+    TOKRA_CHECK(p.x >= min_x_ && p.x <= max_x_);
+    FenceBound b = RangeBound(p.x, p.x);
+    TOKRA_CHECK(b.maybe_nonempty);
+    TOKRA_CHECK_GE(b.best_score, p.score);
+    TOKRA_CHECK(MightContain(p.x));
+  }
+}
+
+}  // namespace tokra::sketch

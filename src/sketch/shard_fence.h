@@ -1,0 +1,129 @@
+// ShardFence: the per-shard pruning sketch of the engine's query router.
+//
+// A query fanned out over S shards pays the paper's O(lg n_i + k/B) bound
+// once per overlapping shard even when most shards cannot contribute to the
+// global top-k. The fence is a tiny, conservatively-maintained summary that
+// lets the router prove "this shard cannot beat the merge frontier's current
+// k-th score" (skip it) or "this key range holds no points of this shard at
+// all" (skip it) without touching the shard's index:
+//
+//   * key-range min/max of the held points (outer bounds: insert tightens,
+//     delete leaves them — still sound);
+//   * a fixed-width max-weight fence array: the shard's key span at build
+//     time is cut into `fence_slots` sub-ranges, each tracking an exact
+//     point count and an upper bound on the max score of its residents
+//     (insert raises it; delete keeps it — an upper bound until the next
+//     rebuild tightens it);
+//   * a blocked Bloom filter over keys for point-ish (x1 == x2) lookups —
+//     one cache line per probe, no false negatives, deletes leave bits set.
+//
+// Everything is an over-approximation in the safe direction: the fence may
+// fail to prune (stale max, clamped edge slots, Bloom false positive) but
+// can never prune a shard that holds a top-k result — RangeBound() returns
+// an upper bound on the best in-range score, and `maybe_nonempty == false`
+// only when the slot counts prove the range empty. The slot mapping is a
+// fixed monotone function of x, so insert/delete keep counts exact.
+//
+// The engine serializes a fence into its shard's pager blocks at checkpoint
+// (root 4 of the shard superblock) and reconstructs it on Recover() /
+// OpenSnapshot(); see DESIGN.md §11.
+
+#ifndef TOKRA_SKETCH_SHARD_FENCE_H_
+#define TOKRA_SKETCH_SHARD_FENCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "em/options.h"
+#include "util/point.h"
+#include "util/status.h"
+
+namespace tokra::sketch {
+
+struct ShardFenceOptions {
+  /// Max-weight sub-ranges per shard. More slots = tighter bounds, bigger
+  /// serialized fence; 64 slots cost ~1KiB per shard.
+  std::uint32_t fence_slots = 64;
+  /// Bloom bits per key at build time (0 disables the filter). The filter
+  /// size is fixed at build; later inserts keep adding bits, so it only
+  /// loses precision, never correctness.
+  std::uint32_t bloom_bits_per_key = 8;
+};
+
+/// Verdict of RangeBound: when `maybe_nonempty` is false the fence PROVES
+/// the shard holds no point in the range; otherwise `best_score` is an upper
+/// bound on the best score the shard could contribute there.
+struct FenceBound {
+  bool maybe_nonempty = true;
+  double best_score = std::numeric_limits<double>::infinity();
+};
+
+class ShardFence {
+ public:
+  /// A fence with no slots: RangeBound claims nothing (never prunes).
+  ShardFence() = default;
+
+  /// Builds the fence over the shard's current points. The slot geometry is
+  /// anchored to the points' key span and stays fixed until the next Build
+  /// (later inserts outside the span clamp into the edge slots).
+  static ShardFence Build(std::span<const Point> points,
+                          const ShardFenceOptions& options);
+
+  /// Maintains the fence for one accepted update. O(1); Insert keeps every
+  /// bound exact-or-tight, Delete leaves score/key bounds loose but sound.
+  void Insert(const Point& p);
+  void Delete(const Point& p);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Conservative verdict for the key range [x1, x2] (see FenceBound).
+  FenceBound RangeBound(double x1, double x2) const;
+
+  /// False only when NO held point has key x (point-query pruning). May
+  /// return true for absent keys (Bloom false positive / deleted key).
+  bool MightContain(double x) const;
+
+  /// Serialization to raw words — the engine stores these in a pager block
+  /// chain and records the head as a checkpoint root.
+  std::vector<em::word_t> Serialize() const;
+  static StatusOr<ShardFence> Deserialize(std::span<const em::word_t> words);
+
+  /// Validates soundness against the live point set: exact count, every
+  /// point inside the key bounds, RangeBound/MightContain never exclude a
+  /// held point. Test/CheckInvariants helper; O(n * fence_slots) CPU.
+  void CheckAgainst(std::span<const Point> points) const;
+
+ private:
+  struct Slot {
+    std::uint64_t count = 0;
+    double max_score = -std::numeric_limits<double>::infinity();
+  };
+
+  /// Monotone fixed mapping x -> slot (clamped at the anchored edges).
+  std::size_t SlotFor(double x) const;
+
+  void BloomAdd(double x);
+  bool BloomTest(double x) const;
+
+  std::uint64_t count_ = 0;
+  // Outer key bounds of the held points (grow-only between rebuilds).
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  // Slot geometry, fixed at Build. Unanchored (built empty) maps every key
+  // to slot 0 — loose but monotone, so counts stay exact.
+  bool anchored_ = false;
+  double lo_ = 0, hi_ = 0;
+  std::vector<Slot> slots_;
+  // Blocked Bloom filter: kBloomBlockWords-word blocks, kBloomProbes bits
+  // set within one block per key. Empty vector = disabled.
+  std::vector<std::uint64_t> bloom_;
+
+  static constexpr std::uint32_t kBloomBlockWords = 8;  // 512-bit block
+  static constexpr std::uint32_t kBloomProbes = 3;
+};
+
+}  // namespace tokra::sketch
+
+#endif  // TOKRA_SKETCH_SHARD_FENCE_H_

@@ -437,5 +437,147 @@ TEST(ShardedEngineTest, ConcurrentBatcherStress) {
   engine->CheckInvariants();
 }
 
+// --- merge.h edge cases and the pruning layer -------------------------------
+
+TEST(ChainMergeTest, EdgeCases) {
+  // All-empty inputs, with and without lists.
+  std::vector<std::vector<Point>> empty_parts(4);
+  EXPECT_TRUE(MergeTopK(empty_parts, 5).empty());
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+  EXPECT_TRUE(MergeTopK(empty_parts, 0).empty());
+
+  // Equal scores across shards: both survive and the output stays sorted.
+  // (The engine registry forbids this globally, but the merge must not.)
+  std::vector<std::vector<Point>> dup = {
+      {{1, 0.8}, {2, 0.5}},
+      {{3, 0.8}, {4, 0.5}},
+  };
+  auto merged = MergeTopK(dup, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].score, 0.8);
+  EXPECT_EQ(merged[1].score, 0.8);
+  EXPECT_EQ(merged[2].score, 0.5);
+
+  // k far beyond the total returns everything exactly once.
+  auto all = MergeTopK(dup, 1000);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(), ByScoreDesc{}));
+}
+
+TEST(ChainMergeTest, PackRoundTripsAtWidthLimits) {
+  constexpr std::size_t kMax = (std::size_t{1} << 32) - 1;
+  for (std::size_t list : {std::size_t{0}, std::size_t{1}, kMax}) {
+    for (std::size_t pos : {std::size_t{0}, std::size_t{7}, kMax}) {
+      select::NodeId id = ChainMergeView::Pack(list, pos);
+      EXPECT_EQ(ChainMergeView::ListOf(id), list);
+      EXPECT_EQ(ChainMergeView::PosOf(id), pos);
+    }
+  }
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+  // Out-of-width halves would alias another node; Pack must refuse, not
+  // truncate.
+  EXPECT_DEATH(ChainMergeView::Pack(std::size_t{1} << 32, 0), "");
+  EXPECT_DEATH(ChainMergeView::Pack(0, std::size_t{1} << 32), "");
+#endif
+}
+
+TEST(MergeFrontierTest, TracksRunningKthScore) {
+  MergeFrontier f(3);
+  EXPECT_FALSE(f.full());
+  f.Push(0.5);
+  f.Push(0.9);
+  EXPECT_FALSE(f.full());
+  f.Push(0.1);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.kth(), 0.1);
+  f.Push(0.7);  // displaces 0.1; held = {0.9, 0.7, 0.5}
+  EXPECT_EQ(f.kth(), 0.5);
+  f.Push(0.2);  // below the bar, ignored
+  EXPECT_EQ(f.kth(), 0.5);
+  f.PushAll({{1, 0.95}, {2, 0.05}});
+  EXPECT_EQ(f.kth(), 0.7);
+
+  // k == 0 never fills: there is no bar to prune against.
+  MergeFrontier zero(0);
+  zero.Push(1.0);
+  EXPECT_FALSE(zero.full());
+}
+
+// Pruning on vs off: identical answers, and on a score-monotone-in-x set
+// the fences let wide queries skip most shards.
+TEST(ShardedEngineTest, PruningMatchesOracleAndPrunesShards) {
+  Rng rng(11);
+  auto xs = rng.DistinctDoubles(1600, 0.0, 1000.0);
+  std::sort(xs.begin(), xs.end());
+  auto scores = rng.DistinctDoubles(1600, 0.0, 1.0);
+  std::sort(scores.begin(), scores.end());
+  std::vector<Point> pts(1600);
+  for (std::size_t i = 0; i < pts.size(); ++i) pts[i] = {xs[i], scores[i]};
+
+  EngineOptions on = Opts(8, 4);
+  on.pruning.dispatch_wave = 2;
+  EngineOptions off = Opts(8, 4);
+  off.pruning.enabled = false;
+  auto pruned_eng = ShardedTopkEngine::Build(pts, on).value();
+  auto plain_eng = ShardedTopkEngine::Build(pts, off).value();
+
+  std::uint64_t total_pruned = 0, total_checks = 0;
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.UniformDouble(0.0, 200.0);
+    double b = a + 750.0;
+    std::uint64_t k = 1 + rng.Uniform(20);
+    EngineQueryStats ps, qs;
+    auto got = pruned_eng->TopK(a, b, k, &ps);
+    auto want = plain_eng->TopK(a, b, k, &qs);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectPointsEqual(*got, *want);
+    ExpectPointsEqual(*got, internal::NaiveTopK(pts, a, b, k));
+    total_pruned += ps.shards_pruned;
+    total_checks += ps.fence_checks;
+    EXPECT_GE(ps.waves, 1u);
+    EXPECT_EQ(qs.shards_pruned, 0u);
+    EXPECT_EQ(qs.fence_checks, 0u);
+    // Both engines share shard bounds, so dispatched + pruned must equal
+    // the unpruned fan-out.
+    EXPECT_EQ(ps.shards_queried + ps.shards_pruned, qs.shards_queried);
+  }
+  EXPECT_GT(total_pruned, 0u);
+  EXPECT_GT(total_checks, 0u);
+  EXPECT_GT(pruned_eng->counters().shards_pruned, 0u);
+  EXPECT_GT(pruned_eng->counters().fence_checks, 0u);
+  EXPECT_GT(pruned_eng->counters().query_waves, 0u);
+  pruned_eng->CheckInvariants();
+}
+
+// Point lookups (x1 == x2) go through the Bloom filter: present keys are
+// always found, absent keys mostly never reach a shard at all.
+TEST(ShardedEngineTest, BloomPrunesAbsentPointLookups) {
+  Rng rng(13);
+  std::vector<Point> pts = RandomPoints(&rng, 800);
+  auto engine = ShardedTopkEngine::Build(pts, Opts(4, 2)).value();
+
+  for (int i = 0; i < 20; ++i) {
+    const Point& p = pts[static_cast<std::size_t>(i) * 37];
+    auto got = engine->TopK(p.x, p.x, 1);
+    ASSERT_TRUE(got.ok());
+    ExpectPointsEqual(*got, {p});
+  }
+
+  std::uint64_t pruned = 0;
+  for (int i = 0; i < 30; ++i) {
+    double x = rng.UniformDouble(10.0, 990.0);  // absent almost surely
+    EngineQueryStats stats;
+    auto got = engine->TopK(x, x, 1, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->empty());
+    pruned += stats.shards_pruned;
+  }
+  // ~8 bits/key Bloom: a handful of false positives at worst across 30
+  // lookups, so pruning must have fired.
+  EXPECT_GT(pruned, 0u);
+  engine->CheckInvariants();
+}
+
 }  // namespace
 }  // namespace tokra::engine

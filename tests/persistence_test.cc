@@ -499,8 +499,9 @@ TEST(EnginePersistenceTest, RecoverRollsForwardInterruptedRebalance) {
     em::Pager pager(em);
     auto idx = core::TopkIndex::Build(&pager, {});
     ASSERT_TRUE(idx.ok());
-    const std::uint64_t extra[3] = {0 /* bound (ignored at gen 0) */,
-                                    opts.num_shards, 0 /* old generation */};
+    const std::uint64_t extra[4] = {0 /* bound (ignored at gen 0) */,
+                                    opts.num_shards, 0 /* old generation */,
+                                    em::kNullBlock /* no fence */};
     ASSERT_TRUE((*idx)->Checkpoint(extra).ok());
   }
 
@@ -938,7 +939,8 @@ TEST(WalRecoveryTest, RebalanceAdoptsLogsAndReplaysAcrossRollForward) {
     em::Pager pager(em);
     auto idx = core::TopkIndex::Build(&pager, {});
     ASSERT_TRUE(idx.ok());
-    const std::uint64_t extra[3] = {0, opts.num_shards, 0 /* old gen */};
+    const std::uint64_t extra[4] = {0, opts.num_shards, 0 /* old gen */,
+                                    em::kNullBlock /* no fence */};
     ASSERT_TRUE((*idx)->Checkpoint(extra).ok());
   }
   engine::RecoveryReport report;
@@ -1142,6 +1144,165 @@ TEST(SnapshotServingTest, RequiresStorageDirAndCheckpointedShards) {
   wrong.num_shards = 1;
   EXPECT_FALSE(engine::ShardedTopkEngine::OpenSnapshot(wrong).ok());
   ASSERT_TRUE(engine::ShardedTopkEngine::OpenSnapshot(opts).ok());
+}
+
+// --- fence persistence (DESIGN.md §11) --------------------------------------
+// Pruning fences ride the checkpoint as root 4; these tests pin the contract
+// that a recovered / snapshot / rebalanced engine prunes from a fence that is
+// exact for the live point set (CheckInvariants cross-checks it point by
+// point).
+
+/// Scores monotone in x: wide top-k answers live in the high-x shards, so a
+/// working fence provably prunes and a stale one provably misanswers.
+std::vector<Point> MonotonePersistPoints(Rng* rng, std::size_t n) {
+  auto xs = rng->DistinctDoubles(n, 0.0, 1e6);
+  std::sort(xs.begin(), xs.end());
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::sort(scores.begin(), scores.end());
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+TEST(EnginePersistenceTest, FenceRoundTripsThroughCheckpointRecover) {
+  TempDir dir("engine-fence");
+  engine::EngineOptions opts;
+  opts.num_shards = 8;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(71);
+  auto points = MonotonePersistPoints(&rng, 1600);
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto& eng = *recovered;
+  eng->CheckInvariants();  // fence must be exact for the recovered set
+
+  std::uint64_t pruned = 0;
+  for (int i = 0; i < 40; ++i) {
+    double a = rng.UniformDouble(0.0, 2e5);
+    double b = a + 7.5e5;
+    std::uint64_t k = 1 + rng.Uniform(20);
+    engine::EngineQueryStats stats;
+    auto got = eng->TopK(a, b, k, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, internal::NaiveTopK(points, a, b, k));
+    pruned += stats.shards_pruned;
+  }
+  EXPECT_GT(pruned, 0u) << "recovered engine never pruned: fence not loaded";
+}
+
+// Post-checkpoint WAL-only updates must be replayed into the fence too: the
+// crash-surviving insert carries the new global-best score, so a fence that
+// missed the replay would let the router prune its shard and drop it.
+TEST(WalRecoveryTest, ReplayUpdatesFence) {
+  TempDir dir("wal-fence");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+  opts.durability = engine::Durability::kWal;
+
+  Rng rng(72);
+  auto points = MonotonePersistPoints(&rng, 800);
+  const Point champion{1.0, 50.0};  // lowest-x shard, highest score anywhere
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+    ASSERT_TRUE((*built)->Insert(champion).ok());
+    ASSERT_TRUE((*built)->Delete(points[700]).ok());
+  }  // destroyed without a second Checkpoint: WAL tail holds both ops
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto& eng = *recovered;
+  eng->CheckInvariants();  // counts would mismatch if replay skipped the fence
+  auto top = eng->TopK(-kInf, kInf, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ(top->front(), champion);
+}
+
+// Rebalance rebuilds fences for the new split; the rebuilt engine must keep
+// pruning correctly, both live and after recovering its committed state.
+TEST(EnginePersistenceTest, RebalanceRebuildsFences) {
+  TempDir dir("engine-fence-rebal");
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(73);
+  auto points = MonotonePersistPoints(&rng, 900);
+  std::vector<Point> live = points;
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    auto& eng = *built;
+    ASSERT_TRUE(eng->Checkpoint().ok());
+    for (int i = 0; i < 300; ++i) {
+      Point p{2e6 + i, 10.0 + i * 1e-3};
+      ASSERT_TRUE(eng->Insert(p).ok());
+      live.push_back(p);
+    }
+    ASSERT_TRUE(eng->Rebalance().ok());
+    eng->CheckInvariants();  // side-built fences exact for the new split
+    engine::EngineQueryStats stats;
+    auto got = eng->TopK(-kInf, kInf, 10, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, internal::NaiveTopK(live, -kInf, kInf, 10));
+    EXPECT_GT(stats.shards_pruned, 0u);
+  }  // no post-rebalance Checkpoint: the rebalance committed its own
+
+  auto recovered = engine::ShardedTopkEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  (*recovered)->CheckInvariants();
+  auto got = (*recovered)->TopK(-kInf, kInf, 25);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, internal::NaiveTopK(live, -kInf, kInf, 25));
+}
+
+// Snapshot serving loads the checkpointed fence and prunes read-only.
+TEST(SnapshotServingTest, SnapshotPrunesWithCheckpointedFence) {
+  TempDir dir("snap-fence");
+  engine::EngineOptions opts;
+  opts.num_shards = 8;
+  opts.threads = 2;
+  opts.em = em::EmOptions{.block_words = 64, .pool_frames = 16};
+  opts.storage_dir = dir.path();
+
+  Rng rng(74);
+  auto points = MonotonePersistPoints(&rng, 1600);
+  {
+    auto built = engine::ShardedTopkEngine::Build(points, opts);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Checkpoint().ok());
+  }
+
+  auto snap = engine::ShardedTopkEngine::OpenSnapshot(opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  std::uint64_t pruned = 0;
+  for (int i = 0; i < 40; ++i) {
+    double a = rng.UniformDouble(0.0, 2e5);
+    double b = a + 7.5e5;
+    std::uint64_t k = 1 + rng.Uniform(20);
+    engine::EngineQueryStats stats;
+    auto got = (*snap)->TopK(a, b, k, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, internal::NaiveTopK(points, a, b, k));
+    pruned += stats.shards_pruned;
+  }
+  EXPECT_GT(pruned, 0u) << "snapshot never pruned: fence not loaded";
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "sketch/log_sketch.h"
 #include "sketch/packed_set.h"
 #include "sketch/select7.h"
+#include "sketch/shard_fence.h"
+#include "util/point.h"
 #include "util/random.h"
 
 namespace tokra::sketch {
@@ -314,6 +316,149 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.l_cap) + "ops" +
              std::to_string(info.param.ops);
     });
+
+// ---------------------------------------------------------------------------
+// ShardFence: the per-shard pruning sketch (engine routing, DESIGN.md §11).
+// Everything here tests SOUNDNESS — the fence may always fail to prune, but
+// must never exclude a held point or under-report a reachable score.
+
+std::vector<Point> FencePoints(Rng* rng, std::size_t n, double x_hi = 1e4) {
+  auto xs = rng->DistinctDoubles(n, 0.0, x_hi);
+  auto scores = rng->DistinctDoubles(n, 0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = Point{xs[i], scores[i]};
+  return pts;
+}
+
+/// Brute-force oracle: RangeBound must cover the true in-range max.
+void ExpectSoundOnRanges(const ShardFence& f, const std::vector<Point>& live,
+                         Rng* rng, int ranges, double x_hi) {
+  for (int i = 0; i < ranges; ++i) {
+    double a = rng->UniformDouble(-0.1 * x_hi, 1.1 * x_hi);
+    double b = rng->UniformDouble(-0.1 * x_hi, 1.1 * x_hi);
+    if (a > b) std::swap(a, b);
+    bool any = false;
+    double best = 0;
+    for (const Point& p : live) {
+      if (p.x >= a && p.x <= b) {
+        best = any ? std::max(best, p.score) : p.score;
+        any = true;
+      }
+    }
+    FenceBound fb = f.RangeBound(a, b);
+    if (any) {
+      EXPECT_TRUE(fb.maybe_nonempty);
+      EXPECT_GE(fb.best_score, best);
+    }
+    // !any makes no claim: the fence may conservatively say nonempty.
+  }
+}
+
+TEST(ShardFenceTest, BuildIsSoundAgainstBruteForce) {
+  Rng rng(91);
+  for (std::size_t n : {1, 2, 7, 64, 500}) {
+    auto pts = FencePoints(&rng, n);
+    ShardFence f = ShardFence::Build(pts, {});
+    EXPECT_EQ(f.count(), n);
+    f.CheckAgainst(pts);
+    ExpectSoundOnRanges(f, pts, &rng, 200, 1e4);
+  }
+}
+
+TEST(ShardFenceTest, IncrementalUpdatesStaySound) {
+  Rng rng(92);
+  auto pts = FencePoints(&rng, 600);
+  std::vector<Point> base(pts.begin(), pts.begin() + 300);
+  ShardFence f = ShardFence::Build(base, {});
+  std::vector<Point> live = base;
+  // Inserts beyond the anchored span (clamped into edge slots) and inside.
+  for (std::size_t i = 300; i < 600; ++i) {
+    f.Insert(pts[i]);
+    live.push_back(pts[i]);
+  }
+  f.CheckAgainst(live);
+  // Delete every third point: counts stay exact, score bounds go stale but
+  // must remain upper bounds.
+  std::vector<Point> rest;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (i % 3 == 0) {
+      f.Delete(live[i]);
+    } else {
+      rest.push_back(live[i]);
+    }
+  }
+  f.CheckAgainst(rest);
+  ExpectSoundOnRanges(f, rest, &rng, 300, 1e4);
+}
+
+TEST(ShardFenceTest, BloomHasNoFalseNegatives) {
+  Rng rng(93);
+  auto pts = FencePoints(&rng, 400);
+  ShardFence f = ShardFence::Build(pts, {});
+  for (const Point& p : pts) EXPECT_TRUE(f.MightContain(p.x));
+  // Deletes never clear bits: the remaining points must all still pass.
+  for (std::size_t i = 0; i < pts.size(); i += 2) f.Delete(pts[i]);
+  for (std::size_t i = 1; i < pts.size(); i += 2) {
+    EXPECT_TRUE(f.MightContain(pts[i].x));
+  }
+  // Absent keys outside the key bounds are definite misses.
+  EXPECT_FALSE(f.MightContain(-5.0));
+  EXPECT_FALSE(f.MightContain(2e4));
+}
+
+TEST(ShardFenceTest, SerializeRoundTrip) {
+  Rng rng(94);
+  auto pts = FencePoints(&rng, 250);
+  ShardFence f = ShardFence::Build(pts, {});
+  // Mutate past the build so non-trivial incremental state round-trips too.
+  f.Delete(pts[0]);
+  f.Delete(pts[1]);
+  std::vector<Point> live(pts.begin() + 2, pts.end());
+  auto words = f.Serialize();
+  auto g = ShardFence::Deserialize(words);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->count(), f.count());
+  g->CheckAgainst(live);
+  // Behavioral equality on a probe grid.
+  for (int i = 0; i <= 100; ++i) {
+    double a = i * 1e2, b = a + 7.5e2;
+    FenceBound fa = f.RangeBound(a, b), fb = g->RangeBound(a, b);
+    EXPECT_EQ(fa.maybe_nonempty, fb.maybe_nonempty);
+    if (fa.maybe_nonempty) {
+      EXPECT_EQ(fa.best_score, fb.best_score);
+    }
+    EXPECT_EQ(f.MightContain(a), g->MightContain(a));
+  }
+}
+
+TEST(ShardFenceTest, DeserializeRejectsCorruption) {
+  Rng rng(95);
+  auto words = ShardFence::Build(FencePoints(&rng, 50), {}).Serialize();
+  EXPECT_FALSE(ShardFence::Deserialize({}).ok());
+  auto truncated = words;
+  truncated.resize(words.size() - 3);
+  EXPECT_FALSE(ShardFence::Deserialize(truncated).ok());
+  auto bad_magic = words;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(ShardFence::Deserialize(bad_magic).ok());
+}
+
+TEST(ShardFenceTest, EmptyBuildAndGrowth) {
+  ShardFence f = ShardFence::Build({}, {});
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_FALSE(f.RangeBound(-1e18, 1e18).maybe_nonempty);
+  EXPECT_FALSE(f.MightContain(0.0));
+  // An empty-built fence is unanchored (every key maps to one slot) but
+  // must stay sound as points arrive.
+  Rng rng(96);
+  auto pts = FencePoints(&rng, 100);
+  for (const Point& p : pts) f.Insert(p);
+  f.CheckAgainst(pts);
+  ExpectSoundOnRanges(f, pts, &rng, 100, 1e4);
+  for (const Point& p : pts) f.Delete(p);
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_FALSE(f.RangeBound(-1e18, 1e18).maybe_nonempty);
+}
 
 }  // namespace
 }  // namespace tokra::sketch
