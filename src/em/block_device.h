@@ -10,11 +10,14 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "em/io_stats.h"
 #include "em/options.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace tokra::em {
 
@@ -51,18 +54,48 @@ class BlockDevice {
   virtual BlockId NumBlocks() const = 0;
 
   /// Reads block `id` into `dst` (must hold block_words() words). One I/O.
+  ///
+  /// Failed-device semantics (see io_status()): reads keep serving — from
+  /// the post-failure overlay when the block was written after the
+  /// failure, from the backend otherwise — so a live structure never walks
+  /// garbage while the sticky error propagates to its chokepoint. Blocks
+  /// the backend never materialized read as zeros.
   void Read(BlockId id, word_t* dst) {
-    TOKRA_CHECK(id < NumBlocks());
     ++reads_;
+    if (failed_) {
+      if (OverlayLookup(id, dst)) return;
+      if (id < NumBlocks()) {
+        DoRead(id, dst);
+      } else {
+        std::memset(dst, 0, std::size_t{block_words_} * sizeof(word_t));
+      }
+      return;
+    }
+    TOKRA_CHECK(id < NumBlocks());
     DoRead(id, dst);
   }
 
   /// Writes `src` (block_words() words) to block `id`, growing the device if
   /// needed. One I/O.
+  ///
+  /// Failed-device semantics: the medium is frozen at the failure point —
+  /// nothing written after a device fails may clobber bytes a recovery
+  /// will read (in particular checkpoint-live blocks whose pre-image guard
+  /// could no longer be logged). Post-failure writes land in an in-memory
+  /// overlay instead, so the live process stays coherent until the error
+  /// reaches its chokepoint and the caller stops using this device.
   void Write(BlockId id, const word_t* src) {
-    EnsureCapacity(id + 1);
     ++writes_;
+    if (failed_) {
+      OverlayCapture(id, src);
+      return;
+    }
+    EnsureCapacity(id + 1);
     DoWrite(id, src);
+    // A write during which the device failed has unspecified bytes on the
+    // medium (short pwrite, torn injection): capture the intended content
+    // so later reads of the live process stay coherent.
+    if (failed_) OverlayCapture(id, src);
   }
 
   /// Reads `count` consecutive blocks starting at `first` into `dst` (which
@@ -71,6 +104,13 @@ class BlockDevice {
   /// memcpy, one pread) for sequential-scan throughput.
   void ReadRun(BlockId first, std::uint32_t count, word_t* dst) {
     if (count == 0) return;
+    if (failed_) {
+      // Per-block on the slow path: each member may come from the overlay.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Read(first + i, dst + std::size_t{i} * block_words_);
+      }
+      return;
+    }
     TOKRA_CHECK(first + count <= NumBlocks());
     reads_ += count;
     DoReadRun(first, count, dst);
@@ -80,9 +120,20 @@ class BlockDevice {
   /// device if needed. Counts `count` write I/Os.
   void WriteRun(BlockId first, std::uint32_t count, const word_t* src) {
     if (count == 0) return;
+    if (failed_) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Write(first + i, src + std::size_t{i} * block_words_);
+      }
+      return;
+    }
     EnsureCapacity(first + count);
     writes_ += count;
     DoWriteRun(first, count, src);
+    if (failed_) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        OverlayCapture(first + i, src + std::size_t{i} * block_words_);
+      }
+    }
   }
 
   /// Reads every request of the batch and returns once all transfers have
@@ -94,6 +145,10 @@ class BlockDevice {
   /// is always available on every backend.
   void SubmitReads(std::span<const IoRequest> reqs) {
     if (reqs.empty()) return;
+    if (failed_) {
+      for (const IoRequest& r : reqs) Read(r.id, r.buf);
+      return;
+    }
     for (const IoRequest& r : reqs) TOKRA_CHECK(r.id < NumBlocks());
     reads_ += reqs.size();
     DoReadBatch(reqs);
@@ -104,11 +159,18 @@ class BlockDevice {
   /// block; backends may overlap the member transfers.
   void SubmitWrites(std::span<const IoRequest> reqs) {
     if (reqs.empty()) return;
+    if (failed_) {
+      for (const IoRequest& r : reqs) Write(r.id, r.buf);
+      return;
+    }
     BlockId max_id = 0;
     for (const IoRequest& r : reqs) max_id = std::max(max_id, r.id);
     EnsureCapacity(max_id + 1);
     writes_ += reqs.size();
     DoWriteBatch(reqs);
+    if (failed_) {
+      for (const IoRequest& r : reqs) OverlayCapture(r.id, r.buf);
+    }
   }
 
   /// Whether TryBorrowRead can ever succeed on this device. The buffer pool
@@ -123,6 +185,9 @@ class BlockDevice {
   /// frame or borrowed from the mapping. The memory is read-only; writers
   /// must copy into their own frame first (the pool's copy-on-write pin).
   const word_t* TryBorrowRead(BlockId id) {
+    // A failed device refuses to borrow: the copying Read path serves the
+    // post-failure overlay, which a pointer into the mapping cannot.
+    if (failed_) return nullptr;
     TOKRA_CHECK(id < NumBlocks());
     const word_t* p = DoBorrowRead(id);
     if (p != nullptr) ++reads_;
@@ -157,9 +222,54 @@ class BlockDevice {
   /// Syncs are not counted — this tracks what the hardware was asked to do.
   std::uint64_t syncs() const { return syncs_; }
 
+  /// Sticky device health. The first recorded I/O error wins and never
+  /// clears: once a write was dropped or an fsync was not acknowledged, the
+  /// device can no longer promise anything about what is durable (the
+  /// fsyncgate lesson), so it stays failed until the file is reopened
+  /// through recovery. Upper layers (pager, WAL, engine) consult this at
+  /// their operation chokepoints instead of threading a Status through
+  /// every DoRead/DoWrite signature.
+  virtual Status io_status() const { return io_status_; }
+  bool io_failed() const { return !io_status().ok(); }
+  /// Count of device-level I/O failures observed (every failed syscall or
+  /// injected fault, not just the first sticky one).
+  virtual std::uint64_t io_errors() const { return io_errors_; }
+  /// Faults delivered by a FaultInjectingBlockDevice wrapper; 0 on real
+  /// backends.
+  virtual std::uint64_t injected_faults() const { return 0; }
+
+  /// Marks the device failed from outside (first error wins). Used by the
+  /// pager to poison a home device whose pre-image guard log failed: a
+  /// write-back without its undo record must never be acknowledged as
+  /// durable.
+  void PoisonIo(Status error) { RecordIoError(std::move(error)); }
+
  protected:
   /// Backends call this from Sync() exactly when a real barrier ran.
   void CountSync() { ++syncs_; }
+
+  /// Records a device-level I/O failure: increments io_errors and latches
+  /// the first non-OK status (sticky).
+  void RecordIoError(Status error) {
+    TOKRA_CHECK(!error.ok());
+    ++io_errors_;
+    failed_ = true;
+    if (io_status_.ok()) io_status_ = std::move(error);
+  }
+
+  /// Post-failure overlay (see Write). Protected so backends whose batch
+  /// paths detect failure mid-transfer can capture intended contents too.
+  void OverlayCapture(BlockId id, const word_t* src) {
+    auto& slot = overlay_[id];
+    slot.assign(src, src + block_words_);
+  }
+  bool OverlayLookup(BlockId id, word_t* dst) const {
+    auto it = overlay_.find(id);
+    if (it == overlay_.end()) return false;
+    std::memcpy(dst, it->second.data(),
+                std::size_t{block_words_} * sizeof(word_t));
+    return true;
+  }
 
   virtual void DoRead(BlockId id, word_t* dst) = 0;
   virtual void DoWrite(BlockId id, const word_t* src) = 0;
@@ -190,6 +300,13 @@ class BlockDevice {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t syncs_ = 0;
+  std::uint64_t io_errors_ = 0;
+  bool failed_ = false;  // cheap mirror of io_status_.ok() for hot paths
+  Status io_status_;     // sticky: first error wins
+  // Writes issued after this device failed: the medium stays frozen for
+  // recovery while the live process keeps a coherent view. Empty (and
+  // never touched) on a healthy device.
+  std::unordered_map<BlockId, std::vector<word_t>> overlay_;
 };
 
 /// In-memory backend: the EM-model simulation the repository started with.

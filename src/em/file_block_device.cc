@@ -1,5 +1,6 @@
 #include "em/file_block_device.h"
 
+#include "em/fault_device.h"
 #include "em/mmap_block_device.h"
 #include "em/uring_block_device.h"
 
@@ -8,9 +9,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace tokra::em {
+
+namespace {
+std::string Errno(int err) { return std::strerror(err); }
+}  // namespace
 
 FileBlockDevice::FileBlockDevice(std::uint32_t block_words, FileOptions options)
     : BlockDevice(block_words),
@@ -24,9 +30,21 @@ FileBlockDevice::FileBlockDevice(std::uint32_t block_words, FileOptions options)
   int flags = read_only_ ? O_RDONLY
                          : O_RDWR | O_CREAT | (options.truncate ? O_TRUNC : 0);
   fd_ = ::open(path_.c_str(), flags, 0644);
-  TOKRA_CHECK(fd_ >= 0);
+  if (fd_ < 0) {
+    // A missing or unopenable file makes a sticky-failed zero-block device
+    // instead of an abort; Pager::Open turns it into a proper kIoError.
+    RecordIoError(Status::IoError("open failed: " + path_ + ": " +
+                                  Errno(errno)));
+    return;
+  }
   struct stat st;
-  TOKRA_CHECK(::fstat(fd_, &st) == 0);
+  if (::fstat(fd_, &st) != 0) {
+    RecordIoError(Status::IoError("fstat failed: " + path_ + ": " +
+                                  Errno(errno)));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
   // Floor a size that is not a whole number of blocks (geometry mismatch or
   // external tampering): the pager's superblock validation rejects such
   // devices with a proper Status instead of an abort here.
@@ -34,28 +52,68 @@ FileBlockDevice::FileBlockDevice(std::uint32_t block_words, FileOptions options)
 }
 
 FileBlockDevice::~FileBlockDevice() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ < 0) return;
+  // Last chance to learn about writes the page cache never made it to the
+  // medium: an fsync refused at close means dirty pages may be dropped
+  // silently. Nobody is left to take a Status from a destructor, so count
+  // it, log it, and leave the device marked failed for anything still
+  // holding it through teardown. A device that already sticky-failed skips
+  // the barrier (fsyncgate: a failed device must not re-arm the kernel's
+  // error-reported flag and then report a clean close).
+  if (!read_only_ && !io_failed() && ::fsync(fd_) != 0) {
+    RecordIoError(Status::IoError("close-time fsync failed: " + path_ + ": " +
+                                  Errno(errno)));
+    std::fprintf(stderr, "tokra: close-time fsync failed on %s: %s\n",
+                 path_.c_str(), Errno(errno).c_str());
+  }
+  ::close(fd_);
 }
 
 void FileBlockDevice::EnsureCapacity(BlockId blocks) {
   if (blocks <= num_blocks_) return;
   TOKRA_CHECK(!read_only_ && "cannot grow a read-only device");
-  TOKRA_CHECK(::ftruncate(fd_, static_cast<off_t>(blocks * BlockBytes())) == 0);
+  if (io_failed()) return;  // fail-stop: a failed device stops growing
+  if (::ftruncate(fd_, static_cast<off_t>(blocks * BlockBytes())) != 0) {
+    const int err = errno;
+    // A full disk (or file-size limit / quota) is the one storage failure a
+    // healthy deployment recovers from by freeing space, so it gets its own
+    // code; everything else is a generic device error. Both are sticky.
+    Status st = (err == ENOSPC || err == EFBIG || err == EDQUOT)
+                    ? Status::ResourceExhausted("grow failed: " + path_ +
+                                                ": " + Errno(err))
+                    : Status::IoError("ftruncate failed: " + path_ + ": " +
+                                      Errno(err));
+    RecordIoError(std::move(st));
+    return;
+  }
   num_blocks_ = blocks;
 }
 
 void FileBlockDevice::Sync() {
-  if (durable_sync_ && !read_only_) {
-    TOKRA_CHECK(::fsync(fd_) == 0);
-    CountSync();
+  if (!durable_sync_ || read_only_) return;
+  // fsyncgate semantics: after ANY device failure — in particular a failed
+  // fsync, whose dirty pages the kernel marks clean anyway — this device
+  // never acknowledges a barrier again. Retrying the fsync would return 0
+  // and falsely promise durability for writes that were already dropped.
+  if (io_failed()) return;
+  if (::fsync(fd_) != 0) {
+    RecordIoError(Status::IoError("fsync failed: " + path_ + ": " +
+                                  Errno(errno)));
+    return;
   }
+  CountSync();
 }
 
 void FileBlockDevice::DropOsCache() {
   // Dirty pages are immune to DONTNEED, so flush first; then ask the kernel
   // to drop the file's clean page-cache pages. Advisory — a best-effort
-  // bench hook, not a correctness barrier.
-  if (!read_only_) ::fsync(fd_);
+  // bench hook, not a correctness barrier — but a refused fsync still marks
+  // the device failed: the kernel just told us it dropped dirty data.
+  if (!read_only_ && !io_failed() && ::fsync(fd_) != 0) {
+    RecordIoError(Status::IoError("fsync in DropOsCache failed: " + path_ +
+                                  ": " + Errno(errno)));
+    return;
+  }
   ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
 }
 
@@ -84,7 +142,17 @@ void FileBlockDevice::PreadFull(std::uint64_t offset, void* buf,
   while (len > 0) {
     ssize_t n = ::pread(fd_, p, len, static_cast<off_t>(offset));
     if (n < 0 && errno == EINTR) continue;
-    TOKRA_CHECK(n > 0);  // EOF inside the device means a corrupt file
+    if (n <= 0) {
+      // Error, or EOF inside the device (a truncated/corrupt file). The
+      // remainder is zero-filled: contents of a failed read are
+      // unspecified, and validated callers (superblock checksum, WAL CRC)
+      // reject zeros just like any other garbage.
+      RecordIoError(n < 0 ? Status::IoError("pread failed: " + path_ + ": " +
+                                            Errno(errno))
+                          : Status::IoError("unexpected EOF: " + path_));
+      std::memset(p, 0, len);
+      return;
+    }
     p += n;
     offset += static_cast<std::uint64_t>(n);
     len -= static_cast<std::size_t>(n);
@@ -94,11 +162,19 @@ void FileBlockDevice::PreadFull(std::uint64_t offset, void* buf,
 void FileBlockDevice::PwriteFull(std::uint64_t offset, const void* buf,
                                  std::size_t len) {
   TOKRA_CHECK(!read_only_ && "write to a read-only device");
+  // Fail-stop: once the device failed, later writes are dropped rather
+  // than partially applied — the caller can no longer be acknowledged, and
+  // recovery rebuilds from the checkpoint + WAL anyway.
+  if (io_failed()) return;
   const char* p = static_cast<const char*>(buf);
   while (len > 0) {
     ssize_t n = ::pwrite(fd_, p, len, static_cast<off_t>(offset));
     if (n < 0 && errno == EINTR) continue;
-    TOKRA_CHECK(n > 0);
+    if (n <= 0) {
+      RecordIoError(Status::IoError("pwrite failed: " + path_ + ": " +
+                                    Errno(n < 0 ? errno : EIO)));
+      return;
+    }
     p += n;
     offset += static_cast<std::uint64_t>(n);
     len -= static_cast<std::size_t>(n);
@@ -112,12 +188,15 @@ std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
       .truncate = truncate_file,
       .durable_sync = options.durable_sync,
       .read_only = options.read_only};
+  std::unique_ptr<BlockDevice> device;
   switch (options.backend) {
     case Backend::kMem:
-      return std::make_unique<MemBlockDevice>(options.block_words);
+      device = std::make_unique<MemBlockDevice>(options.block_words);
+      break;
     case Backend::kFile:
-      return std::make_unique<FileBlockDevice>(options.block_words,
-                                               file_options);
+      device =
+          std::make_unique<FileBlockDevice>(options.block_words, file_options);
+      break;
     case Backend::kUring:
       // Compile-time gate (kernel header present) + runtime probe (this
       // kernel grants rings); either failing falls back to the synchronous
@@ -125,22 +204,29 @@ std::unique_ptr<BlockDevice> MakeBlockDevice(const EmOptions& options,
       // the base-class loop — so kUring is always safe to request.
 #if defined(TOKRA_HAVE_URING)
       if (UringBlockDevice::Supported()) {
-        return std::make_unique<UringBlockDevice>(
+        device = std::make_unique<UringBlockDevice>(
             options.block_words, file_options, options.io_queue_depth,
             options.io_register_buffers);
+        break;
       }
 #endif
-      return std::make_unique<FileBlockDevice>(options.block_words,
-                                               file_options);
+      device =
+          std::make_unique<FileBlockDevice>(options.block_words, file_options);
+      break;
     case Backend::kMmap:
       // Same file format as kFile; only where reads are served from
       // differs. Falls back to plain file reads internally if the kernel
       // refuses the mapping, so kMmap is always safe to request.
-      return std::make_unique<MmapBlockDevice>(options.block_words,
-                                               file_options);
+      device =
+          std::make_unique<MmapBlockDevice>(options.block_words, file_options);
+      break;
   }
-  TOKRA_CHECK(false);  // unreachable
-  return nullptr;
+  TOKRA_CHECK(device != nullptr);
+  if (options.fault != nullptr) {
+    device = std::make_unique<FaultInjectingBlockDevice>(std::move(device),
+                                                         options.fault);
+  }
+  return device;
 }
 
 }  // namespace tokra::em

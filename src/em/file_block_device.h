@@ -37,11 +37,11 @@ class FileBlockDevice : public BlockDevice {
     bool read_only = false;     ///< O_RDONLY open; every write CHECK-fails
   };
 
-  /// Opens (creating if needed) the backing file. CHECK-fails on I/O
-  /// errors — storage failures at this layer have no recovery story, like
-  /// the rest of em::. A size that is not a whole number of blocks is
-  /// floored; the pager's superblock validation turns the mismatch into a
-  /// proper error.
+  /// Opens (creating if needed) the backing file. An open/stat failure
+  /// does not abort: it yields a sticky-failed zero-block device (see
+  /// BlockDevice::io_status()), which Pager::Open reports as kIoError. A
+  /// size that is not a whole number of blocks is floored; the pager's
+  /// superblock validation turns the mismatch into a proper error.
   FileBlockDevice(std::uint32_t block_words, FileOptions options);
   ~FileBlockDevice() override;
 

@@ -30,6 +30,12 @@ struct IoStats {
   std::uint64_t fsyncs = 0;       ///< real durability barriers issued (home
                                   ///< device fsyncs + WAL fsyncs); page-cache
                                   ///< no-op Syncs are not counted
+  std::uint64_t io_errors = 0;    ///< device-level I/O failures recorded
+                                  ///< (home + WAL devices); a sticky-failed
+                                  ///< device keeps counting every refused op
+  std::uint64_t injected_faults = 0;  ///< faults delivered by a
+                                      ///< FaultInjectingBlockDevice wrapper
+                                      ///< (0 outside fault-injection tests)
 
   /// Total block transfers — the paper's cost metric. WAL traffic lives on
   /// its own log device and is reported separately (`wal_appends`).
@@ -45,6 +51,8 @@ struct IoStats {
     borrows += rhs.borrows;
     wal_appends += rhs.wal_appends;
     fsyncs += rhs.fsyncs;
+    io_errors += rhs.io_errors;
+    injected_faults += rhs.injected_faults;
     return *this;
   }
 
@@ -59,6 +67,8 @@ struct IoStats {
     d.borrows = borrows - rhs.borrows;
     d.wal_appends = wal_appends - rhs.wal_appends;
     d.fsyncs = fsyncs - rhs.fsyncs;
+    d.io_errors = io_errors - rhs.io_errors;
+    d.injected_faults = injected_faults - rhs.injected_faults;
     return d;
   }
 
@@ -70,7 +80,9 @@ struct IoStats {
            " prefetched=" + std::to_string(prefetched) +
            " borrows=" + std::to_string(borrows) +
            " wal_appends=" + std::to_string(wal_appends) +
-           " fsyncs=" + std::to_string(fsyncs);
+           " fsyncs=" + std::to_string(fsyncs) +
+           " io_errors=" + std::to_string(io_errors) +
+           " injected_faults=" + std::to_string(injected_faults);
   }
 };
 

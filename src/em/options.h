@@ -14,6 +14,8 @@ class Histogram;
 
 namespace tokra::em {
 
+class FaultInjector;
+
 /// One machine word of the EM model. 64 bits >= Omega(lg n) for any input this
 /// library can hold, matching the paper's word-size assumption.
 using word_t = std::uint64_t;
@@ -130,6 +132,14 @@ struct EmOptions {
   /// ShardEm-style specializations, so one engine-owned struct reaches
   /// every shard's pager, pool, and log.
   const EmMetrics* metrics = nullptr;
+
+  /// Test hook: when set, MakeBlockDevice wraps the built backend in a
+  /// FaultInjectingBlockDevice consulting this injector (see
+  /// em/fault_device.h), and the pager's WAL wraps its log device the same
+  /// way. Non-owning, like `metrics`; must outlive every device built from
+  /// the carrying EmOptions. Null (the default) adds no wrapper and no
+  /// overhead.
+  FaultInjector* fault = nullptr;
 
   void Validate() const {
     TOKRA_CHECK(block_words >= kMinBlockWords);

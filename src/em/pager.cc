@@ -73,8 +73,15 @@ Pager::Pager(const EmOptions& options)
       wo.append_us = options.metrics->wal_append_us;
       wo.fsync_us = options.metrics->wal_fsync_us;
     }
+    wo.fault = options.fault;
     auto wal = WriteAheadLog::Open(std::move(wo));
-    TOKRA_CHECK(wal.ok());
+    if (!wal.ok()) {
+      // A WAL that cannot open means updates cannot be made durable: poison
+      // the home device so the pager is born failed — every caller sees the
+      // sticky status at its next chokepoint — instead of aborting.
+      device_->PoisonIo(wal.status());
+      return;
+    }
     wal_ = std::move(*wal);
     pool_.SetWriteBarrier(this);
   }
@@ -99,6 +106,11 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
       roots.size() > b - kSuperHeaderWords) {
     return Status::InvalidArgument("root directory exceeds superblock");
   }
+  // A checkpoint commits by superblock write; on a failed stack nothing it
+  // writes can be trusted durable, and the medium must stay frozen for
+  // recovery (failed devices divert writes to their in-memory overlay), so
+  // refuse up front rather than stamp a commit record over dropped data.
+  TOKRA_RETURN_IF_ERROR(io_status());
   obs::ScopedTimer timer(options_.metrics != nullptr
                              ? options_.metrics->checkpoint_us
                              : nullptr);
@@ -163,8 +175,18 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   // checksum), never the old one.
   if (wal_ != nullptr) wal_->Sync();
   device_->Sync();
+  // A failure anywhere in the flush or the barriers (including the flush's
+  // own pre-image appends: BeforeHomeWrite poisons the home device when the
+  // log fails) means the data this superblock would commit may not be on
+  // the medium. Stop before the commit record: the old checkpoint stays the
+  // recovery target, and the failed device's overlay has kept the medium
+  // unclobbered for it.
+  TOKRA_RETURN_IF_ERROR(io_status());
   device_->Write((epoch_ + 1) % kReservedBlocks, super.data());
   device_->Sync();
+  // Same reasoning for the commit write itself: only advance the epoch —
+  // i.e. acknowledge the checkpoint — once the superblock is provably down.
+  TOKRA_RETURN_IF_ERROR(io_status());
   ++epoch_;
   roots_.assign(roots.begin(), roots.end());
   wal_ckpt_lsn_ = covered_lsn;
@@ -207,6 +229,15 @@ void Pager::BeforeHomeWrite(std::span<const BlockId> ids) {
   // in wal_fsync mode; page-cache mode needs no barrier for SIGKILL
   // safety, since the kernel survives and writes back both files).
   if (appended) wal_->Sync();
+  // If the log has failed, the pre-images guarding this batch may be lost —
+  // letting the home writes proceed would overwrite checkpoint-live blocks
+  // with no undo record, clobbering the very state recovery needs. Poison
+  // the home device instead: its overlay absorbs the write-backs (the live
+  // process stays coherent), the medium stays at its guarded state, and the
+  // sticky status surfaces at the caller's next chokepoint.
+  if (Status ws = wal_->io_status(); !ws.ok() && !device_->io_failed()) {
+    device_->PoisonIo(std::move(ws));
+  }
 }
 
 Status Pager::AttachWalAndUndo() {
@@ -219,6 +250,7 @@ Status Pager::AttachWalAndUndo() {
     wo.append_us = options_.metrics->wal_append_us;
     wo.fsync_us = options_.metrics->wal_fsync_us;
   }
+  wo.fault = options_.fault;
   TOKRA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(std::move(wo)));
   pool_.SetWriteBarrier(this);
   // A log whose head lags the stamped checkpoint cannot be the one the
@@ -250,7 +282,9 @@ Status Pager::AttachWalAndUndo() {
     device_->Write(payload[0], payload.data() + 1);
   }
   CaptureCheckpointLiveSet();
-  return Status::Ok();
+  // Undo writes on a failed device land in its overlay, not the medium:
+  // that is not a recovery. Report the stack's health as the verdict.
+  return io_status();
 }
 
 Status Pager::LoadSuperblock() {
@@ -281,6 +315,7 @@ Status Pager::LoadSuperblock() {
     }
   }
   if (!found) {
+    if (device_->io_failed()) return device_->io_status();
     return Status::FailedPrecondition(
         "no valid superblock (never checkpointed, or corrupt)");
   }
@@ -334,6 +369,12 @@ StatusOr<std::unique_ptr<Pager>> Pager::Open(const EmOptions& options) {
     return Status::NotFound("no such device file: " + options.path);
   }
   auto device = MakeBlockDevice(options, /*truncate_file=*/false);
+  if (device->io_failed()) {
+    // Open/fstat of the existing file failed (permissions, a directory in
+    // the way, I/O error): report it rather than let superblock probing
+    // misdiagnose the zero-filled reads as "never checkpointed".
+    return device->io_status();
+  }
   auto pager =
       std::unique_ptr<Pager>(new Pager(options, std::move(device)));
   TOKRA_RETURN_IF_ERROR(pager->LoadSuperblock());

@@ -145,6 +145,25 @@ class Pager : private WriteBarrier {
   const EmOptions& options() const { return options_; }
   BlockDevice* device() { return device_.get(); }
 
+  /// Sticky health of the whole durability stack: the first error recorded
+  /// by the home device or the attached log. Non-OK means data written
+  /// since the error may not be durable — callers must stop acknowledging
+  /// (Checkpoint() refuses; the engine fails the shard).
+  Status io_status() const {
+    Status home = device_->io_status();
+    if (!home.ok()) return home;
+    return wal_ != nullptr ? wal_->io_status() : Status::Ok();
+  }
+  /// The two legs separately: a failed home device poisons reads and
+  /// writes alike, while a failed log alone still serves reads correctly —
+  /// the engine's failed-versus-read-only shard distinction. (Note the
+  /// pager itself escalates a log failure to the home device the moment a
+  /// write-back would need the lost pre-images; until then reads are safe.)
+  Status home_io_status() const { return device_->io_status(); }
+  Status wal_io_status() const {
+    return wal_ != nullptr ? wal_->io_status() : Status::Ok();
+  }
+
   /// Allocates a zeroed block. Allocation bookkeeping is O(1) metadata and
   /// costs no I/O; the block's first materialization to disk is charged when
   /// its frame is evicted or flushed.
@@ -255,6 +274,10 @@ class Pager : private WriteBarrier {
     s.writes = device_->writes();
     s.fsyncs = device_->syncs() + (wal_ != nullptr ? wal_->fsyncs() : 0);
     s.wal_appends = wal_ != nullptr ? wal_->appends() : 0;
+    s.io_errors =
+        device_->io_errors() + (wal_ != nullptr ? wal_->io_errors() : 0);
+    s.injected_faults = device_->injected_faults() +
+                        (wal_ != nullptr ? wal_->injected_faults() : 0);
     return s;
   }
 

@@ -287,9 +287,32 @@ void UringBlockDevice::RunBatch(std::span<const IoRequest> reqs,
                             IORING_ENTER_GETEVENTS);
     if (ret < 0) {
       // EINTR (signal) and EAGAIN (kernel transiently out of request
-      // memory) just retry the backlog; anything else is a storage failure.
-      TOKRA_CHECK(errno == EINTR || errno == EAGAIN);
-      continue;
+      // memory) just retry the backlog; anything else is a storage
+      // failure: mark the device, wait out what is already in flight so
+      // the kernel stops touching the caller's buffers, zero-fill the
+      // reads that never completed, and give up on the batch.
+      if (errno == EINTR || errno == EAGAIN) continue;
+      RecordIoError(Status::IoError(std::string("io_uring_enter failed: ") +
+                                    std::strerror(errno)));
+      // Drain in-flight completions (results ignored) so no kernel write
+      // into a pool frame can race whatever the caller does next.
+      while (inflight > 0) {
+        ret = SysUringEnter(ring_->fd, 0,
+                            /*min_complete=*/static_cast<unsigned>(inflight),
+                            IORING_ENTER_GETEVENTS);
+        unsigned h = __atomic_load_n(ring_->cq_head, __ATOMIC_ACQUIRE);
+        unsigned t = __atomic_load_n(ring_->cq_tail, __ATOMIC_ACQUIRE);
+        while (h != t) {
+          --inflight;
+          ++h;
+        }
+        __atomic_store_n(ring_->cq_head, h, __ATOMIC_RELEASE);
+        if (ret < 0 && errno != EINTR && errno != EAGAIN) break;
+      }
+      if (!is_write) {
+        for (const IoRequest& r : reqs) std::memset(r.buf, 0, BlockBytes());
+      }
+      return;
     }
 
     // Reap every available completion.
@@ -304,12 +327,22 @@ void UringBlockDevice::RunBatch(std::span<const IoRequest> reqs,
         ++done;
       } else if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
         ready.push_back(idx);  // retry whole remainder
+      } else if (cqe.res <= 0) {
+        // Error, or EOF inside the device (a truncated/corrupt file) —
+        // same contract as FileBlockDevice::PreadFull: record the failure,
+        // zero-fill the remainder of a read (contents of a failed read are
+        // unspecified), abandon this transfer. The rest of the batch
+        // proceeds; the sticky device status surfaces at the caller's next
+        // chokepoint.
+        RecordIoError(
+            cqe.res < 0
+                ? Status::IoError(std::string("io_uring op failed: ") +
+                                  std::strerror(-cqe.res))
+                : Status::IoError("unexpected EOF: " + path()));
+        if (!is_write) std::memset(op.buf, 0, op.len);
+        ++done;
       } else {
-        // Short transfer: resume at the remaining range. res <= 0 here (EOF
-        // inside the device, or a real error) means a corrupt file — same
-        // contract as FileBlockDevice::PreadFull.
-        TOKRA_CHECK(cqe.res > 0 &&
-                    cqe.res < static_cast<std::int32_t>(op.len));
+        // Short transfer: resume at the remaining range.
         op.off += static_cast<std::uint32_t>(cqe.res);
         op.buf += cqe.res;
         op.len -= static_cast<std::uint32_t>(cqe.res);

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "em/fault_device.h"
 #include "em/file_block_device.h"
 #include "obs/metrics.h"
 #include "util/bits.h"
@@ -101,6 +102,11 @@ Status WriteAheadLog::LoadOrFormat() {
                                   .durable_sync = options_.fsync,
                                   .read_only = options_.read_only};
   device_ = std::make_unique<FileBlockDevice>(options_.block_words, fo);
+  if (device_->io_failed()) return device_->io_status();
+  if (options_.fault != nullptr) {
+    device_ = std::make_unique<FaultInjectingBlockDevice>(std::move(device_),
+                                                          options_.fault);
+  }
   if (device_->NumBlocks() == 0) {
     // Fresh (or created-then-crashed-before-header) segment. A writer
     // formats it; a read-only consumer cannot (and must not abort trying),
@@ -114,7 +120,7 @@ Status WriteAheadLog::LoadOrFormat() {
     head_lsn_ = 0;
     tail_block_ = 1;
     WriteSegmentHeader();
-    return Status::Ok();
+    return device_->io_status();
   }
   const std::uint32_t b = options_.block_words;
   std::vector<word_t> header(b, 0);
@@ -132,7 +138,7 @@ Status WriteAheadLog::LoadOrFormat() {
   head_lsn_ = base_lsn_ - 1;
   tail_block_ = 1;
   ScanFrames();
-  return Status::Ok();
+  return device_->io_status();
 }
 
 void WriteAheadLog::WriteSegmentHeader() {
@@ -260,6 +266,10 @@ Status WriteAheadLog::Rotate(std::uint64_t new_base) {
     fresh.Write(0, header.data());
     fresh.Sync();
     retired_syncs_ += fresh.syncs();
+    if (fresh.io_failed()) {
+      // The rotation never published; the old (still valid) segment stays.
+      return fresh.io_status();
+    }
   }
   // The new segment's header must be durable before the rename publishes
   // it; the rename itself must be journaled before the next checkpoint can
@@ -278,6 +288,11 @@ Status WriteAheadLog::Rotate(std::uint64_t new_base) {
                                 .path = options_.path,
                                 .truncate = false,
                                 .durable_sync = options_.fsync});
+  if (device_->io_failed()) return device_->io_status();
+  if (options_.fault != nullptr) {
+    device_ = std::make_unique<FaultInjectingBlockDevice>(std::move(device_),
+                                                          options_.fault);
+  }
   base_lsn_ = new_base;
   head_lsn_ = new_base - 1;
   tail_block_ = 1;
@@ -321,7 +336,13 @@ bool WalReader::Next(WriteAheadLog::Record* rec,
   const auto& recs = log_->records();
   if (pos_ >= recs.size()) return false;
   *rec = recs[pos_++];
-  TOKRA_CHECK(log_->ReadPayload(*rec, payload).ok());
+  // A payload that scanned valid but can no longer be read means the
+  // device failed underneath us; end the iteration instead of aborting —
+  // the caller sees the shortfall through the log's sticky io_status().
+  if (!log_->ReadPayload(*rec, payload).ok()) {
+    pos_ = recs.size();
+    return false;
+  }
   return true;
 }
 

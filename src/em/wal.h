@@ -62,6 +62,10 @@ class WriteAheadLog {
     /// outlive the log.
     obs::Histogram* append_us = nullptr;
     obs::Histogram* fsync_us = nullptr;
+    /// Test hook: wrap the log's device (and every rotated successor) in a
+    /// FaultInjectingBlockDevice consulting this injector. Non-owning;
+    /// null adds no wrapper. Plumbed from EmOptions::fault by the pager.
+    FaultInjector* fault = nullptr;
   };
 
   enum class RecordType : std::uint32_t {
@@ -121,6 +125,13 @@ class WriteAheadLog {
   std::uint64_t fsyncs() const { return retired_syncs_ + device_->syncs(); }
   /// Current segment size in log blocks (header block included).
   std::uint64_t file_blocks() const { return device_->NumBlocks(); }
+
+  /// The log device's sticky health (see BlockDevice::io_status). Callers
+  /// check this after their group's Append + Sync: a non-OK status means
+  /// the group may not be durable and MUST NOT be acknowledged.
+  Status io_status() const { return device_->io_status(); }
+  std::uint64_t io_errors() const { return device_->io_errors(); }
+  std::uint64_t injected_faults() const { return device_->injected_faults(); }
 
   const std::string& path() const { return options_.path; }
   std::uint32_t block_words() const { return options_.block_words; }

@@ -132,6 +132,16 @@ StatusOr<std::vector<em::word_t>> ReadFenceChain(em::Pager* pager,
   return payload;
 }
 
+const char* BackendName(em::Backend b) {
+  switch (b) {
+    case em::Backend::kMem: return "mem";
+    case em::Backend::kFile: return "file";
+    case em::Backend::kUring: return "uring";
+    case em::Backend::kMmap: return "mmap";
+  }
+  return "unknown";
+}
+
 void FreeFenceChain(em::Pager* pager, em::BlockId head) {
   em::BlockId cur = head;
   while (cur != em::kNullBlock) {
@@ -238,16 +248,29 @@ std::string ShardedTopkEngine::DumpMetrics() const {
   r.GetGauge("tokra_engine_batches_total")->Set(static_cast<std::int64_t>(c.batches));
   r.GetGauge("tokra_engine_rebalances_total")->Set(static_cast<std::int64_t>(c.rebalances));
   em::SpaceStats space;
+  std::uint64_t io_errors = 0, injected_faults = 0;
+  std::int64_t failed_shards = 0;
   {
     std::shared_lock<std::shared_mutex> tl(topology_mu_);
     for (const auto& sh : shards_) {
       em::SpaceStats s;
       if (snapshot_) {
+        for (const auto& rep : sh->replicas) {
+          std::lock_guard<std::mutex> g(rep->mu);
+          const em::IoStats io = rep->pager->stats();
+          io_errors += io.io_errors;
+          injected_faults += io.injected_faults;
+        }
         std::lock_guard<std::mutex> g(sh->replicas[0]->mu);
         s = sh->replicas[0]->pager->Space();
+        if (!sh->replicas[0]->pager->io_status().ok()) ++failed_shards;
       } else {
         std::lock_guard<std::mutex> g(sh->mu);
         s = sh->pager->Space();
+        const em::IoStats io = sh->pager->stats();
+        io_errors += io.io_errors;
+        injected_faults += io.injected_faults;
+        if (!sh->pager->io_status().ok()) ++failed_shards;
       }
       space.allocated_blocks += s.allocated_blocks;
       space.free_blocks += s.free_blocks;
@@ -255,6 +278,17 @@ std::string ShardedTopkEngine::DumpMetrics() const {
       space.file_blocks += s.file_blocks;
     }
   }
+  // Failure surfacing: the sticky error counts per backend and how many
+  // shards have left service. A non-zero failed_shards is the operator
+  // signal that availability is degraded even while queries on the healthy
+  // shards keep answering.
+  const std::string backend_label =
+      std::string("backend=\"") + BackendName(options_.em.backend) + "\"";
+  r.GetGauge("tokra_em_io_errors_total", backend_label)
+      ->Set(static_cast<std::int64_t>(io_errors));
+  r.GetGauge("tokra_em_injected_faults_total", backend_label)
+      ->Set(static_cast<std::int64_t>(injected_faults));
+  r.GetGauge("tokra_engine_failed_shards")->Set(failed_shards);
   r.GetGauge("tokra_engine_space_blocks", "kind=\"allocated\"")
       ->Set(static_cast<std::int64_t>(space.allocated_blocks));
   r.GetGauge("tokra_engine_space_blocks", "kind=\"free\"")
@@ -521,8 +555,9 @@ Status ShardedTopkEngine::InsertLocked(Shard& sh, const Point& p,
       const WalOp op{true, p};
       if (group != nullptr) {
         group->push_back(op);
-      } else {
-        LogShardOps(sh, {&op, 1});
+      } else if (Status ls = LogShardOps(sh, {&op, 1}); !ls.ok()) {
+        RollbackShardOps(sh, {&op, 1});
+        return ls;
       }
     }
   } else {
@@ -561,8 +596,9 @@ Status ShardedTopkEngine::DeleteLocked(Shard& sh, const Point& p,
       const WalOp op{false, p};
       if (group != nullptr) {
         group->push_back(op);
-      } else {
-        LogShardOps(sh, {&op, 1});
+      } else if (Status ls = LogShardOps(sh, {&op, 1}); !ls.ok()) {
+        RollbackShardOps(sh, {&op, 1});
+        return ls;
       }
     }
   }
@@ -580,14 +616,60 @@ void ShardedTopkEngine::FenceApply(Shard& sh, bool insert,
   }
 }
 
-void ShardedTopkEngine::LogShardOps(Shard& sh, std::span<const WalOp> ops) {
-  if (ops.empty()) return;
+Status ShardedTopkEngine::LogShardOps(Shard& sh, std::span<const WalOp> ops) {
+  if (ops.empty()) return Status::Ok();
   em::WriteAheadLog* wal = sh.pager->wal();
   TOKRA_CHECK(wal != nullptr);
   // The group commit: however many updates the shard group carried, the
   // log pays one append (one vectored block write) and one barrier.
   wal->Append(em::WriteAheadLog::RecordType::kLogical, EncodeWalOps(ops));
   wal->Sync();
+  // Acknowledge only if the record provably reached the log: the log's
+  // sticky error means the append or its barrier may have been lost, and
+  // an acknowledgement now could not be honored by recovery.
+  return wal->io_status();
+}
+
+void ShardedTopkEngine::RollbackShardOps(Shard& sh,
+                                         std::span<const WalOp> ops) {
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    const WalOp& op = *it;
+    Status st = op.insert ? sh.index->Delete(op.p) : sh.index->Insert(op.p);
+    if (!st.ok()) {
+      // The inverse apply failed: live index and registry can no longer be
+      // reconciled, so take the shard out of service entirely — every
+      // later query/update sees the sticky error, and recovery serves the
+      // on-disk truth (last checkpoint + logged prefix).
+      sh.pager->device()->PoisonIo(Status::IoError(
+          "rollback of an unlogged update group failed: " + st.ToString()));
+      return;
+    }
+    FenceApply(sh, /*insert=*/!op.insert, op.p);
+    if (op.insert) {
+      sh.approx_size.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      sh.approx_size.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (op.insert) {
+      n_inserts_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      n_deletes_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> rg(registry_mu_);
+    if (op.insert) {
+      by_x_.erase(op.p.x);
+      scores_.erase(op.p.score);
+    } else {
+      by_x_.emplace(op.p.x, op.p.score);
+      scores_.insert(op.p.score);
+    }
+  }
+}
+
+Status ShardedTopkEngine::ShardUpdateStatus(const Shard& sh) const {
+  Status home = sh.pager->home_io_status();
+  if (!home.ok()) return home;  // failed shard: nothing can be served
+  return sh.pager->wal_io_status();  // read-only shard: no durable updates
 }
 
 Status ShardedTopkEngine::Insert(const Point& p) {
@@ -600,6 +682,7 @@ Status ShardedTopkEngine::Insert(const Point& p) {
   // never observable while its index apply is still in flight.
   Shard& sh = *shards_[ShardFor(p.x)];
   std::lock_guard<std::mutex> g(sh.mu);
+  TOKRA_RETURN_IF_ERROR(ShardUpdateStatus(sh));
   return InsertLocked(sh, p, nullptr);
 }
 
@@ -610,6 +693,7 @@ Status ShardedTopkEngine::Delete(const Point& p) {
   TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
   Shard& sh = *shards_[ShardFor(p.x)];
   std::lock_guard<std::mutex> g(sh.mu);
+  TOKRA_RETURN_IF_ERROR(ShardUpdateStatus(sh));
   return DeleteLocked(sh, p, nullptr);
 }
 
@@ -664,12 +748,24 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
     // some other query's spans, not ours.
     obs::ScopedSpan probe_span(tr, "shard_probe", root_id);
     obs::ScopedTimer probe_timer(mset_.stage_probe_us);
+    // A shard whose home device carries a sticky error has left service:
+    // its in-memory state is coherent but no longer trustworthy against
+    // the medium, so the probe reports the error instead of results —
+    // queries covering only healthy shards are unaffected.
+    if (Status hs = pager->home_io_status(); !hs.ok()) {
+      statuses[j] = hs;
+      return;
+    }
     em::IoStats before = pager->stats();
     auto r = index->TopK(x1, x2, k);
-    if (r.ok()) {
-      parts[j] = std::move(*r);
-    } else {
+    if (!r.ok()) {
       statuses[j] = r.status();
+    } else if (Status hs = pager->home_io_status(); !hs.ok()) {
+      // The fault fired during THIS probe (a failed read still delivers
+      // bytes; see BlockDevice::io_status): surface it on this query.
+      statuses[j] = hs;
+    } else {
+      parts[j] = std::move(*r);
     }
     deltas[j] = pager->stats() - before;
   };
@@ -897,6 +993,13 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
     update_tasks.emplace_back([&, s] {
       Shard& sh = *shards_[s];
       std::lock_guard<std::mutex> g(sh.mu);
+      // A degraded shard (failed home device, or failed log under a WAL
+      // mode) answers its whole group with the sticky error and applies
+      // nothing; the other shards' groups proceed untouched.
+      if (Status st = ShardUpdateStatus(sh); !st.ok()) {
+        for (std::size_t i : groups[s]) (*out)[i].status = st;
+        return;
+      }
       // The batch path is the group-commit boundary: every accepted update
       // of this shard's group lands in ONE logical WAL record, appended and
       // synced once after the group applied — the batcher's coalescing
@@ -911,7 +1014,16 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
                                ? InsertLocked(sh, req.point, &group_log)
                                : DeleteLocked(sh, req.point, &group_log);
       }
-      LogShardOps(sh, group_log);
+      if (Status ls = LogShardOps(sh, group_log); !ls.ok()) {
+        // The group's record may not be durable: revoke every accepted op
+        // and answer it with the log's error instead — nothing from this
+        // group is acknowledged. Ops the validation already rejected keep
+        // their own status.
+        RollbackShardOps(sh, group_log);
+        for (std::size_t i : groups[s]) {
+          if ((*out)[i].status.ok()) (*out)[i].status = ls;
+        }
+      }
     });
   }
   pool_.RunAll(std::move(update_tasks));
@@ -967,6 +1079,11 @@ Status ShardedTopkEngine::Checkpoint(
   // retries the shard next time.
   auto checkpoint_shard = [&](std::size_t i) -> Status {
     Shard& sh = *shards_[i];
+    // A failed shard cannot commit (its pager refuses; its device overlay
+    // holds post-failure writes off the medium). Fail fast so the fence
+    // chain below isn't pointlessly rewritten — the healthy shards still
+    // checkpoint, and the first error is what the caller gets back.
+    if (Status st = sh.pager->io_status(); !st.ok()) return st;
     if (options_.skip_clean_shard_checkpoints &&
         !sh.dirty.load(std::memory_order_relaxed)) {
       // A clean shard's fence is also unchanged, so its old fence root (or
@@ -1510,8 +1627,17 @@ void ShardedTopkEngine::CheckInvariants() const {
 
   std::lock_guard<std::mutex> rg(registry_mu_);
   std::uint64_t total = 0;
+  bool skipped_failed = false;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& sh = *shards_[i];
+    if (!snapshot_ && !sh.pager->io_status().ok()) {
+      // A failed shard has left service: after a revoked group whose
+      // rollback could not complete, its live state may legitimately
+      // disagree with the registry, so its checks (and the global totals
+      // below) no longer apply.
+      skipped_failed = true;
+      continue;
+    }
     const core::TopkIndex* index =
         snapshot_ ? sh.replicas[0]->index.get() : sh.index.get();
     index->CheckInvariants();
@@ -1538,7 +1664,7 @@ void ShardedTopkEngine::CheckInvariants() const {
       TOKRA_CHECK(it->second == p.score);
     }
   }
-  if (!snapshot_) {
+  if (!snapshot_ && !skipped_failed) {
     TOKRA_CHECK_EQ(total, by_x_.size());
     TOKRA_CHECK_EQ(by_x_.size(), scores_.size());
   }

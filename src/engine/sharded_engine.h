@@ -327,7 +327,24 @@ class ShardedTopkEngine {
 
   /// Appends `ops` as one logical record to sh's log and runs the group-
   /// commit barrier. Caller holds sh.mu. No-op when empty or WAL-less.
-  void LogShardOps(Shard& sh, std::span<const WalOp> ops);
+  /// Non-OK (the log's sticky error) means the record's durability is
+  /// unknown: the caller must NOT acknowledge the group — revoke the
+  /// applied ops with RollbackShardOps and hand the status back.
+  Status LogShardOps(Shard& sh, std::span<const WalOp> ops);
+
+  /// Reverts `ops` (already applied to sh's index, fence, registry, and
+  /// counters) in reverse order, returning the live state to exactly the
+  /// acknowledged prefix after a failed group commit. Caller holds sh.mu.
+  /// If an inverse apply itself fails the shard's home device is poisoned
+  /// (the shard leaves service; the on-disk checkpoint + logged prefix
+  /// remain the recovery truth).
+  void RollbackShardOps(Shard& sh, std::span<const WalOp> ops);
+
+  /// Sticky health gate for accepting updates on sh: the home device's
+  /// first error (shard failed outright), else the log's (shard read-only:
+  /// reads still serve, but no new update can be made durable). Caller
+  /// holds sh.mu.
+  Status ShardUpdateStatus(const Shard& sh) const;
 
   /// Folds one ACCEPTED update into sh's fence (no-op when the shard has no
   /// fence). Caller holds sh.mu; takes sh.fence_mu internally so routers

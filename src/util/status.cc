@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }
