@@ -1,0 +1,388 @@
+// E14: replicated serving tier — read scaling and failover catch-up.
+//
+// (a) Aggregate top-k read throughput across 1 → 3 follower PROCESSES, each
+//     bootstrapped over TCP from one in-process primary. The serving-tier
+//     claim: followers answer locally, so read capacity scales with replica
+//     count while the primary pays only snapshot + tail shipping.
+// (b) Failover: a primary process is SIGKILLed mid-insert-stream while a
+//     follower tails it. The follower must degrade but keep answering
+//     (stale, with nonzero reported lag), and once a recovered primary
+//     returns on the same port, converge to a byte-identical fingerprint.
+//     Catch-up lag is the wall time from the restart to convergence; every
+//     insert the dead primary ACKNOWLEDGED must survive into the recovered
+//     state (acknowledged_lost counts the misses — the durability claim).
+//
+// All child processes are forked while the parent is still single-threaded
+// (fork + threads don't mix); the parent only starts its own primary after
+// the last fork. Children report over pipes in line-oriented text.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "engine/sharded_engine.h"
+#include "repl/follower.h"
+#include "repl/primary.h"
+
+namespace tokra::bench {
+namespace {
+
+namespace fs = std::filesystem;
+using engine::EngineOptions;
+using engine::ShardedTopkEngine;
+using repl::EngineFingerprint;
+using repl::Follower;
+using repl::Primary;
+
+constexpr std::size_t kPoints = 20000;
+constexpr double kXHi = 1e6;
+constexpr int kReaderThreads = 2;
+constexpr int kReadWindowMs = 1200;
+constexpr std::uint64_t kK = 10;
+constexpr int kAckTarget = 150;  // acked inserts before the SIGKILL
+
+std::string RootDir() {
+  return "/tmp/tokra-bench-e14-" + std::to_string(::getpid());
+}
+
+EngineOptions EngOpts(const std::string& dir) {
+  EngineOptions o;
+  o.num_shards = 4;
+  o.threads = 4;
+  o.em = em::EmOptions{.block_words = 256, .pool_frames = 64};
+  o.storage_dir = dir;
+  o.durability = engine::Durability::kWal;
+  o.telemetry.enabled = false;
+  return o;
+}
+
+double WallMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Follower::Options FollowerOpts(std::uint16_t port, const std::string& dir) {
+  Follower::Options fo;
+  fo.port = port;
+  fo.storage_dir = dir;
+  fo.engine = EngOpts(dir);
+  fo.heartbeat_timeout_ms = 300;
+  fo.connect_timeout_ms = 1000;
+  fo.backoff_initial_ms = 20;
+  fo.backoff_max_ms = 200;
+  fo.ack_interval_ms = 50;
+  return fo;
+}
+
+/// Child body for (a): bootstrap a follower, hammer it with local top-k
+/// reads for a fixed window, report "QPS <queries_per_sec>". Exits 1 on any
+/// setup failure (the parent treats that as a bench bug).
+[[noreturn]] void ReaderChild(std::uint16_t port, const std::string& dir,
+                              int wfd) {
+  auto follower = Follower::Start(FollowerOpts(port, dir));
+  if (!follower.ok()) ::_exit(1);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!((*follower)->serving() &&
+           (*follower)->state() == Follower::State::kStreaming)) {
+    if (std::chrono::steady_clock::now() > deadline) ::_exit(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<std::uint64_t> counts(kReaderThreads, 0);
+  std::vector<std::thread> threads;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(9100 + t);
+      while (WallMs(t0) < kReadWindowMs) {
+        double lo = rng.UniformDouble(0, kXHi * 0.99);
+        if ((*follower)->TopK(lo, lo + kXHi / 100, kK).ok()) ++counts[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  ::dprintf(wfd, "QPS %.1f\n", double(total) / (WallMs(t0) / 1000.0));
+  ::_exit(0);
+}
+
+/// Child body for (b), primary side: serve a replicated engine and keep
+/// inserting, acknowledging each insert AFTER its durability barrier
+/// ("ACK <x>"). Runs until SIGKILLed.
+[[noreturn]] void PrimaryChild(const std::string& dir, int wfd) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  Rng rng(4242);
+  auto built = ShardedTopkEngine::Build(RandomPoints(&rng, kPoints, kXHi),
+                                        EngOpts(dir));
+  if (!built.ok()) ::_exit(1);
+  auto eng = std::move(*built);
+  if (!eng->Checkpoint().ok()) ::_exit(1);
+  Primary::Options po;
+  po.storage_dir = dir;
+  po.heartbeat_ms = 25;
+  po.poll_ms = 2;
+  auto prim = Primary::Start(eng.get(), po);
+  if (!prim.ok()) ::_exit(1);
+  ::dprintf(wfd, "PORT %u\n", unsigned((*prim)->port()));
+  for (int i = 0;; ++i) {
+    const double x = kXHi + 1 + i;  // outside the built key range: countable
+    if (eng->Insert({x, 2.0 + i}).ok()) ::dprintf(wfd, "ACK %d\n", i);
+    ::usleep(400);
+  }
+}
+
+/// Child body for (b), follower side: a command-driven prober. Reports
+/// "SERVING", then on "KILLED" waits for degradation and answers a stale
+/// read ("DEGRADED lag_ms=<v> stale_reads=<ok|fail>"); on "FP <hex>" polls
+/// its fingerprint until it matches and reports "CONVERGED <ms> boot=<n>".
+[[noreturn]] void ProbeChild(std::uint16_t port, const std::string& dir,
+                             int rfd, int wfd) {
+  auto follower = Follower::Start(FollowerOpts(port, dir));
+  if (!follower.ok()) ::_exit(1);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!((*follower)->serving() &&
+           (*follower)->state() == Follower::State::kStreaming)) {
+    if (std::chrono::steady_clock::now() > deadline) ::_exit(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::dprintf(wfd, "SERVING\n");
+  FILE* in = ::fdopen(rfd, "r");
+  if (in == nullptr) ::_exit(1);
+  char line[128];
+  while (std::fgets(line, sizeof line, in) != nullptr) {
+    if (std::strncmp(line, "KILLED", 6) == 0) {
+      while ((*follower)->state() != Follower::State::kDegraded) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      const Follower::Stats st = (*follower)->stats();
+      auto stale = (*follower)->TopK(0, kXHi, kK);
+      ::dprintf(wfd, "DEGRADED lag_ms=%lld stale_reads=%s\n",
+                static_cast<long long>(st.lag_ms),
+                stale.ok() && !stale->empty() ? "ok" : "fail");
+    } else if (std::strncmp(line, "FP ", 3) == 0) {
+      const std::uint64_t want = std::strtoull(line + 3, nullptr, 16);
+      auto t0 = std::chrono::steady_clock::now();
+      bool converged = false;
+      while (WallMs(t0) < 30000) {
+        auto fp = (*follower)->Fingerprint();
+        if (fp.ok() && *fp == want) {
+          converged = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ::dprintf(wfd, "CONVERGED %s %.1f boot=%llu\n",
+                converged ? "yes" : "no", WallMs(t0),
+                static_cast<unsigned long long>(
+                    (*follower)->stats().bootstraps));
+      ::_exit(converged ? 0 : 1);
+    }
+  }
+  ::_exit(1);
+}
+
+struct Child {
+  pid_t pid = -1;
+  int rfd = -1;  ///< parent reads the child's reports here
+  int wfd = -1;  ///< parent writes commands here (-1: none)
+};
+
+template <typename Body>
+Child Fork(Body body, bool with_cmd_pipe = false) {
+  int out[2] = {-1, -1};
+  int cmd[2] = {-1, -1};
+  TOKRA_CHECK(::pipe(out) == 0);
+  if (with_cmd_pipe) TOKRA_CHECK(::pipe(cmd) == 0);
+  const pid_t pid = ::fork();
+  TOKRA_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::close(out[0]);
+    if (with_cmd_pipe) ::close(cmd[1]);
+    body(with_cmd_pipe ? cmd[0] : -1, out[1]);  // never returns
+    ::_exit(1);
+  }
+  ::close(out[1]);
+  if (with_cmd_pipe) ::close(cmd[0]);
+  return Child{pid, out[0], with_cmd_pipe ? cmd[1] : -1};
+}
+
+/// Reads one full line (blocking) from a child's report pipe.
+std::string ReadLineFrom(FILE* f) {
+  char line[160];
+  if (std::fgets(line, sizeof line, f) == nullptr) return "";
+  std::string s(line);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+void Run() {
+  InitJson("e14");
+  const std::string root = RootDir();
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // ---------------------------------------------------------------- (a)
+  // One in-process primary would mean parent threads before the follower
+  // forks, so the scaling primary is ALSO a child process.
+  Child prim = Fork([&](int, int wfd) { PrimaryChild(root + "/scale-p", wfd); });
+  FILE* prim_out = ::fdopen(prim.rfd, "r");
+  TOKRA_CHECK(prim_out != nullptr);
+  std::string port_line = ReadLineFrom(prim_out);
+  TOKRA_CHECK(port_line.rfind("PORT ", 0) == 0);
+  const auto port =
+      static_cast<std::uint16_t>(std::strtoul(port_line.c_str() + 5,
+                                              nullptr, 10));
+
+  // Scaling is a host property: follower processes only add capacity when
+  // there are cores to run them, so the core count is recorded alongside.
+  const long cores = ::sysconf(_SC_NPROCESSORS_ONLN);
+  Header("E14a: aggregate follower read throughput (k=" + U(kK) +
+             ", cores=" + std::to_string(cores) + ")",
+         {"followers", "aggregate qps", "speedup vs 1"});
+  double qps1 = 0;
+  for (int n = 1; n <= 3; ++n) {
+    std::vector<Child> readers;
+    for (int i = 0; i < n; ++i) {
+      const std::string dir =
+          root + "/scale-f" + std::to_string(n) + "-" + std::to_string(i);
+      readers.push_back(Fork(
+          [&, dir](int, int wfd) { ReaderChild(port, dir, wfd); }));
+    }
+    double total = 0;
+    for (Child& c : readers) {
+      FILE* f = ::fdopen(c.rfd, "r");
+      TOKRA_CHECK(f != nullptr);
+      std::string line = ReadLineFrom(f);
+      std::fclose(f);
+      int status = 0;
+      ::waitpid(c.pid, &status, 0);
+      TOKRA_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+      TOKRA_CHECK(line.rfind("QPS ", 0) == 0);
+      total += std::strtod(line.c_str() + 4, nullptr);
+    }
+    if (n == 1) qps1 = total;
+    Row({U(static_cast<std::uint64_t>(n)), D(total, 1),
+         D(qps1 > 0 ? total / qps1 : 0, 2)});
+  }
+
+  // ---------------------------------------------------------------- (b)
+  // Fresh primary child for failover (its insert stream must start near the
+  // probe follower's bootstrap, not after minutes of scaling reads).
+  ::kill(prim.pid, SIGKILL);
+  ::waitpid(prim.pid, nullptr, 0);
+  std::fclose(prim_out);
+
+  const std::string pdir = root + "/failover-p";
+  Child fprim = Fork([&](int, int wfd) { PrimaryChild(pdir, wfd); });
+  prim_out = ::fdopen(fprim.rfd, "r");
+  TOKRA_CHECK(prim_out != nullptr);
+  port_line = ReadLineFrom(prim_out);
+  TOKRA_CHECK(port_line.rfind("PORT ", 0) == 0);
+  const auto fport =
+      static_cast<std::uint16_t>(std::strtoul(port_line.c_str() + 5,
+                                              nullptr, 10));
+  Child probe = Fork(
+      [&](int rfd, int wfd) { ProbeChild(fport, root + "/failover-f", rfd, wfd); },
+      /*with_cmd_pipe=*/true);
+  FILE* probe_out = ::fdopen(probe.rfd, "r");
+  TOKRA_CHECK(probe_out != nullptr);
+  TOKRA_CHECK(ReadLineFrom(probe_out) == "SERVING");
+
+  // Collect acknowledgements until the target, then SIGKILL mid-stream.
+  std::vector<int> acked;
+  while (static_cast<int>(acked.size()) < kAckTarget) {
+    std::string line = ReadLineFrom(prim_out);
+    TOKRA_CHECK(!line.empty());
+    if (line.rfind("ACK ", 0) == 0) {
+      acked.push_back(std::atoi(line.c_str() + 4));
+    }
+  }
+  ::kill(fprim.pid, SIGKILL);
+  ::waitpid(fprim.pid, nullptr, 0);
+  // Acks already buffered in the pipe when the kill landed are still
+  // acknowledgements — drain to EOF.
+  for (std::string line = ReadLineFrom(prim_out); !line.empty();
+       line = ReadLineFrom(prim_out)) {
+    if (line.rfind("ACK ", 0) == 0) acked.push_back(std::atoi(line.c_str() + 4));
+  }
+  std::fclose(prim_out);
+
+  ::dprintf(probe.wfd, "KILLED\n");
+  const std::string degraded = ReadLineFrom(probe_out);
+  TOKRA_CHECK(degraded.rfind("DEGRADED ", 0) == 0);
+  const bool stale_ok = degraded.find("stale_reads=ok") != std::string::npos;
+
+  // Recover the dead primary's state in-parent (all forks are done) and
+  // take over its port. The acknowledged-durability check runs against this
+  // recovered engine: every ACKed x must still be present.
+  auto recovered = ShardedTopkEngine::Recover(EngOpts(pdir));
+  Must(recovered.status());
+  auto eng = std::move(*recovered);
+  std::uint64_t lost = 0;
+  for (int i : acked) {
+    auto hit = eng->TopK(kXHi + 1 + i, kXHi + 1 + i, 1);
+    if (!hit.ok() || hit->empty()) ++lost;
+  }
+  Primary::Options po;
+  po.storage_dir = pdir;
+  po.port = fport;
+  po.heartbeat_ms = 25;
+  po.poll_ms = 2;
+  auto t_restart = std::chrono::steady_clock::now();
+  auto prim2 = Primary::Start(eng.get(), po);
+  Must(prim2.status());
+  auto want = EngineFingerprint(*eng);
+  Must(want.status());
+  char fpcmd[64];
+  std::snprintf(fpcmd, sizeof fpcmd, "FP %llx\n",
+                static_cast<unsigned long long>(*want));
+  TOKRA_CHECK(::write(probe.wfd, fpcmd, std::strlen(fpcmd)) > 0);
+  const std::string conv = ReadLineFrom(probe_out);
+  const double catchup_ms = WallMs(t_restart);
+  int status = 0;
+  ::waitpid(probe.pid, &status, 0);
+  std::fclose(probe_out);
+  ::close(probe.wfd);
+  const bool converged = conv.rfind("CONVERGED yes", 0) == 0;
+  TOKRA_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  Header("E14b: failover (SIGKILL mid-stream, restart on same port)",
+         {"acked before kill", "stale reads while degraded", "catchup ms",
+          "acknowledged lost", "converged"});
+  Row({U(acked.size()), stale_ok ? "ok" : "fail", D(catchup_ms, 1), U(lost),
+       converged ? "yes" : "no"});
+
+  // Greppable one-liner for CI (and humans scanning logs).
+  std::printf(
+      "REPL SUMMARY: followers=3 cores=%ld failover_catchup_ms=%.1f "
+      "acknowledged_lost=%llu converged_fingerprints=%s "
+      "degraded_stale_reads=%s\n",
+      cores, catchup_ms, static_cast<unsigned long long>(lost),
+      converged ? "yes" : "no", stale_ok ? "ok" : "fail");
+
+  fs::remove_all(root);
+}
+
+}  // namespace tokra::bench
+
+int main() {
+  ::signal(SIGPIPE, SIG_IGN);
+  tokra::bench::Run();
+  return 0;
+}

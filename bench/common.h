@@ -76,6 +76,11 @@ struct IoRow {
   std::uint64_t shards_pruned = 0;
   std::uint64_t fence_checks = 0;
   std::uint64_t waves = 0;
+  // Pager::Space() snapshot at the end of the phase (all zero when the
+  // phase didn't record one): file_blocks is the shipping volume a
+  // replication bootstrap of this state would move, and the gap to
+  // allocated_blocks the compactable high-water mark.
+  em::SpaceStats space;
 };
 
 struct JsonState {
@@ -137,7 +142,8 @@ inline void WriteJson() {
                  {"phase", "reads", "writes", "pool_hits", "pool_misses",
                   "evictions", "prefetched", "borrows", "wal_appends",
                   "fsyncs", "total_ios", "shards_pruned", "fence_checks",
-                  "waves"},
+                  "waves", "alloc_blocks", "free_blocks", "reserved_blocks",
+                  "file_blocks"},
                  {}};
     for (const auto& row : st.io_rows) {
       const em::IoStats& s = row.io;
@@ -152,7 +158,11 @@ inline void WriteJson() {
                          std::to_string(s.TotalIos()),
                          std::to_string(row.shards_pruned),
                          std::to_string(row.fence_checks),
-                         std::to_string(row.waves)});
+                         std::to_string(row.waves),
+                         std::to_string(row.space.allocated_blocks),
+                         std::to_string(row.space.free_blocks),
+                         std::to_string(row.space.reserved_blocks),
+                         std::to_string(row.space.file_blocks)});
     }
     tables.push_back(std::move(io));
   }
@@ -262,7 +272,8 @@ inline void Row(const std::vector<std::string>& cells) {
 inline void RecordIoStats(const std::string& phase, const em::IoStats& io,
                           std::uint64_t shards_pruned = 0,
                           std::uint64_t fence_checks = 0,
-                          std::uint64_t waves = 0) {
+                          std::uint64_t waves = 0,
+                          const em::SpaceStats& space = {}) {
   std::printf("[io] %s: %s total=%llu", phase.c_str(),
               io.ToString().c_str(),  // now covers every counter
               static_cast<unsigned long long>(io.TotalIos()));
@@ -272,10 +283,16 @@ inline void RecordIoStats(const std::string& phase, const em::IoStats& io,
                 static_cast<unsigned long long>(fence_checks),
                 static_cast<unsigned long long>(waves));
   }
+  if (space.file_blocks != 0) {
+    std::printf(" alloc_blocks=%llu file_blocks=%llu",
+                static_cast<unsigned long long>(space.allocated_blocks),
+                static_cast<unsigned long long>(space.file_blocks));
+  }
   std::printf("\n");
   detail::JsonState& st = detail::State();
   if (st.enabled) {
-    st.io_rows.push_back({phase, io, shards_pruned, fence_checks, waves});
+    st.io_rows.push_back(
+        {phase, io, shards_pruned, fence_checks, waves, space});
   }
 }
 

@@ -1,0 +1,244 @@
+// Replicated service demo: a primary serving writes while followers
+// bootstrap over TCP, tail its WAL, and answer top-k reads locally.
+//
+//   cmake --build build && ./build/replicated_service
+//
+// Roles:
+//   (no flags)                  self-contained demo: forks a primary and two
+//                               follower processes, loads updates, kills the
+//                               primary mid-stream, shows the followers
+//                               degrade (stale reads + lag gauges), restarts
+//                               the primary, and shows convergence.
+//   --role=primary              build an engine and serve replication.
+//     [--dir=PATH] [--port=N]
+//   --role=follower --port=N    bootstrap from 127.0.0.1:N and answer
+//     [--dir=PATH]              queries locally, printing lag every second.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "repl/follower.h"
+#include "repl/primary.h"
+#include "util/random.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace tokra;
+using engine::EngineOptions;
+using engine::ShardedTopkEngine;
+using repl::Follower;
+using repl::Primary;
+
+constexpr std::size_t kPoints = 10000;
+constexpr double kXHi = 1e6;
+
+EngineOptions EngOpts(const std::string& dir) {
+  EngineOptions o;
+  o.num_shards = 4;
+  o.threads = 2;
+  o.em = em::EmOptions{.block_words = 256, .pool_frames = 32};
+  o.storage_dir = dir;
+  o.durability = engine::Durability::kWal;
+  o.telemetry.enabled = false;
+  return o;
+}
+
+int RunPrimary(const std::string& dir, std::uint16_t port, bool forever) {
+  fs::create_directories(dir);
+  Rng rng(7);
+  std::vector<Point> pts(kPoints);
+  auto xs = rng.DistinctDoubles(kPoints, 0.0, kXHi);
+  auto scores = rng.DistinctDoubles(kPoints, 0.0, 1.0);
+  for (std::size_t i = 0; i < kPoints; ++i) pts[i] = Point{xs[i], scores[i]};
+  auto eng = ShardedTopkEngine::Build(pts, EngOpts(dir));
+  if (!eng.ok()) {
+    std::fprintf(stderr, "primary: %s\n", eng.status().message().c_str());
+    return 1;
+  }
+  if (Status st = (*eng)->Checkpoint(); !st.ok()) {
+    std::fprintf(stderr, "primary: %s\n", st.message().c_str());
+    return 1;
+  }
+  Primary::Options po;
+  po.storage_dir = dir;
+  po.port = port;
+  auto prim = Primary::Start(eng->get(), po);
+  if (!prim.ok()) {
+    std::fprintf(stderr, "primary: %s\n", prim.status().message().c_str());
+    return 1;
+  }
+  std::printf("primary: serving replication on port %u (dir %s)\n",
+              unsigned((*prim)->port()), dir.c_str());
+  std::fflush(stdout);
+  // Keep a write stream flowing so followers have something to tail.
+  for (int i = 0; forever || i < 100000; ++i) {
+    const double x = kXHi + 1 + i;
+    if (Status st = (*eng)->Insert({x, 1.0 + i}); !st.ok()) {
+      std::fprintf(stderr, "primary: insert: %s\n", st.message().c_str());
+      return 1;
+    }
+    ::usleep(1000);
+  }
+  return 0;
+}
+
+int RunFollower(const std::string& dir, std::uint16_t port, int seconds) {
+  Follower::Options fo;
+  fo.port = port;
+  fo.storage_dir = dir;
+  fo.engine = EngOpts(dir);
+  fo.heartbeat_timeout_ms = 500;
+  auto fol = Follower::Start(fo);
+  if (!fol.ok()) {
+    std::fprintf(stderr, "follower: %s\n", fol.status().message().c_str());
+    return 1;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int s = 0; seconds <= 0 || s < seconds; ++s) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    const Follower::Stats st = (*fol)->stats();
+    auto top = (*fol)->TopK(-inf, inf, 3);
+    std::printf(
+        "follower[%d]: state=%s serving=%d lag_lsn=%llu lag_ms=%lld "
+        "boots=%llu reconnects=%llu top1=%s\n",
+        ::getpid(), Follower::StateName(st.state), int(st.serving),
+        (unsigned long long)st.lag_lsn, (long long)st.lag_ms,
+        (unsigned long long)st.bootstraps, (unsigned long long)st.reconnects,
+        top.ok() && !top->empty()
+            ? std::to_string(top->front().x).c_str()
+            : "n/a");
+    std::fflush(stdout);
+  }
+  std::printf("%s", (*fol)->DumpMetrics().c_str());
+  return 0;
+}
+
+/// Forked demo: primary + two followers, a mid-stream SIGKILL, a restart,
+/// and fingerprint convergence — the failover story end to end.
+int RunDemo() {
+  const std::string root =
+      "/tmp/tokra-replicated-demo-" + std::to_string(::getpid());
+  fs::remove_all(root);
+  fs::create_directories(root);
+  // Fixed port keeps the demo simple; fork the primary first and scrape the
+  // actual port from a pipe so parallel demos don't collide.
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return 1;
+  const pid_t prim_pid = ::fork();
+  if (prim_pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::_exit(RunPrimary(root + "/primary", 0, /*forever=*/true));
+  }
+  ::close(pipefd[1]);
+  FILE* prim_out = ::fdopen(pipefd[0], "r");
+  char line[256];
+  std::uint16_t port = 0;
+  if (std::fgets(line, sizeof line, prim_out) != nullptr) {
+    const char* p = std::strstr(line, "port ");
+    if (p != nullptr) port = std::uint16_t(std::atoi(p + 5));
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "demo: primary failed to start\n");
+    return 1;
+  }
+  std::printf("demo: primary pid %d on port %u\n", prim_pid, port);
+
+  std::vector<pid_t> followers;
+  for (int i = 0; i < 2; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::fclose(prim_out);
+      ::_exit(RunFollower(root + "/f" + std::to_string(i), port,
+                          /*seconds=*/12));
+    }
+    followers.push_back(pid);
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(4));
+  std::printf("demo: SIGKILL primary (followers should degrade, keep "
+              "serving, and report growing lag_ms)\n");
+  std::fflush(stdout);
+  ::kill(prim_pid, SIGKILL);
+  ::waitpid(prim_pid, nullptr, 0);
+  std::fclose(prim_out);
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+
+  std::printf("demo: restarting primary on port %u\n", port);
+  std::fflush(stdout);
+  auto eng = ShardedTopkEngine::Recover(EngOpts(root + "/primary"));
+  if (!eng.ok()) {
+    std::fprintf(stderr, "demo: recover: %s\n",
+                 eng.status().message().c_str());
+    return 1;
+  }
+  Primary::Options po;
+  po.storage_dir = root + "/primary";
+  po.port = port;
+  auto prim2 = Primary::Start(eng->get(), po);
+  if (!prim2.ok()) {
+    std::fprintf(stderr, "demo: restart: %s\n",
+                 prim2.status().message().c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (pid_t pid : followers) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) rc = 1;
+  }
+  std::printf("demo: done (followers %s)\n", rc == 0 ? "clean" : "FAILED");
+  fs::remove_all(root);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  std::string role;
+  std::string dir;
+  std::uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--role=", 7) == 0) {
+      role = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::uint16_t(std::atoi(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (role.empty()) return RunDemo();
+  if (role == "primary") {
+    if (dir.empty()) dir = "/tmp/tokra-replicated-primary";
+    return RunPrimary(dir, port, /*forever=*/true);
+  }
+  if (role == "follower") {
+    if (port == 0) {
+      std::fprintf(stderr, "--role=follower requires --port=N\n");
+      return 2;
+    }
+    if (dir.empty()) {
+      dir = "/tmp/tokra-replicated-follower-" + std::to_string(::getpid());
+    }
+    return RunFollower(dir, port, /*seconds=*/0);
+  }
+  std::fprintf(stderr, "unknown --role=%s\n", role.c_str());
+  return 2;
+}

@@ -25,7 +25,7 @@
 #include <thread>
 #include <vector>
 
-#include "em/wal.h"
+#include "em/wal_tail.h"
 #include "engine/batcher.h"
 #include "engine/sharded_engine.h"
 #include "util/random.h"
@@ -430,25 +430,31 @@ int main(int argc, char** argv) {
   if ((*follower)->size() != primary_before) return 1;
   std::uint64_t shipped_records = 0, shipped_ops = 0;
   for (std::uint32_t i = 0; i < wopts.num_shards; ++i) {
-    auto tail = em::WalReader::Open(
-        (wstore / ("shard-" + std::to_string(i) + ".wal")).string(),
-        wopts.em.block_words);
-    if (!tail.ok()) return 1;
-    (*tail)->Seek(covered[i]);  // the stamp the snapshot already covers
-    em::WriteAheadLog::Record rec;
-    std::vector<em::word_t> payload;
-    while ((*tail)->Next(&rec, &payload)) {
-      if (rec.type != em::WriteAheadLog::RecordType::kLogical) continue;
+    // The position-remembering tail poller (start_after = the stamp the
+    // snapshot already covers). One Poll drains a quiescent log; a live
+    // replica would keep calling Poll and only ever pay for new records.
+    em::WalTailFollower tail(em::WalTailFollower::Options{
+        .path = (wstore / ("shard-" + std::to_string(i) + ".wal")).string(),
+        .block_words = wopts.em.block_words,
+        .start_after = covered[i]});
+    auto shipped = tail.Poll([&](const em::WriteAheadLog::Record& rec,
+                                 std::span<const em::word_t> payload)
+                                 -> Status {
+      if (rec.type != em::WriteAheadLog::RecordType::kLogical) {
+        return Status::Ok();
+      }
       auto ops = engine::DecodeWalOps(payload);
-      if (!ops.ok()) return 1;
+      if (!ops.ok()) return ops.status();
       for (const engine::WalOp& op : *ops) {
         Status st = op.insert ? (*follower)->Insert(op.p)
                               : (*follower)->Delete(op.p);
-        if (!st.ok()) return 1;
+        TOKRA_RETURN_IF_ERROR(st);
       }
       ++shipped_records;
       shipped_ops += ops->size();
-    }
+      return Status::Ok();
+    });
+    if (!shipped.ok()) return 1;
   }
   auto follower_answer = (*follower)->TopK(-1e18, 1e18, 25);
   if (!follower_answer.ok() || *follower_answer != primary_answer ||

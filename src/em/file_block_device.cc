@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/io_retry.h"
+
 namespace tokra::em {
 
 namespace {
@@ -138,25 +140,18 @@ void FileBlockDevice::DoWriteRun(BlockId first, std::uint32_t count,
 
 void FileBlockDevice::PreadFull(std::uint64_t offset, void* buf,
                                 std::size_t len) {
-  char* p = static_cast<char*>(buf);
-  while (len > 0) {
-    ssize_t n = ::pread(fd_, p, len, static_cast<off_t>(offset));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      // Error, or EOF inside the device (a truncated/corrupt file). The
-      // remainder is zero-filled: contents of a failed read are
-      // unspecified, and validated callers (superblock checksum, WAL CRC)
-      // reject zeros just like any other garbage.
-      RecordIoError(n < 0 ? Status::IoError("pread failed: " + path_ + ": " +
-                                            Errno(errno))
-                          : Status::IoError("unexpected EOF: " + path_));
-      std::memset(p, 0, len);
-      return;
-    }
-    p += n;
-    offset += static_cast<std::uint64_t>(n);
-    len -= static_cast<std::size_t>(n);
-  }
+  std::size_t transferred = 0;
+  const int err = tokra::PreadFull(fd_, buf, len, offset, &transferred);
+  if (err == 0) return;
+  // Error, or EOF inside the device (a truncated/corrupt file). The
+  // remainder past the transferred prefix is zero-filled: contents of a
+  // failed read are unspecified, and validated callers (superblock
+  // checksum, WAL CRC) reject zeros just like any other garbage.
+  RecordIoError(err == kIoEof
+                    ? Status::IoError("unexpected EOF: " + path_)
+                    : Status::IoError("pread failed: " + path_ + ": " +
+                                      Errno(err)));
+  std::memset(static_cast<char*>(buf) + transferred, 0, len - transferred);
 }
 
 void FileBlockDevice::PwriteFull(std::uint64_t offset, const void* buf,
@@ -166,18 +161,9 @@ void FileBlockDevice::PwriteFull(std::uint64_t offset, const void* buf,
   // than partially applied — the caller can no longer be acknowledged, and
   // recovery rebuilds from the checkpoint + WAL anyway.
   if (io_failed()) return;
-  const char* p = static_cast<const char*>(buf);
-  while (len > 0) {
-    ssize_t n = ::pwrite(fd_, p, len, static_cast<off_t>(offset));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      RecordIoError(Status::IoError("pwrite failed: " + path_ + ": " +
-                                    Errno(n < 0 ? errno : EIO)));
-      return;
-    }
-    p += n;
-    offset += static_cast<std::uint64_t>(n);
-    len -= static_cast<std::size_t>(n);
+  if (const int err = tokra::PwriteFull(fd_, buf, len, offset); err != 0) {
+    RecordIoError(Status::IoError("pwrite failed: " + path_ + ": " +
+                                  Errno(err)));
   }
 }
 

@@ -137,6 +137,16 @@ Status WriteAheadLog::LoadOrFormat() {
   base_lsn_ = header[kSegWBaseLsn];
   head_lsn_ = base_lsn_ - 1;
   tail_block_ = 1;
+  // A matching scan-resume hint skips the already-consumed prefix: the
+  // caller vouches it holds every record below hint_lsn, and a rotated
+  // segment (base mismatch) invalidates the hint wholesale. hint_lsn must
+  // be past the base — an empty-at-hint-time segment resolves to a full
+  // scan, which is equally correct and avoids trusting a stale block.
+  if (options_.read_only && options_.hint_block >= 1 &&
+      options_.hint_base_lsn == base_lsn_ && options_.hint_lsn > base_lsn_) {
+    head_lsn_ = options_.hint_lsn - 1;
+    tail_block_ = options_.hint_block;
+  }
   ScanFrames();
   return device_->io_status();
 }
@@ -151,8 +161,8 @@ void WriteAheadLog::ScanFrames() {
   const std::uint32_t b = options_.block_words;
   const BlockId file_blocks = device_->NumBlocks();
   std::vector<word_t> head(b, 0);
-  BlockId block = 1;
-  std::uint64_t expect = base_lsn_;
+  BlockId block = tail_block_;       // 1 unless a scan-resume hint applied
+  std::uint64_t expect = head_lsn_ + 1;
   while (block < file_blocks) {
     device_->Read(block, head.data());
     if (head[kFrWMagic] != kFrameMagic || head[kFrWLsn] != expect) break;
@@ -320,8 +330,13 @@ StatusOr<std::unique_ptr<WalReader>> WalReader::Open(
   WriteAheadLog::Options o;
   o.path = std::move(path);
   o.block_words = block_words;
-  o.read_only = true;
-  TOKRA_ASSIGN_OR_RETURN(auto log, WriteAheadLog::Open(std::move(o)));
+  return Open(std::move(o));
+}
+
+StatusOr<std::unique_ptr<WalReader>> WalReader::Open(
+    WriteAheadLog::Options options) {
+  options.read_only = true;
+  TOKRA_ASSIGN_OR_RETURN(auto log, WriteAheadLog::Open(std::move(options)));
   return std::unique_ptr<WalReader>(new WalReader(std::move(log)));
 }
 

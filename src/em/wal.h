@@ -66,6 +66,16 @@ class WriteAheadLog {
     /// FaultInjectingBlockDevice consulting this injector. Non-owning;
     /// null adds no wrapper. Plumbed from EmOptions::fault by the pager.
     FaultInjector* fault = nullptr;
+    /// Scan-resume hint for live-tail pollers (em::WalTailFollower): when
+    /// the opened segment's base LSN equals hint_base_lsn and hint_block is
+    /// at least 1, the frame scan starts at hint_block expecting hint_lsn
+    /// instead of walking from block 1 — a poll of a growing log costs
+    /// O(new frames), not O(file). Records below hint_lsn are then absent
+    /// from records(), so only consumers that already hold them may hint.
+    /// A base mismatch (the segment rotated) ignores the hint entirely.
+    std::uint64_t hint_base_lsn = 0;
+    std::uint64_t hint_lsn = 0;
+    BlockId hint_block = 0;
   };
 
   enum class RecordType : std::uint32_t {
@@ -125,6 +135,9 @@ class WriteAheadLog {
   std::uint64_t fsyncs() const { return retired_syncs_ + device_->syncs(); }
   /// Current segment size in log blocks (header block included).
   std::uint64_t file_blocks() const { return device_->NumBlocks(); }
+  /// Log block where the next frame would start — together with head_lsn()
+  /// and base_lsn(), the scan-resume hint a poller feeds its next Open.
+  BlockId tail_block() const { return tail_block_; }
 
   /// The log device's sticky health (see BlockDevice::io_status). Callers
   /// check this after their group's Append + Sync: a non-OK status means
@@ -169,6 +182,11 @@ class WalReader {
   static StatusOr<std::unique_ptr<WalReader>> Open(std::string path,
                                                    std::uint32_t block_words);
 
+  /// Open with full options (read_only is forced on) — the scan-resume
+  /// hint path used by WalTailFollower for O(new data) polls.
+  static StatusOr<std::unique_ptr<WalReader>> Open(
+      WriteAheadLog::Options options);
+
   /// Positions the iterator at the first record with lsn > after.
   void Seek(std::uint64_t after);
 
@@ -177,6 +195,8 @@ class WalReader {
   bool Next(WriteAheadLog::Record* rec, std::vector<word_t>* payload);
 
   std::uint64_t head_lsn() const { return log_->head_lsn(); }
+  std::uint64_t base_lsn() const { return log_->base_lsn(); }
+  BlockId tail_block() const { return log_->tail_block(); }
   const std::vector<WriteAheadLog::Record>& records() const {
     return log_->records();
   }

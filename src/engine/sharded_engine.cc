@@ -252,7 +252,8 @@ std::string ShardedTopkEngine::DumpMetrics() const {
   std::int64_t failed_shards = 0;
   {
     std::shared_lock<std::shared_mutex> tl(topology_mu_);
-    for (const auto& sh : shards_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto& sh = shards_[i];
       em::SpaceStats s;
       if (snapshot_) {
         for (const auto& rep : sh->replicas) {
@@ -272,6 +273,18 @@ std::string ShardedTopkEngine::DumpMetrics() const {
         injected_faults += io.injected_faults;
         if (!sh->pager->io_status().ok()) ++failed_shards;
       }
+      // Per-shard Pager::Space() exposition: the gap between allocated and
+      // file blocks is each shard's compactable high-water mark, and
+      // file_blocks is what a replication bootstrap of this shard ships.
+      const std::string shard_label = "shard=\"" + std::to_string(i) + "\"";
+      r.GetGauge("tokra_pager_space_allocated_blocks", shard_label)
+          ->Set(static_cast<std::int64_t>(s.allocated_blocks));
+      r.GetGauge("tokra_pager_space_free_blocks", shard_label)
+          ->Set(static_cast<std::int64_t>(s.free_blocks));
+      r.GetGauge("tokra_pager_space_reserved_blocks", shard_label)
+          ->Set(static_cast<std::int64_t>(s.reserved_blocks));
+      r.GetGauge("tokra_pager_space_file_blocks", shard_label)
+          ->Set(static_cast<std::int64_t>(s.file_blocks));
       space.allocated_blocks += s.allocated_blocks;
       space.free_blocks += s.free_blocks;
       space.reserved_blocks += s.reserved_blocks;
@@ -1050,6 +1063,42 @@ Status ShardedTopkEngine::Checkpoint(
     std::vector<std::uint64_t>* covered_lsns) {
   if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
   std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  return CheckpointLocked(covered_lsns);
+}
+
+Status ShardedTopkEngine::ExportSnapshot(
+    const std::string& dest_dir, std::vector<std::uint64_t>* covered_lsns) {
+  if (snapshot_) return Status::FailedPrecondition("snapshot is read-only");
+  std::unique_lock<std::shared_mutex> tl(topology_mu_);
+  TOKRA_RETURN_IF_ERROR(CheckpointLocked(covered_lsns));
+  // Copy while still holding the engine exclusively: between the stamp and
+  // the copy no update can dirty a home block in place, so the exported
+  // bytes are exactly ONE checkpoint — the property that makes the export
+  // safe to serve (OpenSnapshot/Recover) and its log tail safe to replay
+  // from the stamped LSNs. The export is a shipping artifact, not a
+  // durability point: no fsync, the source checkpoint remains the truth.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dest_dir, ec);
+  if (ec) {
+    return Status::IoError("ExportSnapshot mkdir " + dest_dir + ": " +
+                           ec.message());
+  }
+  for (std::uint32_t i = 0; i < options_.num_shards; ++i) {
+    const std::string src = options_.ShardEm(i).path;
+    const std::string dst =
+        dest_dir + "/" + fs::path(src).filename().string();
+    fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      return Status::IoError("ExportSnapshot copy " + src + " -> " + dst +
+                             ": " + ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedTopkEngine::CheckpointLocked(
+    std::vector<std::uint64_t>* covered_lsns) {
   if (options_.storage_dir.empty()) {
     return Status::FailedPrecondition("engine has no storage_dir");
   }
@@ -1585,6 +1634,27 @@ em::IoStats ShardedTopkEngine::AggregatedIoStats() const {
     }
     std::lock_guard<std::mutex> g(sh->mu);
     total += sh->pager->stats();
+  }
+  return total;
+}
+
+em::SpaceStats ShardedTopkEngine::AggregatedSpaceStats() const {
+  std::shared_lock<std::shared_mutex> tl(topology_mu_);
+  em::SpaceStats total;
+  for (const auto& sh : shards_) {
+    em::SpaceStats s;
+    if (snapshot_) {
+      // Every replica views the same file; count each shard once.
+      std::lock_guard<std::mutex> g(sh->replicas[0]->mu);
+      s = sh->replicas[0]->pager->Space();
+    } else {
+      std::lock_guard<std::mutex> g(sh->mu);
+      s = sh->pager->Space();
+    }
+    total.allocated_blocks += s.allocated_blocks;
+    total.free_blocks += s.free_blocks;
+    total.reserved_blocks += s.reserved_blocks;
+    total.file_blocks += s.file_blocks;
   }
   return total;
 }

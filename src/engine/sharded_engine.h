@@ -200,6 +200,19 @@ class ShardedTopkEngine {
   /// needs to ask for the right log tail.
   Status Checkpoint(std::vector<std::uint64_t>* covered_lsns = nullptr);
 
+  /// Checkpoint + atomic export: runs a full Checkpoint() and then, still
+  /// holding the engine exclusively, copies every shard's checkpoint file
+  /// into `dest_dir` (created if needed; existing files overwritten). No
+  /// update can interleave between the stamp and the copy, so the exported
+  /// files are byte-for-byte the state of ONE checkpoint and
+  /// `covered_lsns` are exactly the LSNs a replica resumes each shard's
+  /// log tail from. The export contains shard files only (no logs): open
+  /// it with Recover() under Durability::kCheckpoint or with
+  /// OpenSnapshot(). Updates are blocked for the duration of the copy —
+  /// the replication primary's bootstrap cost (DESIGN.md §13).
+  Status ExportSnapshot(const std::string& dest_dir,
+                        std::vector<std::uint64_t>* covered_lsns = nullptr);
+
   // All public methods below are thread-safe.
 
   /// Inserts p. kAlreadyExists on duplicate x or score (checked globally).
@@ -245,6 +258,9 @@ class ShardedTopkEngine {
   /// Sum of all shards' pager counters. Rebalance replaces shard pagers, so
   /// the aggregate restarts from zero after one.
   em::IoStats AggregatedIoStats() const;
+  /// Sum of all shards' Pager::Space() — file_blocks is the volume a full
+  /// replication bootstrap ships.
+  em::SpaceStats AggregatedSpaceStats() const;
   /// Sum of all shards' blocks in use — the paper's space metric, summed.
   std::uint64_t BlocksInUse() const;
   EngineCounters counters() const;
@@ -375,6 +391,9 @@ class ShardedTopkEngine {
 
   Status RebalanceLocked();
   bool SkewedLocked() const;
+
+  /// Checkpoint body. Caller holds topology_mu_ exclusively.
+  Status CheckpointLocked(std::vector<std::uint64_t>* covered_lsns);
 
   EngineOptions options_;
   // Telemetry sits directly after options_ so it is destroyed LAST: shard

@@ -1,0 +1,275 @@
+#include "repl/conn.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace tokra::repl {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string Errno(int err) { return std::string(::strerror(err)); }
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("fcntl(O_NONBLOCK): " + Errno(errno));
+  }
+  return Status::Ok();
+}
+
+/// Waits until `fd` is ready for `events` or `deadline_ms` passes.
+/// Returns OK when ready, DeadlineExceeded on timeout.
+Status WaitReady(int fd, short events, std::int64_t deadline_ms) {
+  for (;;) {
+    const std::int64_t remain = deadline_ms - NowMs();
+    if (remain <= 0) return Status::DeadlineExceeded("repl conn I/O timeout");
+    struct pollfd pfd = {fd, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(remain));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll: " + Errno(errno));
+    }
+    if (n == 0) return Status::DeadlineExceeded("repl conn I/O timeout");
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      return Status::IoError("repl conn: socket error");
+    }
+    return Status::Ok();  // POLLIN/POLLOUT/POLLHUP: let read/write decide
+  }
+}
+
+}  // namespace
+
+Conn::Conn(int fd, Options options) : fd_(fd), options_(options) {
+  (void)SetNonBlocking(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Conn::~Conn() { Close(); }
+
+void Conn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Conn::FullWrite(const std::uint8_t* buf, std::size_t len) {
+  const std::int64_t deadline = NowMs() + options_.io_timeout_ms;
+  std::size_t done = 0;
+  while (done < len) {
+    if (fd_ < 0) return Status::IoError("repl conn: closed");
+    const ssize_t n =
+        ::send(fd_, buf + done, len - done, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      TOKRA_RETURN_IF_ERROR(WaitReady(fd_, POLLOUT, deadline));
+      continue;
+    }
+    return Status::IoError("repl conn send: " +
+                           (n == 0 ? std::string("connection closed")
+                                   : Errno(errno)));
+  }
+  return Status::Ok();
+}
+
+Status Conn::FullRead(std::uint8_t* buf, std::size_t len, bool* progressed) {
+  const std::int64_t deadline = NowMs() + options_.io_timeout_ms;
+  std::size_t done = 0;
+  while (done < len) {
+    if (fd_ < 0) return Status::IoError("repl conn: closed");
+    const ssize_t n = ::recv(fd_, buf + done, len - done, MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      if (progressed != nullptr) *progressed = true;
+      continue;
+    }
+    if (n == 0) return Status::IoError("repl conn: peer closed connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TOKRA_RETURN_IF_ERROR(WaitReady(fd_, POLLIN, deadline));
+      continue;
+    }
+    return Status::IoError("repl conn recv: " + Errno(errno));
+  }
+  return Status::Ok();
+}
+
+Status Conn::SendFrame(FrameType type, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return Status::IoError("repl conn: closed");
+  if (options_.fault != nullptr) {
+    const auto fired = options_.fault->OnWrite();
+    if (fired.has_value()) {
+      Close();
+      return Status::IoError("injected connection fault (send)");
+    }
+  }
+  std::uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(type, payload, header);
+  TOKRA_RETURN_IF_ERROR(FullWrite(header, sizeof(header)));
+  if (!payload.empty()) {
+    TOKRA_RETURN_IF_ERROR(FullWrite(payload.data(), payload.size()));
+  }
+  return Status::Ok();
+}
+
+Status Conn::RecvRest(Frame* out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  TOKRA_RETURN_IF_ERROR(FullRead(header, sizeof(header), nullptr));
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;
+  TOKRA_RETURN_IF_ERROR(
+      DecodeFrameHeader(header, &out->type, &payload_bytes, &crc));
+  out->payload.resize(payload_bytes);
+  if (payload_bytes > 0) {
+    TOKRA_RETURN_IF_ERROR(
+        FullRead(out->payload.data(), payload_bytes, nullptr));
+  }
+  if (Crc32Bytes(out->payload) != crc) {
+    return Status::IoError("repl frame: payload CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Status Conn::RecvFrame(Frame* out) {
+  if (fd_ < 0) return Status::IoError("repl conn: closed");
+  if (options_.fault != nullptr) {
+    const auto fired = options_.fault->OnRead();
+    if (fired.has_value()) {
+      Close();
+      return Status::IoError("injected connection fault (recv)");
+    }
+  }
+  return RecvRest(out);
+}
+
+Status Conn::TryRecvFrame(Frame* out) {
+  if (fd_ < 0) return Status::IoError("repl conn: closed");
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, 0);
+  if (n < 0 && errno != EINTR) {
+    return Status::IoError("poll: " + Errno(errno));
+  }
+  if (n <= 0 || !(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+    return Status::NotFound("no frame ready");
+  }
+  return RecvFrame(out);
+}
+
+StatusOr<int> ListenTcp(const std::string& bind_addr, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + Errno(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + bind_addr);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("bind " + bind_addr + ":" + std::to_string(port) +
+                           ": " + Errno(err));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("listen: " + Errno(err));
+  }
+  return fd;
+}
+
+StatusOr<std::uint16_t> LocalPort(int listen_fd) {
+  struct sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    return Status::IoError("getsockname: " + Errno(errno));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<int> AcceptConn(int listen_fd, int timeout_ms) {
+  struct pollfd pfd = {listen_fd, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::NotFound("accept interrupted");
+    return Status::IoError("poll(listen): " + Errno(errno));
+  }
+  if (n == 0) return Status::NotFound("accept timeout");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+      return Status::NotFound("accept raced away");
+    }
+    return Status::IoError("accept: " + Errno(errno));
+  }
+  return fd;
+}
+
+StatusOr<int> DialTcp(const std::string& host, std::uint16_t port,
+                      int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + Errno(errno));
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + Errno(err));
+  }
+  if (rc < 0) {
+    Status ready = WaitReady(fd, POLLOUT, NowMs() + timeout_ms);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                             ": " + Errno(err != 0 ? err : errno));
+    }
+  }
+  return fd;
+}
+
+}  // namespace tokra::repl

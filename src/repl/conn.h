@@ -1,0 +1,92 @@
+// A replication connection: one TCP socket carrying frames (repl/frame.h)
+// with per-operation deadlines.
+//
+// Both ends of the protocol tolerate a peer that dies, hangs, or is
+// partitioned away at any byte boundary, so every send/receive here is
+// bounded: the socket is non-blocking and each full-frame operation
+// poll()s with the remainder of its deadline, returning
+// Status::DeadlineExceeded when the peer stops making progress. Callers
+// treat any non-OK as "connection dead" — close and go through the
+// reconnect path; no operation is retried on the same socket.
+//
+// An em::FaultInjector can be attached to a connection; it is consulted
+// once per frame (OnWrite on send, OnRead on receive) and a fired fault
+// hard-closes the socket mid-frame — the deterministic stand-in for a
+// partition or peer crash used by the torture tests.
+
+#ifndef TOKRA_REPL_CONN_H_
+#define TOKRA_REPL_CONN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "em/fault_device.h"
+#include "repl/frame.h"
+#include "util/status.h"
+
+namespace tokra::repl {
+
+class Conn {
+ public:
+  struct Options {
+    /// Deadline for one whole frame send or receive. A receive that sees
+    /// no bytes at all for this long returns DeadlineExceeded (callers
+    /// poll for heartbeats well inside this bound).
+    int io_timeout_ms = 5000;
+    /// When set, consulted once per frame; a fired fault (kReadError /
+    /// kWriteError / kTornWrite on the matching direction) closes the
+    /// socket.
+    em::FaultInjector* fault = nullptr;
+  };
+
+  /// Takes ownership of a connected socket fd.
+  Conn(int fd, Options options);
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Sends one frame (header + payload) within the deadline.
+  Status SendFrame(FrameType type, std::span<const std::uint8_t> payload);
+
+  /// Receives one frame within the deadline, validating magic, type,
+  /// length bound, and payload CRC.
+  Status RecvFrame(Frame* out);
+
+  /// Like RecvFrame, but returns NotFound immediately when no header byte
+  /// is ready (does not consume the deadline). Once a header byte has
+  /// arrived the rest of the frame is read under the normal deadline.
+  Status TryRecvFrame(Frame* out);
+
+  /// Hard-closes the socket; any blocked or later operation fails.
+  void Close();
+
+  bool closed() const { return fd_ < 0; }
+
+ private:
+  Status FullRead(std::uint8_t* buf, std::size_t len, bool* progressed);
+  Status FullWrite(const std::uint8_t* buf, std::size_t len);
+  Status RecvRest(Frame* out);
+
+  int fd_;
+  Options options_;
+};
+
+/// Opens a listening TCP socket on `bind_addr:port` (port 0 picks a free
+/// port). Returns the listening fd.
+StatusOr<int> ListenTcp(const std::string& bind_addr, std::uint16_t port);
+
+/// The port a listening fd is bound to.
+StatusOr<std::uint16_t> LocalPort(int listen_fd);
+
+/// Accepts one connection within `timeout_ms` (NotFound on timeout, so an
+/// accept loop can poll a shutdown flag).
+StatusOr<int> AcceptConn(int listen_fd, int timeout_ms);
+
+/// Connects to `host:port` within `timeout_ms`.
+StatusOr<int> DialTcp(const std::string& host, std::uint16_t port,
+                      int timeout_ms);
+
+}  // namespace tokra::repl
+
+#endif  // TOKRA_REPL_CONN_H_

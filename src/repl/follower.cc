@@ -1,0 +1,528 @@
+#include "repl/follower.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "util/io_retry.h"
+#include "util/random.h"
+
+namespace tokra::repl {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t FingerprintPoints(std::span<const Point> points) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const Point& p : points) {
+    mix(std::bit_cast<std::uint64_t>(p.x));
+    mix(std::bit_cast<std::uint64_t>(p.score));
+  }
+  return h;
+}
+
+StatusOr<std::uint64_t> EngineFingerprint(
+    const engine::ShardedTopkEngine& engine) {
+  const std::uint64_t n = engine.size();
+  if (n == 0) return FingerprintPoints({});
+  TOKRA_ASSIGN_OR_RETURN(
+      const std::vector<Point> all,
+      engine.TopK(-std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity(), n));
+  return FingerprintPoints(all);
+}
+
+const char* Follower::StateName(State s) {
+  switch (s) {
+    case State::kConnecting:
+      return "connecting";
+    case State::kBootstrapping:
+      return "bootstrapping";
+    case State::kStreaming:
+      return "streaming";
+    case State::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<Follower>> Follower::Start(Options options) {
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument("repl follower: storage_dir required");
+  }
+  std::error_code ec;
+  fs::create_directories(options.storage_dir, ec);
+  if (ec) {
+    return Status::IoError("repl follower: create " + options.storage_dir +
+                           ": " + ec.message());
+  }
+  std::unique_ptr<Follower> f(new Follower(std::move(options)));
+  f->loop_thread_ = std::thread([raw = f.get()] { raw->Run(); });
+  return f;
+}
+
+Follower::Follower(Options options) : options_(std::move(options)) {
+  applied_.assign(options_.engine.num_shards, 0);
+  head_lsns_.assign(options_.engine.num_shards, 0);
+  snap_bytes_.assign(options_.engine.num_shards, 0);
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  g_state_ = metrics_->GetGauge("tokra_repl_state");
+  g_lag_lsn_ = metrics_->GetGauge("tokra_repl_lag_lsn");
+  g_lag_ms_ = metrics_->GetGauge("tokra_repl_lag_ms");
+  c_reconnects_ = metrics_->GetCounter("tokra_repl_reconnects_total");
+  c_bootstraps_ = metrics_->GetCounter("tokra_repl_bootstraps_total");
+  c_tail_records_ = metrics_->GetCounter("tokra_repl_tail_records_total");
+  c_heartbeats_ = metrics_->GetCounter("tokra_repl_heartbeats_total");
+  g_lag_ms_->Set(-1);
+}
+
+Follower::~Follower() { Stop(); }
+
+void Follower::Stop() {
+  stop_.store(true);
+  cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+bool Follower::serving() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_ != nullptr;
+}
+
+StatusOr<std::vector<Point>> Follower::TopK(double x1, double x2,
+                                            std::uint64_t k) const {
+  std::shared_ptr<engine::ShardedTopkEngine> e;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    e = engine_;
+  }
+  if (e == nullptr) {
+    return Status::FailedPrecondition("repl follower: not bootstrapped yet");
+  }
+  return e->TopK(x1, x2, k);
+}
+
+StatusOr<std::uint64_t> Follower::Fingerprint() const {
+  std::shared_ptr<engine::ShardedTopkEngine> e;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    e = engine_;
+  }
+  if (e == nullptr) {
+    return Status::FailedPrecondition("repl follower: not bootstrapped yet");
+  }
+  return EngineFingerprint(*e);
+}
+
+std::uint64_t Follower::LagLsnLocked() const {
+  std::uint64_t lag = 0;
+  for (std::size_t s = 0; s < applied_.size(); ++s) {
+    if (head_lsns_[s] > applied_[s]) lag += head_lsns_[s] - applied_[s];
+  }
+  return lag;
+}
+
+void Follower::RefreshLagGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  g_state_->Set(static_cast<std::int64_t>(state_.load()));
+  g_lag_lsn_->Set(static_cast<std::int64_t>(LagLsnLocked()));
+  g_lag_ms_->Set(last_heartbeat_ms_ < 0 ? -1
+                                        : NowMs() - last_heartbeat_ms_);
+}
+
+Follower::Stats Follower::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.state = state_.load();
+  {
+    std::lock_guard<std::mutex> elock(engine_mu_);
+    s.serving = engine_ != nullptr;
+  }
+  s.lag_lsn = LagLsnLocked();
+  s.lag_ms = last_heartbeat_ms_ < 0 ? -1 : NowMs() - last_heartbeat_ms_;
+  s.applied_lsns = applied_;
+  return s;
+}
+
+std::string Follower::DumpMetrics() const {
+  RefreshLagGauges();
+  return metrics_->DumpMetrics();
+}
+
+void Follower::SetState(State s) {
+  state_.store(s);
+  g_state_->Set(static_cast<std::int64_t>(s));
+}
+
+std::string Follower::ShardFilePath(std::uint32_t shard) const {
+  return options_.storage_dir + "/shard-" + std::to_string(shard) + ".tokra";
+}
+
+void Follower::Run() {
+  Rng rng(options_.backoff_seed);
+  int backoff = options_.backoff_initial_ms;
+  while (!stop_.load()) {
+    SetState(State::kConnecting);
+    Status st;
+    auto fd = DialTcp(options_.host, options_.port,
+                      options_.connect_timeout_ms);
+    if (fd.ok()) {
+      Conn conn(*fd, Conn::Options{options_.io_timeout_ms, options_.fault});
+      st = Session(conn);
+      // Session returning at all (past the handshake) means the link
+      // worked once: restart the backoff ladder from the bottom.
+      if (session_progressed_) backoff = options_.backoff_initial_ms;
+    } else {
+      st = fd.status();
+    }
+    if (stop_.load()) break;
+
+    // Keep serving stale reads while the primary is away.
+    SetState(serving() ? State::kDegraded : State::kConnecting);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.reconnects;
+    }
+    c_reconnects_->Add(1);
+    RefreshLagGauges();
+
+    // Capped exponential backoff, jittered to [backoff/2, backoff).
+    const int sleep_ms =
+        backoff / 2 +
+        static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(
+            std::max(1, backoff - backoff / 2))));
+    backoff = std::min(backoff * 2, options_.backoff_max_ms);
+    std::unique_lock<std::mutex> lock(cv_mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms),
+                 [this] { return stop_.load(); });
+  }
+}
+
+Status Follower::Session(Conn& conn) {
+  session_progressed_ = false;
+
+  HelloMsg hello;
+  TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kHello, hello.Encode()));
+  Frame f;
+  TOKRA_RETURN_IF_ERROR(conn.RecvFrame(&f));
+  if (f.type == FrameType::kError) {
+    ErrorMsg err;
+    (void)err.Decode(f.payload);
+    return Status::IoError("repl follower: primary refused: " + err.message);
+  }
+  if (f.type != FrameType::kHelloAck) {
+    return Status::IoError("repl follower: expected HelloAck");
+  }
+  HelloAckMsg ack;
+  TOKRA_RETURN_IF_ERROR(ack.Decode(f.payload));
+  if (ack.num_shards != options_.engine.num_shards) {
+    return Status::InvalidArgument(
+        "repl follower: shard count mismatch (primary " +
+        std::to_string(ack.num_shards) + ", local " +
+        std::to_string(options_.engine.num_shards) + ")");
+  }
+  if (ack.block_words != options_.engine.em.block_words) {
+    return Status::InvalidArgument("repl follower: block geometry mismatch");
+  }
+  session_progressed_ = true;
+
+  SubscribeMsg sub;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sub.applied_lsns = applied_;
+    sub.bootstrapped = counters_.bootstraps > 0 ? 1 : 0;
+    sub.snapshot_epoch = snap_epoch_;
+    sub.snapshot_bytes = snap_bytes_;
+  }
+  TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kSubscribe, sub.Encode()));
+
+  std::int64_t last_frame = NowMs();
+  std::int64_t last_ack = 0;
+  for (;;) {
+    if (stop_.load()) return Status::Ok();
+    Frame in;
+    Status st = conn.TryRecvFrame(&in);
+    if (st.code() == StatusCode::kNotFound) {
+      const std::int64_t now = NowMs();
+      if (now - last_frame > options_.heartbeat_timeout_ms) {
+        return Status::DeadlineExceeded(
+            "repl follower: heartbeat timeout (primary dead or "
+            "partitioned)");
+      }
+      if (state_.load() == State::kStreaming &&
+          now - last_ack >= options_.ack_interval_ms) {
+        AckMsg am;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          am.applied_lsns = applied_;
+        }
+        TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kAck, am.Encode()));
+        last_ack = now;
+      }
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return stop_.load(); });
+      continue;
+    }
+    TOKRA_RETURN_IF_ERROR(st);
+    last_frame = NowMs();
+
+    switch (in.type) {
+      case FrameType::kSnapBegin: {
+        SnapBeginMsg begin;
+        TOKRA_RETURN_IF_ERROR(begin.Decode(in.payload));
+        TOKRA_RETURN_IF_ERROR(HandleSnapshot(conn, begin));
+        last_frame = NowMs();
+        break;
+      }
+      case FrameType::kTail: {
+        TailMsg tail;
+        TOKRA_RETURN_IF_ERROR(tail.Decode(in.payload));
+        TOKRA_RETURN_IF_ERROR(ApplyTail(tail));
+        if (state_.load() != State::kStreaming) SetState(State::kStreaming);
+        break;
+      }
+      case FrameType::kHeartbeat: {
+        HeartbeatMsg hb;
+        TOKRA_RETURN_IF_ERROR(hb.Decode(in.payload));
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          last_heartbeat_ms_ = NowMs();
+          if (hb.head_lsns.size() == head_lsns_.size()) {
+            head_lsns_ = hb.head_lsns;
+          }
+          ++counters_.heartbeats;
+        }
+        c_heartbeats_->Add(1);
+        if (state_.load() != State::kStreaming) SetState(State::kStreaming);
+        RefreshLagGauges();
+        break;
+      }
+      case FrameType::kError: {
+        ErrorMsg err;
+        (void)err.Decode(in.payload);
+        return Status::IoError("repl follower: primary error: " +
+                               err.message);
+      }
+      default:
+        return Status::IoError("repl follower: unexpected frame type");
+    }
+  }
+}
+
+Status Follower::HandleSnapshot(Conn& conn, const SnapBeginMsg& begin) {
+  SetState(State::kBootstrapping);
+  const std::uint32_t n = options_.engine.num_shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (begin.epoch != snap_epoch_) {
+      snap_epoch_ = begin.epoch;
+      snap_bytes_.assign(n, 0);
+    }
+  }
+
+  std::vector<int> fds(n, -1);
+  std::vector<std::uint64_t> expect_bytes(n, 0);
+  auto close_all = [&fds] {
+    for (int& fd : fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  };
+  for (const SnapBeginMsg::File& file : begin.files) {
+    if (file.shard >= n) {
+      close_all();
+      return Status::IoError("repl follower: snapshot shard out of range");
+    }
+    const std::string path = ShardFilePath(file.shard);
+    fds[file.shard] =
+        ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fds[file.shard] < 0) {
+      close_all();
+      return Status::IoError("repl follower: open " + path + ": " +
+                             std::string(::strerror(errno)));
+    }
+    expect_bytes[file.shard] = file.file_bytes;
+    if (::ftruncate(fds[file.shard],
+                    static_cast<off_t>(file.file_bytes)) < 0) {
+      close_all();
+      return Status::IoError("repl follower: ftruncate " + path);
+    }
+    if (file.resume_offset > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.snapshot_resumed_bytes += file.resume_offset;
+    }
+  }
+
+  // Chunk stream until SnapEnd.
+  for (;;) {
+    if (stop_.load()) {
+      close_all();
+      return Status::Ok();
+    }
+    Frame in;
+    Status st = conn.RecvFrame(&in);
+    if (!st.ok()) {
+      close_all();
+      return st;
+    }
+    if (in.type == FrameType::kSnapChunk) {
+      SnapChunkMsg chunk;
+      st = chunk.Decode(in.payload);
+      if (!st.ok()) {
+        close_all();
+        return st;
+      }
+      if (chunk.shard >= n || fds[chunk.shard] < 0) {
+        close_all();
+        return Status::IoError("repl follower: chunk for unannounced shard");
+      }
+      const int err =
+          PwriteFull(fds[chunk.shard], chunk.data.data(), chunk.data.size(),
+                     static_cast<off_t>(chunk.offset));
+      if (err != 0) {
+        close_all();
+        return Status::IoError("repl follower: pwrite snapshot chunk: " +
+                               std::string(::strerror(err)));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      snap_bytes_[chunk.shard] = std::max(
+          snap_bytes_[chunk.shard], chunk.offset + chunk.data.size());
+      counters_.snapshot_bytes += chunk.data.size();
+      continue;
+    }
+    if (in.type != FrameType::kSnapEnd) {
+      close_all();
+      return Status::IoError(
+          "repl follower: unexpected frame inside snapshot stream");
+    }
+    SnapEndMsg end;
+    st = end.Decode(in.payload);
+    if (!st.ok()) {
+      close_all();
+      return st;
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (fds[s] >= 0) ::fsync(fds[s]);
+    }
+    close_all();
+
+    // Stray WAL segments from any earlier life of this directory would
+    // make Recover() see a tail the checkpoint does not cover.
+    for (std::uint32_t s = 0; s < n; ++s) {
+      std::error_code ec;
+      fs::remove(options_.storage_dir + "/shard-" + std::to_string(s) +
+                     ".wal",
+                 ec);
+    }
+
+    engine::EngineOptions eo = options_.engine;
+    eo.storage_dir = options_.storage_dir;
+    eo.durability = engine::Durability::kCheckpoint;
+    auto recovered = engine::ShardedTopkEngine::Recover(eo);
+    if (!recovered.ok()) {
+      // Corrupt transfer: force a clean refetch next session instead of
+      // resuming offsets into a poisoned file.
+      std::lock_guard<std::mutex> lock(mu_);
+      snap_bytes_.assign(n, 0);
+      snap_epoch_ = 0;
+      return recovered.status();
+    }
+    // Positions and counters first, engine swap LAST: anyone who can
+    // already query the new state must also see stats that reflect the
+    // completed install.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied_ = end.covered_lsns;
+      applied_.resize(n, 0);
+      ++counters_.bootstraps;
+      // snap_epoch_/snap_bytes_ describe a PARTIAL, not-yet-installed
+      // transfer only. The installed files now belong to the live engine
+      // (which mutates them), so their byte counts are useless as resume
+      // offsets — and a stale epoch match here would make a future
+      // re-bootstrap skip bytes it actually needs.
+      snap_epoch_ = 0;
+      snap_bytes_.assign(n, 0);
+    }
+    c_bootstraps_->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      engine_ = std::shared_ptr<engine::ShardedTopkEngine>(
+          std::move(*recovered));
+    }
+    SetState(State::kStreaming);
+    return Status::Ok();
+  }
+}
+
+Status Follower::ApplyTail(const TailMsg& tail) {
+  std::shared_ptr<engine::ShardedTopkEngine> e;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    e = engine_;
+  }
+  if (e == nullptr) {
+    return Status::Internal(
+        "repl follower: tail record before any bootstrap");
+  }
+  const std::uint32_t n = options_.engine.num_shards;
+  if (tail.shard >= n) {
+    return Status::IoError("repl follower: tail shard out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tail.lsn <= applied_[tail.shard]) return Status::Ok();  // duplicate
+  }
+  if (tail.payload.size() % sizeof(em::word_t) != 0) {
+    return Status::IoError("repl follower: tail payload not word-aligned");
+  }
+  std::vector<em::word_t> words(tail.payload.size() / sizeof(em::word_t));
+  if (!words.empty()) {
+    std::memcpy(words.data(), tail.payload.data(), tail.payload.size());
+  }
+  TOKRA_ASSIGN_OR_RETURN(const std::vector<engine::WalOp> ops,
+                         engine::DecodeWalOps(words));
+  std::uint64_t errs = 0;
+  for (const engine::WalOp& op : ops) {
+    const Status st = op.insert ? e->Insert(op.p) : e->Delete(op.p);
+    // A rejected redo op means this replica diverged (it should mirror
+    // the primary, whose engine accepted the op). Count it loudly and
+    // keep going: convergence checks compare fingerprints anyway.
+    if (!st.ok()) ++errs;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_[tail.shard] = tail.lsn;
+    if (head_lsns_[tail.shard] < tail.lsn) head_lsns_[tail.shard] = tail.lsn;
+    ++counters_.tail_records;
+    counters_.tail_ops += ops.size();
+    counters_.apply_errors += errs;
+  }
+  c_tail_records_->Add(1);
+  return Status::Ok();
+}
+
+}  // namespace tokra::repl

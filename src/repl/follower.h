@@ -1,0 +1,206 @@
+// Replication follower: a read-serving replica of a remote primary.
+//
+// The follower runs one background loop driving the state machine
+// documented in DESIGN.md §13:
+//
+//           +--------------+   connect+handshake    +----------------+
+//      +--> | kConnecting  | ---------------------> | kBootstrapping |
+//      |    +--------------+   (snapshot needed)    +----------------+
+//      |          |                                          |
+//      |          | (tail resumable)               SnapEnd → Recover,
+//      |          v                                 swap engine
+//      |    +--------------+ <------------------------------+
+//      |    |  kStreaming  |  apply Tail records, answer TopK locally,
+//      |    +--------------+  Ack applied LSNs
+//      |          |
+//      |          | no frame for heartbeat_timeout_ms, or conn error
+//      |          v
+//      |    +--------------+  keeps SERVING (stale) reads; lag gauges
+//      +--- |  kDegraded   |  grow; reconnects with capped exponential
+//  backoff  +--------------+  backoff + seeded jitter
+//
+// Reconnection resumes from the per-shard applied LSNs: the Subscribe
+// message carries them, and the primary re-ships a snapshot only for a
+// follower whose position its logs no longer cover. A bootstrap
+// interrupted mid-stream resumes mid-file (Subscribe also carries the
+// byte offsets already received of the current snapshot epoch).
+//
+// Staleness semantics: a follower answers TopK from its local engine at
+// whatever LSN frontier it has applied — reads are monotone per follower
+// (applied LSNs never move backwards) but can lag the primary by
+// tokra_repl_lag_lsn records / tokra_repl_lag_ms of heartbeat silence,
+// both exported from this object's own MetricsRegistry.
+
+#ifndef TOKRA_REPL_FOLLOWER_H_
+#define TOKRA_REPL_FOLLOWER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "em/fault_device.h"
+#include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+#include "repl/conn.h"
+#include "repl/protocol.h"
+#include "util/point.h"
+#include "util/status.h"
+
+namespace tokra::repl {
+
+class Follower {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Local replica directory (created if missing). Snapshot bytes land
+    /// here; the serving engine recovers from it.
+    std::string storage_dir;
+    /// Engine template for the local replica: num_shards and em geometry
+    /// must match the primary's; storage_dir and durability are overridden
+    /// (kCheckpoint — the follower's redo stream IS the primary's WAL).
+    engine::EngineOptions engine;
+    /// No frame (tail, snapshot chunk, or heartbeat) for this long means
+    /// the primary is dead or partitioned: degrade and reconnect.
+    int heartbeat_timeout_ms = 1000;
+    int connect_timeout_ms = 1000;
+    int io_timeout_ms = 5000;
+    /// Reconnect backoff: initial delay, doubled per failure up to the
+    /// cap, each sleep jittered to [delay/2, delay) by a deterministic
+    /// stream from backoff_seed. Reset on the first frame of a session.
+    int backoff_initial_ms = 50;
+    int backoff_max_ms = 2000;
+    std::uint64_t backoff_seed = 1;
+    /// How often a streaming follower reports its applied LSNs upstream.
+    int ack_interval_ms = 100;
+    /// Consulted once per frame (see repl/conn.h); a fired fault closes
+    /// the socket mid-protocol — the partition torture hook.
+    em::FaultInjector* fault = nullptr;
+  };
+
+  enum class State : int {
+    kConnecting = 0,
+    kBootstrapping = 1,
+    kStreaming = 2,
+    kDegraded = 3,
+  };
+  static const char* StateName(State s);
+
+  /// Point-in-time observability snapshot.
+  struct Stats {
+    State state = State::kConnecting;
+    bool serving = false;          ///< has a bootstrapped engine
+    std::uint64_t lag_lsn = 0;     ///< sum over shards of head - applied
+    std::int64_t lag_ms = -1;      ///< ms since last heartbeat; -1 = never
+    std::uint64_t reconnects = 0;
+    std::uint64_t bootstraps = 0;  ///< full snapshot installs
+    std::uint64_t tail_records = 0;
+    std::uint64_t tail_ops = 0;
+    std::uint64_t snapshot_bytes = 0;          ///< chunk bytes received
+    std::uint64_t snapshot_resumed_bytes = 0;  ///< saved by ranged resume
+    std::uint64_t heartbeats = 0;
+    std::uint64_t apply_errors = 0;
+    std::vector<std::uint64_t> applied_lsns;
+  };
+
+  /// Creates the storage directory and starts the replication loop. The
+  /// follower begins in kConnecting and serves reads only after its first
+  /// bootstrap completes.
+  static StatusOr<std::unique_ptr<Follower>> Start(Options options);
+
+  ~Follower();
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Terminates the loop and closes the connection. The serving engine
+  /// stays queryable until destruction. Idempotent.
+  void Stop();
+
+  State state() const { return state_.load(); }
+  bool serving() const;
+
+  /// Answers from the local replica engine (possibly stale — see the
+  /// staleness semantics above). kFailedPrecondition before the first
+  /// bootstrap completes.
+  StatusOr<std::vector<Point>> TopK(double x1, double x2,
+                                    std::uint64_t k) const;
+
+  /// Order-sensitive digest of the full top-k ordering of every point in
+  /// the replica — equal digests mean byte-identical serving state.
+  StatusOr<std::uint64_t> Fingerprint() const;
+
+  Stats stats() const;
+
+  /// Prometheus-style exposition of the follower's own registry
+  /// (tokra_repl_lag_lsn, tokra_repl_lag_ms, tokra_repl_state, and the
+  /// lifetime counters), refreshed first.
+  std::string DumpMetrics() const;
+
+ private:
+  explicit Follower(Options options);
+
+  void Run();
+  Status Session(Conn& conn);
+  Status HandleSnapshot(Conn& conn, const SnapBeginMsg& begin);
+  Status ApplyTail(const TailMsg& tail);
+  void SetState(State s);
+  void RefreshLagGauges() const;
+  std::uint64_t LagLsnLocked() const;
+  std::string ShardFilePath(std::uint32_t shard) const;
+
+  Options options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<State> state_{State::kConnecting};
+  // Whether the current session got past the handshake (loop thread only);
+  // gates the backoff reset.
+  bool session_progressed_ = false;
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  std::thread loop_thread_;
+
+  // Serving engine; swapped whole on re-bootstrap. Readers copy the
+  // shared_ptr under engine_mu_ and query without it.
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<engine::ShardedTopkEngine> engine_;
+
+  // Replication positions + counters (guarded by mu_; written by the loop
+  // thread, read by stats()).
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> applied_;
+  std::vector<std::uint64_t> head_lsns_;
+  std::int64_t last_heartbeat_ms_ = -1;
+  std::uint64_t snap_epoch_ = 0;
+  std::vector<std::uint64_t> snap_bytes_;
+  Stats counters_;  // lifetime counters (state/lag fields unused here)
+
+  // Own registry so a follower process exposes replication health without
+  // an engine-side registry.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Gauge* g_state_ = nullptr;
+  obs::Gauge* g_lag_lsn_ = nullptr;
+  obs::Gauge* g_lag_ms_ = nullptr;
+  obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_bootstraps_ = nullptr;
+  obs::Counter* c_tail_records_ = nullptr;
+  obs::Counter* c_heartbeats_ = nullptr;
+};
+
+/// Order-sensitive FNV-1a digest of a point list (x and score bit
+/// patterns, in order).
+std::uint64_t FingerprintPoints(std::span<const Point> points);
+
+/// Digest of an engine's full serving state: TopK over the whole key range
+/// with k = size. Two engines with equal digests serve byte-identical
+/// answers to every query.
+StatusOr<std::uint64_t> EngineFingerprint(
+    const engine::ShardedTopkEngine& engine);
+
+}  // namespace tokra::repl
+
+#endif  // TOKRA_REPL_FOLLOWER_H_

@@ -1,0 +1,77 @@
+#include "repl/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace tokra::repl {
+
+namespace {
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool KnownFrameType(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint32_t>(FrameType::kError);
+}
+
+std::uint32_t Crc32Bytes(std::span<const std::uint8_t> bytes) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int j = 0; j < 8; ++j) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~0u;
+  for (std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+void EncodeFrameHeader(FrameType type, std::span<const std::uint8_t> payload,
+                       std::uint8_t out[kFrameHeaderBytes]) {
+  PutU32(out, kFrameMagic);
+  PutU32(out + 4, static_cast<std::uint32_t>(type));
+  PutU32(out + 8, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out + 12, Crc32Bytes(payload));
+}
+
+Status DecodeFrameHeader(const std::uint8_t header[kFrameHeaderBytes],
+                         FrameType* type, std::uint32_t* payload_bytes,
+                         std::uint32_t* crc) {
+  if (GetU32(header) != kFrameMagic) {
+    return Status::IoError("repl frame: bad magic (desynchronized stream)");
+  }
+  const std::uint32_t t = GetU32(header + 4);
+  if (!KnownFrameType(t)) {
+    return Status::IoError("repl frame: unknown type " + std::to_string(t));
+  }
+  const std::uint32_t len = GetU32(header + 8);
+  if (len > kMaxFramePayload) {
+    return Status::IoError("repl frame: oversized payload " +
+                           std::to_string(len));
+  }
+  *type = static_cast<FrameType>(t);
+  *payload_bytes = len;
+  *crc = GetU32(header + 12);
+  return Status::Ok();
+}
+
+}  // namespace tokra::repl

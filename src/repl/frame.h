@@ -1,0 +1,77 @@
+// Replication wire framing: length-prefixed, CRC-checked frames over a
+// byte stream — the whole protocol dependency of the serving tier (plain
+// TCP, no RPC library).
+//
+// Every message is one frame:
+//
+//   [magic u32] [type u32] [payload_bytes u32] [crc32(payload) u32] [payload]
+//
+// all little-endian. The fixed 16-byte header lets the receiver read
+// exactly header-then-payload with two full-reads; the CRC covers the
+// payload (the header fields are self-checking: magic pins the stream
+// alignment, an unknown type or an oversized length rejects the frame
+// before any allocation trusts it). A CRC mismatch means line corruption
+// or a desynchronized stream — both unrecoverable within a connection, so
+// the receiving end drops the connection and lets the reconnect path
+// re-establish a clean stream from its resume position.
+
+#ifndef TOKRA_REPL_FRAME_H_
+#define TOKRA_REPL_FRAME_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tokra::repl {
+
+/// "TOKR" — stream alignment sentinel of every frame header.
+inline constexpr std::uint32_t kFrameMagic = 0x544F4B52;
+
+/// Upper bound on one frame's payload. Snapshot chunks and WAL records are
+/// far smaller; anything bigger is a corrupt or hostile length field.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,      ///< follower -> primary: protocol version
+  kHelloAck = 2,   ///< primary -> follower: version, topology, epoch
+  kSubscribe = 3,  ///< follower -> primary: per-shard resume positions
+  kSnapBegin = 4,  ///< primary -> follower: shards about to be shipped
+  kSnapChunk = 5,  ///< primary -> follower: one ranged piece of a file
+  kSnapEnd = 6,    ///< primary -> follower: bootstrap stream complete
+  kTail = 7,       ///< primary -> follower: one WAL record
+  kHeartbeat = 8,  ///< primary -> follower: liveness + per-shard heads
+  kAck = 9,        ///< follower -> primary: per-shard applied LSNs
+  kError = 10,     ///< primary -> follower: refusal (then close)
+};
+
+/// Whether `t` names a frame type this protocol version understands.
+bool KnownFrameType(std::uint32_t t);
+
+/// CRC-32 (reflected, poly 0xEDB88320 — same polynomial as the WAL frames)
+/// over raw bytes.
+std::uint32_t Crc32Bytes(std::span<const std::uint8_t> bytes);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes the 16-byte header for a payload into `out`.
+void EncodeFrameHeader(FrameType type, std::span<const std::uint8_t> payload,
+                       std::uint8_t out[kFrameHeaderBytes]);
+
+/// Validates a received header. On OK, `*type` and `*payload_bytes` carry
+/// the frame's type and length; the caller reads the payload and checks it
+/// with `*crc`.
+Status DecodeFrameHeader(const std::uint8_t header[kFrameHeaderBytes],
+                         FrameType* type, std::uint32_t* payload_bytes,
+                         std::uint32_t* crc);
+
+}  // namespace tokra::repl
+
+#endif  // TOKRA_REPL_FRAME_H_

@@ -1,0 +1,421 @@
+#include "repl/primary.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "em/wal.h"
+#include "em/wal_tail.h"
+#include "util/io_retry.h"
+
+namespace tokra::repl {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t NowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Primary>> Primary::Start(
+    engine::ShardedTopkEngine* engine, Options options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("repl primary: null engine");
+  }
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument("repl primary: storage_dir required");
+  }
+  if (options.num_shards == 0) options.num_shards = engine->num_shards();
+  if (options.num_shards != engine->num_shards()) {
+    return Status::InvalidArgument("repl primary: num_shards mismatch");
+  }
+  TOKRA_ASSIGN_OR_RETURN(const int listen_fd,
+                         ListenTcp(options.bind_addr, options.port));
+  auto port_or = LocalPort(listen_fd);
+  if (!port_or.ok()) {
+    ::close(listen_fd);
+    return port_or.status();
+  }
+  std::unique_ptr<Primary> p(
+      new Primary(engine, std::move(options), listen_fd, *port_or));
+  p->accept_thread_ = std::thread([raw = p.get()] { raw->AcceptLoop(); });
+  return p;
+}
+
+Primary::Primary(engine::ShardedTopkEngine* engine, Options options,
+                 int listen_fd, std::uint16_t port)
+    : engine_(engine),
+      options_(std::move(options)),
+      listen_fd_(listen_fd),
+      port_(port) {}
+
+Primary::~Primary() { Stop(); }
+
+void Primary::Stop() {
+  if (stop_.exchange(true)) {
+    // Second Stop: threads already asked to exit; just wait for them.
+  }
+  cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Session> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (Session& s : sessions) {
+    s.conn->Close();
+    if (s.th.joinable()) s.th.join();
+  }
+}
+
+Primary::Stats Primary::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::string Primary::WalPath(std::uint32_t shard) const {
+  return options_.storage_dir + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+std::string Primary::EpochPath(std::uint32_t shard) const {
+  return options_.storage_dir + "/.repl-epoch/shard-" + std::to_string(shard) +
+         ".tokra";
+}
+
+std::string Primary::EpochCounterPath() const {
+  return options_.storage_dir + "/.repl-epoch/EPOCH";
+}
+
+std::uint64_t Primary::LoadPersistedEpoch() const {
+  FILE* f = std::fopen(EpochCounterPath().c_str(), "r");
+  if (f == nullptr) return 0;
+  unsigned long long v = 0;
+  const int n = std::fscanf(f, "%llu", &v);
+  std::fclose(f);
+  return n == 1 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+void Primary::PersistEpoch(std::uint64_t epoch) const {
+  // Best-effort: a lost write only risks an epoch collision after TWO
+  // crashes in a row, and the follower's CRC-checked chunks bound the
+  // damage to a re-bootstrap.
+  FILE* f = std::fopen(EpochCounterPath().c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "%llu\n", static_cast<unsigned long long>(epoch));
+  std::fclose(f);
+}
+
+void Primary::AcceptLoop() {
+  while (!stop_.load()) {
+    auto fd = AcceptConn(listen_fd_, /*timeout_ms=*/50);
+    if (!fd.ok()) {
+      if (fd.status().code() == StatusCode::kNotFound) continue;
+      // Listen socket dead (Stop closed it, or a real error): exit; the
+      // established connections keep serving until Stop.
+      return;
+    }
+    auto conn = std::make_shared<Conn>(
+        *fd, Conn::Options{options_.io_timeout_ms, options_.fault});
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_total;
+      ++stats_.active_connections;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (stop_.load()) {
+      conn->Close();
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      --stats_.active_connections;
+      return;
+    }
+    Session s;
+    s.conn = conn;
+    s.th = std::thread([this, conn] { Serve(conn); });
+    sessions_.push_back(std::move(s));
+  }
+}
+
+void Primary::Serve(std::shared_ptr<Conn> conn) {
+  // The session's exit status is the connection's epitaph — followers
+  // learn everything they need from the close itself.
+  (void)ServeConn(*conn);
+  conn->Close();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  --stats_.active_connections;
+}
+
+bool Primary::NeedsBootstrap(const SubscribeMsg& sub) const {
+  // A follower that never completed a bootstrap has meaningless applied
+  // LSNs. Once bootstrapped, an applied LSN of 0 is a legitimate position
+  // (a shard with no WAL history yet) and must NOT retrigger a snapshot on
+  // every reconnect.
+  if (sub.bootstrapped == 0) return true;
+  for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+    auto reader = em::WalReader::Open(WalPath(s), options_.block_words);
+    if (reader.ok() && (*reader)->base_lsn() > sub.applied_lsns[s] + 1) {
+      // The log rotated past the follower's position: the records it
+      // still needs are gone from the segment.
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Primary::ShipSnapshot(Conn& conn, const SubscribeMsg& sub,
+                             std::vector<std::uint64_t>* resume) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  bool need_export = (epoch_ == 0);
+  if (!need_export) {
+    for (std::uint32_t s = 0; s < options_.num_shards && !need_export; ++s) {
+      auto reader = em::WalReader::Open(WalPath(s), options_.block_words);
+      if (reader.ok() && (*reader)->base_lsn() > epoch_covered_[s] + 1) {
+        need_export = true;  // epoch too old to tail from: re-export
+      }
+    }
+  }
+  if (need_export) {
+    epoch_covered_.clear();
+    TOKRA_RETURN_IF_ERROR(engine_->ExportSnapshot(
+        options_.storage_dir + "/.repl-epoch", &epoch_covered_));
+    // Epoch numbers must be unique across primary INCARNATIONS, not just
+    // within one: a follower resumes a half-received snapshot mid-file by
+    // epoch number, so a restarted primary reusing epoch 1 would make a
+    // bootstrapped follower skip the entire fresh export as "already
+    // received". The counter is persisted next to the epoch files and
+    // advanced past any number a previous incarnation issued.
+    epoch_ = std::max(epoch_, LoadPersistedEpoch()) + 1;
+    PersistEpoch(epoch_);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.epochs_exported;
+  }
+
+  SnapBeginMsg begin;
+  begin.epoch = epoch_;
+  const bool resumable = sub.snapshot_epoch == epoch_ &&
+                         sub.snapshot_bytes.size() == options_.num_shards;
+  std::vector<int> fds(options_.num_shards, -1);
+  auto close_all = [&fds] {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+  for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+    const std::string path = EpochPath(s);
+    fds[s] = ::open(path.c_str(), O_RDONLY);
+    if (fds[s] < 0) {
+      close_all();
+      return Status::IoError("repl primary: open " + path + ": " +
+                             std::string(::strerror(errno)));
+    }
+    struct stat st = {};
+    if (::fstat(fds[s], &st) < 0) {
+      close_all();
+      return Status::IoError("repl primary: fstat " + path);
+    }
+    SnapBeginMsg::File f;
+    f.shard = s;
+    f.file_bytes = static_cast<std::uint64_t>(st.st_size);
+    f.covered_lsn = epoch_covered_[s];
+    f.resume_offset =
+        resumable ? std::min<std::uint64_t>(sub.snapshot_bytes[s],
+                                            f.file_bytes)
+                  : 0;
+    begin.files.push_back(f);
+  }
+
+  Status st = conn.SendFrame(FrameType::kSnapBegin, begin.Encode());
+  std::vector<std::uint8_t> buf;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t skipped_bytes = 0;
+  for (const SnapBeginMsg::File& f : begin.files) {
+    if (!st.ok()) break;
+    skipped_bytes += f.resume_offset;
+    for (std::uint64_t off = f.resume_offset; off < f.file_bytes;) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(options_.chunk_bytes, f.file_bytes - off);
+      buf.resize(n);
+      const int err = PreadFull(fds[f.shard], buf.data(), n,
+                                static_cast<off_t>(off));
+      if (err != 0) {
+        st = Status::IoError("repl primary: pread epoch shard " +
+                             std::to_string(f.shard));
+        break;
+      }
+      SnapChunkMsg chunk;
+      chunk.shard = f.shard;
+      chunk.offset = off;
+      chunk.data = buf;
+      st = conn.SendFrame(FrameType::kSnapChunk, chunk.Encode());
+      if (!st.ok()) break;
+      off += n;
+      sent_bytes += n;
+    }
+  }
+  close_all();
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.snapshot_bytes += sent_bytes;
+    stats_.snapshot_bytes_skipped += skipped_bytes;
+  }
+  TOKRA_RETURN_IF_ERROR(st);
+
+  SnapEndMsg end;
+  end.covered_lsns = epoch_covered_;
+  TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kSnapEnd, end.Encode()));
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.snapshots_shipped;
+  }
+  *resume = epoch_covered_;
+  return Status::Ok();
+}
+
+Status Primary::ServeConn(Conn& conn) {
+  // Handshake.
+  Frame f;
+  TOKRA_RETURN_IF_ERROR(conn.RecvFrame(&f));
+  if (f.type != FrameType::kHello) {
+    return Status::IoError("repl primary: expected Hello");
+  }
+  HelloMsg hello;
+  TOKRA_RETURN_IF_ERROR(hello.Decode(f.payload));
+  if (hello.version != kProtocolVersion) {
+    ErrorMsg err;
+    err.message = "unsupported protocol version " +
+                  std::to_string(hello.version);
+    (void)conn.SendFrame(FrameType::kError, err.Encode());
+    return Status::InvalidArgument(err.message);
+  }
+  HelloAckMsg ack;
+  ack.num_shards = options_.num_shards;
+  ack.block_words = options_.block_words;
+  TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kHelloAck, ack.Encode()));
+
+  TOKRA_RETURN_IF_ERROR(conn.RecvFrame(&f));
+  if (f.type != FrameType::kSubscribe) {
+    return Status::IoError("repl primary: expected Subscribe");
+  }
+  SubscribeMsg sub;
+  TOKRA_RETURN_IF_ERROR(sub.Decode(f.payload));
+  sub.applied_lsns.resize(options_.num_shards, 0);
+
+  std::vector<std::uint64_t> resume = sub.applied_lsns;
+  if (NeedsBootstrap(sub)) {
+    TOKRA_RETURN_IF_ERROR(ShipSnapshot(conn, sub, &resume));
+  }
+
+  // Tail loop: ship every new logical record per shard, heartbeat, drain
+  // acks, until the connection dies or the primary stops.
+  std::vector<std::unique_ptr<em::WalTailFollower>> tails;
+  for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+    tails.push_back(std::make_unique<em::WalTailFollower>(
+        em::WalTailFollower::Options{WalPath(s), options_.block_words,
+                                     resume[s]}));
+  }
+  // The follower's lag gauge is (heartbeat position − applied), and it can
+  // only ever apply LOGICAL records — so the heartbeat reports the last
+  // logical LSN seen per shard, not the raw WAL head, which also counts
+  // pre-image records and would leave a fully caught-up follower showing
+  // permanent phantom lag.
+  std::vector<std::uint64_t> last_logical = resume;
+  std::int64_t last_hb = 0;
+  while (!stop_.load() && !conn.closed()) {
+    bool shipped_any = false;
+    for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+      auto polled = tails[s]->Poll(
+          [&](const em::WriteAheadLog::Record& rec,
+              std::span<const em::word_t> payload) -> Status {
+            if (rec.type != em::WriteAheadLog::RecordType::kLogical) {
+              return Status::Ok();  // pre-images are the pager's business
+            }
+            last_logical[s] = std::max(last_logical[s], rec.lsn);
+            TailMsg tail;
+            tail.shard = s;
+            tail.lsn = rec.lsn;
+            tail.payload.resize(payload.size_bytes());
+            if (!payload.empty()) {
+              std::memcpy(tail.payload.data(), payload.data(),
+                          payload.size_bytes());
+            }
+            return conn.SendFrame(FrameType::kTail, tail.Encode());
+          });
+      if (!polled.ok()) {
+        if (polled.status().code() == StatusCode::kNotFound) {
+          continue;  // shard log not created yet
+        }
+        if (polled.status().code() == StatusCode::kOutOfRange) {
+          // The engine truncated past this follower's position while we
+          // were tailing. Tell it to come back for a snapshot.
+          ErrorMsg err;
+          err.message = "resync required: " + polled.status().message();
+          (void)conn.SendFrame(FrameType::kError, err.Encode());
+        }
+        return polled.status();
+      }
+      if (*polled > 0) {
+        shipped_any = true;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.tail_records += *polled;
+      }
+    }
+
+    const std::int64_t now = NowMs();
+    if (now - last_hb >= options_.heartbeat_ms) {
+      HeartbeatMsg hb;
+      hb.now_us = NowUs();
+      for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+        hb.head_lsns.push_back(last_logical[s]);
+      }
+      TOKRA_RETURN_IF_ERROR(conn.SendFrame(FrameType::kHeartbeat, hb.Encode()));
+      last_hb = now;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.heartbeats;
+    }
+
+    for (;;) {
+      Frame in;
+      Status st = conn.TryRecvFrame(&in);
+      if (st.code() == StatusCode::kNotFound) break;
+      TOKRA_RETURN_IF_ERROR(st);
+      if (in.type == FrameType::kAck) {
+        AckMsg am;
+        if (am.Decode(in.payload).ok()) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.acks;
+        }
+      }
+    }
+
+    if (!shipped_any) {
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                   [this] { return stop_.load(); });
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tokra::repl

@@ -1,0 +1,155 @@
+// Replication primary: serves a live ShardedTopkEngine's durability stream
+// to follower processes over TCP (repl/frame.h framing, repl/protocol.h
+// messages).
+//
+// The primary borrows the engine — it never owns or mutates it beyond
+// taking checkpoints for snapshot export. Per accepted connection it runs
+// the handshake, decides per the follower's Subscribe whether a bootstrap
+// is needed (any shard with applied LSN 0, or whose log has rotated past
+// the follower's position), ships the current snapshot epoch if so, then
+// settles into the tail loop: per-shard em::WalTailFollower polls over the
+// engine's own WAL segments ship every new kLogical record, interleaved
+// with heartbeats carrying the per-shard head LSNs.
+//
+// Snapshot epochs: ExportSnapshot() copies every shard's checkpoint into
+// <storage_dir>/.repl-epoch under the engine's exclusive lock, so the
+// exported bytes are exactly one checkpoint and its covered LSNs are the
+// tail resume positions. The export is reused across followers (and across
+// one follower's interrupted bootstraps — Subscribe carries per-shard byte
+// offsets already received, and the stream resumes mid-file) until some
+// shard's log rotates past the epoch's covered LSN, at which point a fresh
+// epoch is exported.
+//
+// Reading the live WAL from a second fd is safe against the engine's
+// appender: a segment only ever grows within its inode, frames become
+// visible block-ordered through the page cache, and a partially visible
+// tail frame fails its CRC and ends the scan exactly like a torn tail
+// (em/wal_tail.h; torture-tested in wal_test.cc).
+
+#ifndef TOKRA_REPL_PRIMARY_H_
+#define TOKRA_REPL_PRIMARY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "em/fault_device.h"
+#include "engine/sharded_engine.h"
+#include "repl/conn.h"
+#include "repl/protocol.h"
+#include "util/status.h"
+
+namespace tokra::repl {
+
+class Primary {
+ public:
+  struct Options {
+    /// The live engine's storage directory (shard files + WAL segments).
+    std::string storage_dir;
+    std::uint32_t num_shards = 0;
+    /// WAL segment geometry — must equal the engine's em.block_words.
+    std::uint32_t block_words = 256;
+    std::string bind_addr = "127.0.0.1";
+    /// 0 picks a free port (read it back with port()).
+    std::uint16_t port = 0;
+    int heartbeat_ms = 100;
+    /// Idle sleep between tail polls when no records moved.
+    int poll_ms = 5;
+    std::uint32_t chunk_bytes = 256 * 1024;
+    int io_timeout_ms = 5000;
+    /// Consulted once per frame by every connection; a fired fault closes
+    /// that follower's socket (see repl/conn.h).
+    em::FaultInjector* fault = nullptr;
+  };
+
+  /// Monotonic serving counters (snapshot).
+  struct Stats {
+    std::uint64_t connections_total = 0;
+    std::uint64_t active_connections = 0;
+    std::uint64_t epochs_exported = 0;
+    std::uint64_t snapshots_shipped = 0;  ///< bootstrap streams completed
+    std::uint64_t snapshot_bytes = 0;     ///< chunk payload bytes sent
+    std::uint64_t snapshot_bytes_skipped = 0;  ///< saved by ranged resume
+    std::uint64_t tail_records = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t acks = 0;
+  };
+
+  /// Binds, listens, and starts the accept loop. `engine` must outlive the
+  /// Primary and must be the live engine whose storage_dir is given (a WAL
+  /// durability mode, or followers bootstrap but never receive tails).
+  static StatusOr<std::unique_ptr<Primary>> Start(
+      engine::ShardedTopkEngine* engine, Options options);
+
+  ~Primary();
+  Primary(const Primary&) = delete;
+  Primary& operator=(const Primary&) = delete;
+
+  /// Stops accepting, hard-closes every follower connection, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  Stats stats() const;
+
+ private:
+  Primary(engine::ShardedTopkEngine* engine, Options options, int listen_fd,
+          std::uint16_t port);
+
+  std::string WalPath(std::uint32_t shard) const;
+  std::string EpochPath(std::uint32_t shard) const;
+  std::string EpochCounterPath() const;
+  std::uint64_t LoadPersistedEpoch() const;
+  void PersistEpoch(std::uint64_t epoch) const;
+
+  void AcceptLoop();
+  void Serve(std::shared_ptr<Conn> conn);
+  Status ServeConn(Conn& conn);
+
+  /// Ships a full-bootstrap stream (SnapBegin/Chunk*/SnapEnd) for every
+  /// shard, exporting a fresh epoch first if none exists or the current
+  /// one has been rotated past. On OK, `resume` holds the covered LSNs the
+  /// tail must start after. Serialized across connections by epoch_mu_.
+  Status ShipSnapshot(Conn& conn, const SubscribeMsg& sub,
+                      std::vector<std::uint64_t>* resume);
+
+  /// True when the follower's position cannot be served by tailing alone:
+  /// it never bootstrapped (snapshot_epoch == 0) or a shard's log rotated
+  /// past its applied LSN.
+  bool NeedsBootstrap(const SubscribeMsg& sub) const;
+
+  engine::ShardedTopkEngine* engine_;
+  Options options_;
+  int listen_fd_;
+  std::uint16_t port_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+
+  std::thread accept_thread_;
+  struct Session {
+    std::thread th;
+    std::shared_ptr<Conn> conn;
+  };
+  std::mutex sessions_mu_;
+  std::vector<Session> sessions_;
+
+  // Snapshot epoch (guarded by epoch_mu_; held across a whole ship so
+  // concurrent bootstraps serialize and no export races a stream).
+  std::mutex epoch_mu_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> epoch_covered_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace tokra::repl
+
+#endif  // TOKRA_REPL_PRIMARY_H_

@@ -1,0 +1,368 @@
+// Payload codecs for the replication protocol (header-only).
+//
+// Each frame type from repl/frame.h carries one of the message structs
+// below, encoded little-endian with a trivial append-only writer / bounds-
+// checked reader. The codec is deliberately dumb: fixed-width integers and
+// length-prefixed byte strings, no varints, no optional fields — a decoder
+// either consumes the payload exactly or rejects the frame, and the wire
+// format in DESIGN.md §13 can be read straight off these structs.
+//
+// Handshake recap (full state machine in DESIGN.md §13):
+//
+//   follower                         primary
+//   --------                         -------
+//   Hello{version}              ->
+//                               <-   HelloAck{version, shards, block_words}
+//   Subscribe{applied_lsns[]}   ->
+//                               <-   SnapBegin{epoch, files[]}    (if any
+//                               <-   SnapChunk{...} x N            shard
+//                               <-   SnapEnd{covered_lsns[]}       needs it)
+//                               <-   Tail{shard, lsn, payload} / Heartbeat
+//   Ack{applied_lsns[]}         ->   (periodic, on the same socket)
+
+#ifndef TOKRA_REPL_PROTOCOL_H_
+#define TOKRA_REPL_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tokra::repl {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+class WireWriter {
+ public:
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Bytes(std::span<const std::uint8_t> b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void Str(const std::string& s) {
+    Bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  Status U32(std::uint32_t* v) {
+    if (buf_.size() - pos_ < 4) return Short();
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::Ok();
+  }
+  Status U64(std::uint64_t* v) {
+    if (buf_.size() - pos_ < 8) return Short();
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::Ok();
+  }
+  Status Bytes(std::vector<std::uint8_t>* out) {
+    std::uint32_t len = 0;
+    TOKRA_RETURN_IF_ERROR(U32(&len));
+    if (buf_.size() - pos_ < len) return Short();
+    out->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+    pos_ += len;
+    return Status::Ok();
+  }
+  Status Str(std::string* out) {
+    std::uint32_t len = 0;
+    TOKRA_RETURN_IF_ERROR(U32(&len));
+    if (buf_.size() - pos_ < len) return Short();
+    out->assign(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// Rejects payloads with trailing garbage — a decode must be exact.
+  Status Done() const {
+    if (pos_ != buf_.size()) {
+      return Status::IoError("repl payload: trailing bytes");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Short() const {
+    return Status::IoError("repl payload: truncated");
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+namespace wire {
+
+inline void PutLsns(WireWriter& w, const std::vector<std::uint64_t>& v) {
+  w.U32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) w.U64(x);
+}
+
+inline Status GetLsns(WireReader& r, std::vector<std::uint64_t>* v) {
+  std::uint32_t n = 0;
+  TOKRA_RETURN_IF_ERROR(r.U32(&n));
+  if (n > 1u << 20) return Status::IoError("repl payload: absurd vector");
+  v->resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) TOKRA_RETURN_IF_ERROR(r.U64(&(*v)[i]));
+  return Status::Ok();
+}
+
+}  // namespace wire
+
+/// kHello — follower's opening message.
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U32(version);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U32(&version));
+    return r.Done();
+  }
+};
+
+/// kHelloAck — primary's topology answer.
+struct HelloAckMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t num_shards = 0;
+  std::uint32_t block_words = 0;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U32(version);
+    w.U32(num_shards);
+    w.U32(block_words);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U32(&version));
+    TOKRA_RETURN_IF_ERROR(r.U32(&num_shards));
+    TOKRA_RETURN_IF_ERROR(r.U32(&block_words));
+    return r.Done();
+  }
+};
+
+/// kSubscribe / kAck — per-shard LSNs the follower has durably applied.
+/// Zero means "nothing: ship a snapshot". For kSubscribe, snapshot_bytes
+/// carries per-shard byte offsets already received of a previous
+/// (interrupted) snapshot stream of `snapshot_epoch`, enabling ranged
+/// resume instead of refetching whole checkpoint files.
+struct SubscribeMsg {
+  std::vector<std::uint64_t> applied_lsns;
+  /// 1 once the follower has ever COMPLETED a bootstrap. Distinct from
+  /// snapshot_epoch below: a follower whose applied LSN for a shard is 0
+  /// (no WAL history yet) must not be re-snapshotted forever, while a
+  /// follower that only got half an epoch's bytes must be.
+  std::uint32_t bootstrapped = 0;
+  /// Epoch of a PARTIALLY received snapshot, with the byte counts already
+  /// landed per shard — the primary resumes the stream mid-file when the
+  /// epoch still matches. 0 when no bootstrap is in flight.
+  std::uint64_t snapshot_epoch = 0;
+  std::vector<std::uint64_t> snapshot_bytes;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    wire::PutLsns(w, applied_lsns);
+    w.U32(bootstrapped);
+    w.U64(snapshot_epoch);
+    wire::PutLsns(w, snapshot_bytes);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(wire::GetLsns(r, &applied_lsns));
+    TOKRA_RETURN_IF_ERROR(r.U32(&bootstrapped));
+    TOKRA_RETURN_IF_ERROR(r.U64(&snapshot_epoch));
+    TOKRA_RETURN_IF_ERROR(wire::GetLsns(r, &snapshot_bytes));
+    return r.Done();
+  }
+};
+
+/// kSnapBegin — one entry per shard the primary is about to ship.
+struct SnapBeginMsg {
+  struct File {
+    std::uint32_t shard = 0;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t covered_lsn = 0;    ///< WAL position the bytes embody
+    std::uint64_t resume_offset = 0;  ///< first byte this stream will send
+  };
+  std::uint64_t epoch = 0;
+  std::vector<File> files;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U64(epoch);
+    w.U32(static_cast<std::uint32_t>(files.size()));
+    for (const File& f : files) {
+      w.U32(f.shard);
+      w.U64(f.file_bytes);
+      w.U64(f.covered_lsn);
+      w.U64(f.resume_offset);
+    }
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U64(&epoch));
+    std::uint32_t n = 0;
+    TOKRA_RETURN_IF_ERROR(r.U32(&n));
+    if (n > 1u << 16) return Status::IoError("repl payload: absurd shard count");
+    files.resize(n);
+    for (File& f : files) {
+      TOKRA_RETURN_IF_ERROR(r.U32(&f.shard));
+      TOKRA_RETURN_IF_ERROR(r.U64(&f.file_bytes));
+      TOKRA_RETURN_IF_ERROR(r.U64(&f.covered_lsn));
+      TOKRA_RETURN_IF_ERROR(r.U64(&f.resume_offset));
+    }
+    return r.Done();
+  }
+};
+
+/// kSnapChunk — one ranged piece of one shard's checkpoint file.
+struct SnapChunkMsg {
+  std::uint32_t shard = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U32(shard);
+    w.U64(offset);
+    w.Bytes(data);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U32(&shard));
+    TOKRA_RETURN_IF_ERROR(r.U64(&offset));
+    TOKRA_RETURN_IF_ERROR(r.Bytes(&data));
+    return r.Done();
+  }
+};
+
+/// kSnapEnd — bootstrap complete; tail replay starts after covered_lsns.
+struct SnapEndMsg {
+  std::vector<std::uint64_t> covered_lsns;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    wire::PutLsns(w, covered_lsns);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(wire::GetLsns(r, &covered_lsns));
+    return r.Done();
+  }
+};
+
+/// kTail — one logical WAL record of one shard.
+struct TailMsg {
+  std::uint32_t shard = 0;
+  std::uint64_t lsn = 0;
+  std::vector<std::uint8_t> payload;  ///< EncodeWalOps words, byte view
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U32(shard);
+    w.U64(lsn);
+    w.Bytes(payload);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U32(&shard));
+    TOKRA_RETURN_IF_ERROR(r.U64(&lsn));
+    TOKRA_RETURN_IF_ERROR(r.Bytes(&payload));
+    return r.Done();
+  }
+};
+
+/// kHeartbeat — liveness plus where each shard's log head sits, so a
+/// follower can report lag in LSNs even while idle.
+struct HeartbeatMsg {
+  std::uint64_t now_us = 0;
+  std::vector<std::uint64_t> head_lsns;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.U64(now_us);
+    wire::PutLsns(w, head_lsns);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.U64(&now_us));
+    TOKRA_RETURN_IF_ERROR(wire::GetLsns(r, &head_lsns));
+    return r.Done();
+  }
+};
+
+/// kAck — the follower's periodic progress report: per-shard LSNs it has
+/// applied to its serving engine. Purely observational on the primary
+/// (lag accounting); delivery is driven by Subscribe positions, not acks.
+struct AckMsg {
+  std::vector<std::uint64_t> applied_lsns;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    wire::PutLsns(w, applied_lsns);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(wire::GetLsns(r, &applied_lsns));
+    return r.Done();
+  }
+};
+
+/// kError — primary's refusal message before closing.
+struct ErrorMsg {
+  std::string message;
+
+  std::vector<std::uint8_t> Encode() const {
+    WireWriter w;
+    w.Str(message);
+    return w.Take();
+  }
+  Status Decode(std::span<const std::uint8_t> p) {
+    WireReader r(p);
+    TOKRA_RETURN_IF_ERROR(r.Str(&message));
+    return r.Done();
+  }
+};
+
+}  // namespace tokra::repl
+
+#endif  // TOKRA_REPL_PROTOCOL_H_

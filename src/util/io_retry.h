@@ -1,0 +1,129 @@
+// EINTR- and short-transfer-safe wrappers over the POSIX read/write family.
+//
+// Every raw pread/pwrite/recv/send in the tree goes through one of these
+// loops: a signal mid-syscall (EINTR) restarts the call, and a short
+// transfer — legal for regular files near EOF and routine for sockets and
+// pipes — continues from where the kernel stopped. Callers get exactly one
+// of three outcomes: the full `len` bytes moved, a clean EOF (reads), or
+// the failing call's errno. Shared by FileBlockDevice (block I/O on regular
+// files) and repl::Conn (snapshot/WAL shipping over TCP).
+
+#ifndef TOKRA_UTIL_IO_RETRY_H_
+#define TOKRA_UTIL_IO_RETRY_H_
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace tokra {
+
+/// Return value of the Full helpers when the stream ended (or, for writes,
+/// the kernel reported progress-free completion) before `len` bytes moved.
+/// Positive returns are the failing syscall's errno; 0 is full success.
+inline constexpr int kIoEof = -1;
+
+/// Reads exactly `len` bytes at `offset` (pread; the fd's cursor is
+/// untouched). Returns 0, kIoEof, or an errno. `*transferred`, when
+/// non-null, receives the bytes actually read — on kIoEof the prefix that
+/// did arrive.
+inline int PreadFull(int fd, void* buf, std::size_t len, std::uint64_t offset,
+                     std::size_t* transferred = nullptr) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, p + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (transferred != nullptr) *transferred = done;
+      return errno;
+    }
+    if (n == 0) {
+      if (transferred != nullptr) *transferred = done;
+      return kIoEof;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (transferred != nullptr) *transferred = done;
+  return 0;
+}
+
+/// Writes exactly `len` bytes at `offset` (pwrite). Returns 0 or an errno
+/// (a progress-free pwrite of a nonzero count maps to EIO rather than
+/// looping forever).
+inline int PwriteFull(int fd, const void* buf, std::size_t len,
+                      std::uint64_t offset) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, p + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (n == 0) return EIO;
+    done += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+/// Reads exactly `len` bytes from a stream fd (socket, pipe) at its cursor.
+/// Returns 0, kIoEof (peer closed mid-message; `*transferred` tells whether
+/// any partial prefix arrived), or an errno.
+inline int ReadFull(int fd, void* buf, std::size_t len,
+                    std::size_t* transferred = nullptr) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, p + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (transferred != nullptr) *transferred = done;
+      return errno;
+    }
+    if (n == 0) {
+      if (transferred != nullptr) *transferred = done;
+      return kIoEof;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (transferred != nullptr) *transferred = done;
+  return 0;
+}
+
+/// Writes exactly `len` bytes to a stream fd. Uses send(MSG_NOSIGNAL) so a
+/// closed peer surfaces as EPIPE instead of killing the process, falling
+/// back to write() for fds that are not sockets (ENOTSOCK). Returns 0 or an
+/// errno.
+inline int WriteFull(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  bool use_send = true;
+  while (done < len) {
+    ssize_t n;
+    if (use_send) {
+      n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_send = false;
+        continue;
+      }
+    } else {
+      n = ::write(fd, p + done, len - done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (n == 0) return EIO;
+    done += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace tokra
+
+#endif  // TOKRA_UTIL_IO_RETRY_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

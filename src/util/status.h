@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -72,6 +73,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,14 +6,19 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "em/pager.h"
 #include "em/wal.h"
+#include "em/wal_tail.h"
 
 namespace tokra::em {
 namespace {
@@ -322,6 +327,205 @@ TEST(WalPagerTest, FsyncModeCountsBarriers) {
   pager.FlushAll();  // pre-image append + barrier before the home write
   EXPECT_GT(pager.stats().fsyncs, 0u);
   EXPECT_EQ(pager.stats().wal_appends, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// WalTailFollower: the position-remembering live-tail poller behind the
+// replication seam (em/wal_tail.h).
+
+TEST(WalTailFollowerTest, DeliversAcrossPollsAndSkipsUnchangedFiles) {
+  TempDir dir("tail-basic");
+  WalTailFollower::Options fo;
+  fo.path = dir.File("t.wal");
+  fo.block_words = 64;
+  WalTailFollower follower(fo);
+
+  std::vector<std::uint64_t> seen;
+  auto cb = [&seen](const WriteAheadLog::Record& rec,
+                    std::span<const word_t> payload) -> Status {
+    EXPECT_EQ(payload.size(), 3u);
+    const std::vector<word_t> want = Payload(rec.lsn, 3);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), want.begin()));
+    seen.push_back(rec.lsn);
+    return Status::Ok();
+  };
+
+  // Segment not created yet: benign NotFound, try again later.
+  EXPECT_EQ(follower.Poll(cb).status().code(), StatusCode::kNotFound);
+
+  WriteAheadLog::Options o;
+  o.path = fo.path;
+  o.block_words = 64;
+  auto log = WriteAheadLog::Open(o);
+  ASSERT_TRUE(log.ok());
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ((*log)->Append(WriteAheadLog::RecordType::kLogical,
+                             Payload(i, 3)),
+              i);
+  }
+  (*log)->Sync();
+
+  auto polled = follower.Poll(cb);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(*polled, 5u);
+  EXPECT_EQ(follower.delivered_lsn(), 5u);
+
+  // Nothing new: the (ino, size) fast path skips the re-open entirely.
+  polled = follower.Poll(cb);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(*polled, 0u);
+  EXPECT_EQ(follower.skipped_polls(), 1u);
+
+  for (std::uint64_t i = 6; i <= 7; ++i) {
+    (*log)->Append(WriteAheadLog::RecordType::kLogical, Payload(i, 3));
+  }
+  (*log)->Sync();
+  polled = follower.Poll(cb);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(*polled, 2u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(WalTailFollowerTest, StartAfterSkipsCoveredRecords) {
+  TempDir dir("tail-start");
+  WriteAheadLog::Options o;
+  o.path = dir.File("t.wal");
+  o.block_words = 64;
+  auto log = WriteAheadLog::Open(o);
+  ASSERT_TRUE(log.ok());
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    (*log)->Append(WriteAheadLog::RecordType::kLogical, Payload(i, 2));
+  }
+  (*log)->Sync();
+
+  WalTailFollower::Options fo;
+  fo.path = o.path;
+  fo.block_words = 64;
+  fo.start_after = 4;  // a shipped snapshot covered LSNs 1..4
+  WalTailFollower follower(fo);
+  std::vector<std::uint64_t> seen;
+  auto polled = follower.Poll(
+      [&seen](const WriteAheadLog::Record& rec,
+              std::span<const word_t>) -> Status {
+        seen.push_back(rec.lsn);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{5, 6}));
+}
+
+TEST(WalTailFollowerTest, SurvivesRotationAndReportsFallingBehind) {
+  TempDir dir("tail-rotate");
+  WriteAheadLog::Options o;
+  o.path = dir.File("t.wal");
+  o.block_words = 64;
+  o.rotate_blocks = 4;  // tiny: every full truncation rotates
+  auto log = WriteAheadLog::Open(o);
+  ASSERT_TRUE(log.ok());
+
+  WalTailFollower::Options fo;
+  fo.path = o.path;
+  fo.block_words = 64;
+  WalTailFollower follower(fo);
+  std::uint64_t last = 0;
+  auto cb = [&last](const WriteAheadLog::Record& rec,
+                    std::span<const word_t>) -> Status {
+    EXPECT_EQ(rec.lsn, last + 1);  // monotonic across rotations, no gaps
+    last = rec.lsn;
+    return Status::Ok();
+  };
+
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    (*log)->Append(WriteAheadLog::RecordType::kLogical, Payload(i, 3));
+  }
+  (*log)->Sync();
+  ASSERT_TRUE(follower.Poll(cb).ok());
+  EXPECT_EQ(follower.delivered_lsn(), 5u);
+
+  // Rotate (all records obsolete, file past rotate_blocks) and keep
+  // appending: the follower's hint is invalidated by the new base, but
+  // delivery just continues — it had already consumed everything rotated
+  // away.
+  ASSERT_TRUE((*log)->Truncate(5).ok());
+  for (std::uint64_t i = 6; i <= 8; ++i) {
+    (*log)->Append(WriteAheadLog::RecordType::kLogical, Payload(i, 3));
+  }
+  (*log)->Sync();
+  auto polled = follower.Poll(cb);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(*polled, 3u);
+  EXPECT_EQ(follower.delivered_lsn(), 8u);
+
+  // A consumer that never saw LSNs 1..8 cannot be served by this segment
+  // any more: Poll must refuse loudly (re-bootstrap signal), not skip.
+  ASSERT_TRUE((*log)->Truncate(8).ok());
+  (*log)->Append(WriteAheadLog::RecordType::kLogical, Payload(9, 3));
+  (*log)->Sync();
+  WalTailFollower fresh(
+      WalTailFollower::Options{o.path, o.block_words, 0});
+  EXPECT_EQ(fresh.Poll(cb).status().code(), StatusCode::kOutOfRange);
+}
+
+// A reader polling a log while an appender commits into it must only ever
+// observe whole, CRC-valid records, in LSN order — the property the
+// replication primary's tail shipping stands on.
+TEST(WalTest, RacingReaderSeesWholeRecordsInLsnOrder) {
+  TempDir dir("racing");
+  const std::string path = dir.File("t.wal");
+  constexpr std::uint64_t kRecords = 400;
+
+  std::atomic<bool> appender_done{false};
+  std::thread appender([&] {
+    WriteAheadLog::Options o;
+    o.path = path;
+    o.block_words = 64;
+    auto log = WriteAheadLog::Open(o);
+    ASSERT_TRUE(log.ok());
+    for (std::uint64_t i = 1; i <= kRecords; ++i) {
+      (*log)->Append(WriteAheadLog::RecordType::kLogical,
+                     Payload(i, 1 + i % 7));
+      if (i % 4 == 0) (*log)->Sync();  // group commits
+      if (i % 64 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    (*log)->Sync();
+    appender_done.store(true);
+  });
+
+  WalTailFollower::Options fo;
+  fo.path = path;
+  fo.block_words = 64;
+  WalTailFollower follower(fo);
+  std::uint64_t last = 0;
+  bool corrupt = false;
+  auto cb = [&](const WriteAheadLog::Record& rec,
+                std::span<const word_t> payload) -> Status {
+    if (rec.lsn != last + 1) corrupt = true;  // gap or reorder
+    const std::vector<word_t> want = Payload(rec.lsn, 1 + rec.lsn % 7);
+    if (payload.size() != want.size() ||
+        !std::equal(payload.begin(), payload.end(), want.begin())) {
+      corrupt = true;  // partial or torn record observed
+    }
+    last = rec.lsn;
+    return Status::Ok();
+  };
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (last < kRecords && std::chrono::steady_clock::now() < deadline) {
+    auto polled = follower.Poll(cb);
+    if (!polled.ok()) {
+      // Only the not-created-yet window is acceptable mid-race.
+      ASSERT_EQ(polled.status().code(), StatusCode::kNotFound);
+    }
+    ASSERT_FALSE(corrupt);
+  }
+  appender.join();
+  EXPECT_TRUE(appender_done.load());
+  EXPECT_EQ(last, kRecords);
+  EXPECT_FALSE(corrupt);
+  EXPECT_GT(follower.polls(), 1u);
 }
 
 }  // namespace
