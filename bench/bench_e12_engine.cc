@@ -11,8 +11,13 @@
 // (f) Fence pruning on/off at 8 shards on wide ranges over zipf-weight and
 //     adversarial score layouts — the sketch-routing claim, with a
 //     fingerprint CHECK that the pruned path answers byte-identically.
+// (g) Serve-while-updating: MVCC epoch views under a live writer storm —
+//     read qps as reader threads scale with writers active, every reader's
+//     answer stream fingerprint-checked against a serialized oracle, and a
+//     CHECK that no query ever took a shard write lock.
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -280,17 +285,20 @@ std::vector<Point> MonotonePoints(Rng* rng, std::size_t n) {
   return pts;
 }
 
-/// FNV-1a over the (x, score) bit patterns of a fixed, deterministic query
-/// set, run single-threaded — the cross-config answer oracle.
-std::uint64_t Fingerprint(ShardedTopkEngine* eng) {
+/// FNV-1a over the (x, score) bit patterns of a deterministic wide-range
+/// query stream — the cross-config answer oracle. The seed names the
+/// stream, so concurrent readers can each run a distinct stream and still
+/// be checked against a serialized replay.
+std::uint64_t FingerprintSeeded(ShardedTopkEngine* eng, std::uint64_t seed,
+                                int queries) {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 1099511628211ULL;
   };
-  Rng rng(424242);
+  Rng rng(seed);
   WideRanges wl;
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < queries; ++i) {
     double lo = wl.Lo(&rng);
     auto r = eng->TopK(lo, lo + wl.Width(&rng), kK);
     Must(r.status());
@@ -301,6 +309,10 @@ std::uint64_t Fingerprint(ShardedTopkEngine* eng) {
     }
   }
   return h;
+}
+
+std::uint64_t Fingerprint(ShardedTopkEngine* eng) {
+  return FingerprintSeeded(eng, 424242, 2000);
 }
 
 void PruningTable() {
@@ -358,6 +370,101 @@ void PruningTable() {
   }
 }
 
+/// E12g — serve-while-updating (DESIGN.md §14). The base points own the
+/// globally top scores; writer threads churn points whose scores sit
+/// strictly below every base score, so each wide top-k answer is invariant
+/// under the storm: a reader's whole answer-stream fingerprint must equal
+/// the serialized oracle's, no matter which epoch each query landed on.
+/// Readers scale 1→8 with the writers running the whole time; the query
+/// path must never fall back to a shard write lock (counter CHECKed 0).
+void ServeWhileUpdatingTable() {
+  constexpr int kWritersG = 2;
+  constexpr int kReaderQueries = 800;
+  Header("E12g: serve-while-updating (MVCC epochs, 4 shards, " +
+             std::to_string(kWritersG) + " writers active)",
+         {"readers", "writers", "queries", "wall ms", "read qps",
+          "scaling vs 1 reader", "writer ops", "fingerprint", "shard locks"});
+  Rng rng(55);
+  std::vector<Point> base = RandomPoints(&rng, kPoints, kXHi);
+  for (Point& p : base) p.score += 100.0;
+  // Serialized oracle: each reader's exact query stream, replayed on an
+  // idle non-MVCC engine holding only the base points.
+  std::uint64_t oracle[8] = {};
+  {
+    auto eng = ShardedTopkEngine::Build(base, EngOpts(4));
+    Must(eng.status());
+    for (int r = 0; r < 8; ++r) {
+      oracle[r] = FingerprintSeeded(eng->get(), 6200 + r, kReaderQueries);
+    }
+  }
+  double base_qps = 0;
+  for (int readers : {1, 2, 4, 8}) {
+    EngineOptions o = EngOpts(4);
+    o.mvcc = true;
+    auto eng = ShardedTopkEngine::Build(base, o);
+    Must(eng.status());
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> writer_ops{0};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWritersG; ++w) {
+      writers.emplace_back([&, w] {
+        Rng wrng(8100 + w);
+        std::vector<Point> mine;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Insert across the full key space (every shard publishes fresh
+          // epochs under the readers), delete every other one; scores in
+          // (0, 1) never reach a top-k next to the +100 base scores.
+          Point p{wrng.UniformDouble(0, kXHi), wrng.UniformDouble()};
+          mine.push_back(p);
+          Must(eng->get()->Insert(p));
+          if (mine.size() % 2 == 0) {
+            Must(eng->get()->Delete(mine[mine.size() - 2]));
+          }
+          writer_ops.fetch_add(1, std::memory_order_relaxed);
+          // A paced update stream (not a tight loop): the benchmark
+          // measures read scaling under live writes, not writer saturation
+          // of a single-core host.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+    std::atomic<std::uint64_t> mismatches{0};
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> reader_threads;
+    for (int r = 0; r < readers; ++r) {
+      reader_threads.emplace_back([&, r] {
+        const std::uint64_t fp =
+            FingerprintSeeded(eng->get(), 6200 + r, kReaderQueries);
+        if (fp != oracle[r]) mismatches.fetch_add(1);
+      });
+    }
+    for (auto& th : reader_threads) th.join();
+    const double ms = WallMs(t0);
+    stop = true;
+    for (auto& th : writers) th.join();
+    const double total = static_cast<double>(readers) * kReaderQueries;
+    const double qps = total / (ms / 1000.0);
+    if (readers == 1) base_qps = qps;
+    const engine::EngineCounters c = eng->get()->counters();
+    const bool fp_ok = mismatches.load() == 0;
+    // Consistency is a CHECK, not a column-only report: a reader that saw
+    // a half-applied epoch or a stale fence route is a correctness bug.
+    TOKRA_CHECK(fp_ok);
+    TOKRA_CHECK_EQ(c.query_shard_locks, 0u);
+    std::printf(
+        "[e12g] readers=%d writers=%d qps=%.0f ratio=%.2f fingerprint=%s "
+        "locks=%llu\n",
+        readers, kWritersG, qps, qps / base_qps, fp_ok ? "ok" : "MISMATCH",
+        static_cast<unsigned long long>(c.query_shard_locks));
+    RecordIoStats("E12g readers=" + U(readers),
+                  eng->get()->AggregatedIoStats(), 0, 0, 0,
+                  eng->get()->AggregatedSpaceStats());
+    Row({U(readers), U(kWritersG), U(static_cast<std::uint64_t>(total)),
+         D(ms), D(qps, 0), D(qps / base_qps), U(writer_ops.load()),
+         fp_ok ? "ok" : "MISMATCH", U(c.query_shard_locks)});
+  }
+}
+
 void Run() {
   // Scaling is bounded by physical parallelism; on a single-core host the
   // residual speedup comes from smaller per-shard structures (lower lg n_i,
@@ -373,6 +480,7 @@ void Run() {
   RebalanceTable(pts);
   OverheadTable(pts);
   PruningTable();
+  ServeWhileUpdatingTable();
 }
 
 }  // namespace

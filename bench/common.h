@@ -141,9 +141,9 @@ inline void WriteJson() {
     JsonTable io{"io_stats",
                  {"phase", "reads", "writes", "pool_hits", "pool_misses",
                   "evictions", "prefetched", "borrows", "wal_appends",
-                  "fsyncs", "total_ios", "shards_pruned", "fence_checks",
-                  "waves", "alloc_blocks", "free_blocks", "reserved_blocks",
-                  "file_blocks"},
+                  "fsyncs", "retired_blocks", "total_ios", "shards_pruned",
+                  "fence_checks", "waves", "alloc_blocks", "free_blocks",
+                  "reserved_blocks", "file_blocks"},
                  {}};
     for (const auto& row : st.io_rows) {
       const em::IoStats& s = row.io;
@@ -155,6 +155,7 @@ inline void WriteJson() {
                          std::to_string(s.borrows),
                          std::to_string(s.wal_appends),
                          std::to_string(s.fsyncs),
+                         std::to_string(s.retired_blocks),
                          std::to_string(s.TotalIos()),
                          std::to_string(row.shards_pruned),
                          std::to_string(row.fence_checks),

@@ -14,7 +14,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Meta block layout. Words 4-7 persist the full build-time Options so an
 // Open()ed index carries the exact configuration it was built with (the
-// superblock floor guarantees >= em::kSuperblockHeaderWords = 12 words).
+// superblock floor guarantees >= em::kSuperblockHeaderWords = 14 words).
 constexpr em::word_t kMetaMagic = 0x544F4B52544F504BULL;  // "TOKRTOPK"
 constexpr std::size_t kWMagic = 0;
 constexpr std::size_t kWUseLemma4 = 1;

@@ -1,0 +1,107 @@
+// Chunked in-memory device + shared read-view plumbing (DESIGN.md §14).
+
+#include "em/block_device.h"
+
+namespace tokra::em {
+
+std::unique_ptr<BlockDevice> BlockDevice::TryShareReadView() {
+  if (failed_ || !ViewSupportsReads()) return nullptr;
+  return std::make_unique<ReadViewDevice>(this);
+}
+
+void ReadViewDevice::DoRead(BlockId id, word_t* dst) {
+  if (parent_->ViewRead(id, dst)) return;
+  // The failure belongs to this alias, never to the parent: an epoch
+  // reader's bad luck must not poison the writer's device.
+  std::memset(dst, 0, std::size_t{block_words()} * sizeof(word_t));
+  RecordIoError(Status::IoError("read view: backend read failed"));
+}
+
+void ReadViewDevice::DoWrite(BlockId id, const word_t* src) {
+  (void)id;
+  (void)src;
+  TOKRA_CHECK(false && "ReadViewDevice is read-only");
+}
+
+MemBlockDevice::~MemBlockDevice() {
+  for (auto& page_slot : pages_) {
+    Page* page = page_slot.load(std::memory_order_relaxed);
+    if (page == nullptr) continue;
+    for (auto& chunk_slot : page->chunks) {
+      delete[] chunk_slot.load(std::memory_order_relaxed);
+    }
+    delete page;
+  }
+}
+
+word_t* MemBlockDevice::BlockPtr(BlockId id) const {
+  const BlockId chunk_idx = id / kChunkBlocks;
+  Page* page = pages_[chunk_idx / kPageChunks].load(std::memory_order_acquire);
+  word_t* chunk =
+      page->chunks[chunk_idx % kPageChunks].load(std::memory_order_acquire);
+  return chunk + (id % kChunkBlocks) * std::size_t{block_words()};
+}
+
+void MemBlockDevice::EnsureCapacity(BlockId blocks) {
+  if (blocks <= num_blocks_.load(std::memory_order_relaxed)) return;
+  TOKRA_CHECK(blocks <=
+              BlockId{kRootPages} * kPageChunks * kChunkBlocks);
+  const BlockId chunks_needed = (blocks + kChunkBlocks - 1) / kChunkBlocks;
+  for (BlockId c =
+           num_blocks_.load(std::memory_order_relaxed) / kChunkBlocks;
+       c < chunks_needed; ++c) {
+    Page* page = pages_[c / kPageChunks].load(std::memory_order_acquire);
+    if (page == nullptr) {
+      page = new Page();
+      pages_[c / kPageChunks].store(page, std::memory_order_release);
+    }
+    auto& slot = page->chunks[c % kPageChunks];
+    if (slot.load(std::memory_order_relaxed) == nullptr) {
+      // Value-initialized: the EM disk formats to zeros.
+      slot.store(new word_t[std::size_t{kChunkBlocks} * block_words()](),
+                 std::memory_order_release);
+    }
+  }
+  num_blocks_.store(blocks, std::memory_order_release);
+}
+
+bool MemBlockDevice::ViewRead(BlockId id, word_t* dst) {
+  if (id >= NumBlocks()) return false;
+  std::memcpy(dst, BlockPtr(id), BytesPerBlock());
+  return true;
+}
+
+void MemBlockDevice::DoRead(BlockId id, word_t* dst) {
+  std::memcpy(dst, BlockPtr(id), BytesPerBlock());
+}
+
+void MemBlockDevice::DoWrite(BlockId id, const word_t* src) {
+  std::memcpy(BlockPtr(id), src, BytesPerBlock());
+}
+
+void MemBlockDevice::DoReadRun(BlockId first, std::uint32_t count,
+                               word_t* dst) {
+  // A run may span chunks; copy per contiguous segment.
+  while (count > 0) {
+    const std::uint32_t n = std::min<std::uint32_t>(
+        count, kChunkBlocks - static_cast<std::uint32_t>(first % kChunkBlocks));
+    std::memcpy(dst, BlockPtr(first), std::size_t{n} * BytesPerBlock());
+    first += n;
+    dst += std::size_t{n} * block_words();
+    count -= n;
+  }
+}
+
+void MemBlockDevice::DoWriteRun(BlockId first, std::uint32_t count,
+                                const word_t* src) {
+  while (count > 0) {
+    const std::uint32_t n = std::min<std::uint32_t>(
+        count, kChunkBlocks - static_cast<std::uint32_t>(first % kChunkBlocks));
+    std::memcpy(BlockPtr(first), src, std::size_t{n} * BytesPerBlock());
+    first += n;
+    src += std::size_t{n} * block_words();
+    count -= n;
+  }
+}
+
+}  // namespace tokra::em

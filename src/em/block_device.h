@@ -6,6 +6,7 @@
 #define TOKRA_EM_BLOCK_DEVICE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -244,6 +245,39 @@ class BlockDevice {
   /// durable.
   void PoisonIo(Status error) { RecordIoError(std::move(error)); }
 
+  // ---- Shared read views (MVCC epoch serving; DESIGN.md §14) ----
+
+  /// Returns a non-owning read-only alias of this device's current
+  /// contents, or nullptr when the backend cannot share one (or the device
+  /// has failed). The alias counts its own IoStats (this device's counters
+  /// are untouched by reads through it) and refuses every write.
+  ///
+  /// Concurrency contract: the alias may be read from other threads while
+  /// this device keeps writing, PROVIDED the writer never mutates a block
+  /// the reader dereferences — exactly the pager's copy-on-write epoch
+  /// discipline, where every block reachable from a published checkpoint is
+  /// immutable until all epoch pins drain. The alias must not outlive this
+  /// device.
+  std::unique_ptr<BlockDevice> TryShareReadView();
+
+  /// Backend support hooks for TryShareReadView. Public only so the alias
+  /// device (a different BlockDevice object) can reach them; not for
+  /// application use. ViewRead/ViewBorrow must be thread-safe against the
+  /// owner's writes to *other* blocks and must not touch this device's
+  /// counters or sticky error state.
+  virtual bool ViewSupportsReads() const { return false; }
+  virtual bool ViewSupportsBorrows() const { return false; }
+  virtual bool ViewRead(BlockId id, word_t* dst) {
+    (void)id;
+    (void)dst;
+    return false;
+  }
+  virtual const word_t* ViewBorrow(BlockId id) {
+    (void)id;
+    return nullptr;
+  }
+  virtual BlockId ViewNumBlocks() const { return NumBlocks(); }
+
  protected:
   /// Backends call this from Sync() exactly when a real barrier ran.
   void CountSync() { ++syncs_; }
@@ -309,43 +343,91 @@ class BlockDevice {
   std::unordered_map<BlockId, std::vector<word_t>> overlay_;
 };
 
-/// In-memory backend: the EM-model simulation the repository started with.
-/// Volatile and zero-setup — the default for tests and benches.
-class MemBlockDevice final : public BlockDevice {
+/// Read-only alias over another device's ViewRead/ViewBorrow hooks — what
+/// BlockDevice::TryShareReadView hands out. Counts its own IoStats (so an
+/// epoch reader's cost is measurable separately from the writer's) and
+/// CHECK-fails on any write. Non-owning: the parent must outlive it, which
+/// the pager's epoch-pin lifetime rule guarantees.
+class ReadViewDevice final : public BlockDevice {
  public:
-  explicit MemBlockDevice(std::uint32_t block_words)
-      : BlockDevice(block_words) {}
+  explicit ReadViewDevice(BlockDevice* parent)
+      : BlockDevice(parent->block_words()), parent_(parent) {}
 
-  BlockId NumBlocks() const override { return storage_.size() / block_words(); }
-
+  BlockId NumBlocks() const override { return parent_->ViewNumBlocks(); }
   void EnsureCapacity(BlockId blocks) override {
-    if (blocks * block_words() > storage_.size()) {
-      storage_.resize(blocks * block_words(), 0);
-    }
+    // Reads through Pager never grow; anything else is a write-path bug.
+    TOKRA_CHECK(blocks <= NumBlocks());
+  }
+  bool SupportsBorrowedReads() const override {
+    return parent_->ViewSupportsBorrows();
   }
 
  protected:
-  void DoRead(BlockId id, word_t* dst) override {
-    std::memcpy(dst, &storage_[id * block_words()], BytesPerBlock());
-  }
-  void DoWrite(BlockId id, const word_t* src) override {
-    std::memcpy(&storage_[id * block_words()], src, BytesPerBlock());
-  }
-  // Storage is contiguous, so a run is a single memcpy.
-  void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) override {
-    std::memcpy(dst, &storage_[first * block_words()], count * BytesPerBlock());
-  }
-  void DoWriteRun(BlockId first, std::uint32_t count,
-                  const word_t* src) override {
-    std::memcpy(&storage_[first * block_words()], src, count * BytesPerBlock());
+  void DoRead(BlockId id, word_t* dst) override;
+  void DoWrite(BlockId id, const word_t* src) override;
+  const word_t* DoBorrowRead(BlockId id) override {
+    return parent_->ViewBorrow(id);
   }
 
  private:
+  BlockDevice* parent_;
+};
+
+/// In-memory backend: the EM-model simulation the repository started with.
+/// Volatile and zero-setup — the default for tests and benches.
+///
+/// Storage is a two-level table of fixed-size chunks rather than one
+/// contiguous vector: growing allocates new chunks without ever moving
+/// existing ones, so pointers handed out by ViewBorrow (and reads through a
+/// shared read view on another thread) stay valid while the owner keeps
+/// appending. Capacity tops out at kRootPages * kPageChunks * kChunkBlocks
+/// blocks (2^28 blocks — far beyond any simulated disk here).
+class MemBlockDevice final : public BlockDevice {
+ public:
+  static constexpr std::uint32_t kChunkBlocks = 1024;  // blocks per chunk
+  static constexpr std::uint32_t kPageChunks = 512;    // chunk slots per page
+  static constexpr std::uint32_t kRootPages = 512;     // page slots at root
+
+  explicit MemBlockDevice(std::uint32_t block_words)
+      : BlockDevice(block_words) {}
+  ~MemBlockDevice() override;
+
+  BlockId NumBlocks() const override {
+    return num_blocks_.load(std::memory_order_acquire);
+  }
+  void EnsureCapacity(BlockId blocks) override;
+
+  // The simulation supports zero-copy and shared read views natively: chunk
+  // addresses are stable and a block never straddles chunks.
+  bool SupportsBorrowedReads() const override { return true; }
+  bool ViewSupportsReads() const override { return true; }
+  bool ViewSupportsBorrows() const override { return true; }
+  bool ViewRead(BlockId id, word_t* dst) override;
+  const word_t* ViewBorrow(BlockId id) override { return BlockPtr(id); }
+
+ protected:
+  void DoRead(BlockId id, word_t* dst) override;
+  void DoWrite(BlockId id, const word_t* src) override;
+  void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) override;
+  void DoWriteRun(BlockId first, std::uint32_t count,
+                  const word_t* src) override;
+  const word_t* DoBorrowRead(BlockId id) override { return BlockPtr(id); }
+
+ private:
+  struct Page {
+    std::atomic<word_t*> chunks[kPageChunks] = {};
+  };
+
   std::size_t BytesPerBlock() const {
     return std::size_t{block_words()} * sizeof(word_t);
   }
+  /// Address of block `id`, which must be < NumBlocks(). Safe from reader
+  /// threads: chunk publication uses release stores matched by the acquire
+  /// loads here and in NumBlocks().
+  word_t* BlockPtr(BlockId id) const;
 
-  std::vector<word_t> storage_;
+  std::atomic<Page*> pages_[kRootPages] = {};
+  std::atomic<BlockId> num_blocks_{0};
 };
 
 /// Creates the backend `options` describes. `truncate_file` makes a file

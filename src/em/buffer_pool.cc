@@ -61,10 +61,12 @@ void BufferPool::EvictFrame(std::uint32_t v, std::vector<IoRequest>* batch) {
       // SubmitWrites in BatchLoad instead).
       obs::ScopedTimer stall(evict_stall_us_);
       if (barrier_ != nullptr) {
-        const BlockId id = f.id;
+        const BlockId id = f.id;  // the barrier speaks logical ids
         barrier_->BeforeHomeWrite({&id, 1});
       }
-      device_->Write(f.id, f.buf.data());
+      device_->Write(
+          xlate_ != nullptr ? xlate_->RedirectWrite(f.id) : f.id,
+          f.buf.data());
     }
     ++stats_.writes;
   }
@@ -95,10 +97,13 @@ std::uint32_t BufferPool::Pin(BlockId id, PinMode mode) {
   f.pins = 1;
   LruPushFront(v);
   if (mode == PinMode::kRead) {
-    if (borrow_ && (f.ext = device_->TryBorrowRead(id)) != nullptr) {
+    // The device transfer uses the physical location; the frame stays keyed
+    // by the logical id the caller pinned.
+    const BlockId phys = xlate_ != nullptr ? xlate_->TranslateRead(id) : id;
+    if (borrow_ && (f.ext = device_->TryBorrowRead(phys)) != nullptr) {
       ++stats_.borrows;  // zero-copy: the frame needs no buffer at all
     } else {
-      device_->Read(id, OwnedBuf(f));
+      device_->Read(phys, OwnedBuf(f));
     }
     ++stats_.reads;
   } else {
@@ -155,11 +160,12 @@ void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
     // this very batch held this block: the pointer is a view of the page
     // cache, so it observes the write-back the moment SubmitWrites below
     // completes — before any caller can dereference it.
-    if (borrow_ && (f.ext = device_->TryBorrowRead(id)) != nullptr) {
+    const BlockId phys = xlate_ != nullptr ? xlate_->TranslateRead(id) : id;
+    if (borrow_ && (f.ext = device_->TryBorrowRead(phys)) != nullptr) {
       ++stats_.borrows;
       ++stats_.reads;
     } else {
-      read_batch.push_back(IoRequest{id, OwnedBuf(f)});
+      read_batch.push_back(IoRequest{phys, OwnedBuf(f)});
     }
     if (pin) {
       ++stats_.pool_misses;
@@ -178,6 +184,11 @@ void BufferPool::BatchLoad(std::span<const BlockId> ids, bool pin,
       ids.reserve(write_batch.size());
       for (const IoRequest& r : write_batch) ids.push_back(r.id);
       barrier_->BeforeHomeWrite(ids);
+    }
+    // Redirect after the barrier: pre-images are about logical blocks, the
+    // transfer is about physical locations.
+    if (xlate_ != nullptr) {
+      for (IoRequest& r : write_batch) r.id = xlate_->RedirectWrite(r.id);
     }
     device_->SubmitWrites(write_batch);
   }
@@ -222,6 +233,9 @@ void BufferPool::FlushAll() {
     ids.reserve(batch.size());
     for (const IoRequest& r : batch) ids.push_back(r.id);
     barrier_->BeforeHomeWrite(ids);
+  }
+  if (xlate_ != nullptr) {
+    for (IoRequest& r : batch) r.id = xlate_->RedirectWrite(r.id);
   }
   device_->SubmitWrites(batch);
 }

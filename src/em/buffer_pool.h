@@ -30,6 +30,24 @@ class WriteBarrier {
   virtual void BeforeHomeWrite(std::span<const BlockId> ids) = 0;
 };
 
+/// Logical-to-physical block translation, consulted at the pool<->device
+/// boundary. This is the COW epoch seam (DESIGN.md §14): the pool caches,
+/// pins, and evicts by *logical* id (what clients name), while the device
+/// transfer uses the *physical* location the translator resolves. Identity
+/// when no translator is installed — the pre-MVCC behaviour.
+///
+/// RedirectWrite is called once per write-back, after the write barrier and
+/// immediately before the device transfer; it may move the block to a fresh
+/// location (copy-on-write) and must return where this write-back lands.
+/// TranslateRead resolves where a block's current contents live. Neither
+/// may re-enter the pool.
+class BlockTranslator {
+ public:
+  virtual ~BlockTranslator() = default;
+  virtual BlockId TranslateRead(BlockId id) = 0;
+  virtual BlockId RedirectWrite(BlockId id) = 0;
+};
+
 /// Fixed-capacity LRU pool of block frames with pin/unpin semantics.
 ///
 /// A pin that misses reads the block from the device (one I/O); evicting a
@@ -145,6 +163,11 @@ class BufferPool {
   /// owned; must outlive the pool or be cleared first.
   void SetWriteBarrier(WriteBarrier* barrier) { barrier_ = barrier; }
 
+  /// Installs (or clears) the logical-to-physical translator. Not owned;
+  /// must outlive the pool or be cleared first. Installing one with frames
+  /// already cached is fine — frames are keyed by logical id throughout.
+  void SetTranslator(BlockTranslator* xlate) { xlate_ = xlate; }
+
   /// Attaches the eviction-stall sink: time a pin (or batch) spends
   /// writing back dirty victims — the page-replacement cost the requester
   /// is stalled on. Null (the default) disables timing; clean evictions
@@ -214,6 +237,7 @@ class BufferPool {
 
   BlockDevice* device_;
   WriteBarrier* barrier_ = nullptr;
+  BlockTranslator* xlate_ = nullptr;  // COW epoch translation; null = identity
   obs::Histogram* evict_stall_us_ = nullptr;  // dirty write-back stall sink
   std::vector<Frame> frames_;
   const bool borrow_;  // device supports zero-copy borrowed reads

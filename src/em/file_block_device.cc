@@ -75,6 +75,8 @@ void FileBlockDevice::EnsureCapacity(BlockId blocks) {
   if (blocks <= num_blocks_) return;
   TOKRA_CHECK(!read_only_ && "cannot grow a read-only device");
   if (io_failed()) return;  // fail-stop: a failed device stops growing
+  // Growing before publishing the new count keeps read views in-bounds:
+  // by the time a reader can observe `blocks`, the file already has them.
   if (::ftruncate(fd_, static_cast<off_t>(blocks * BlockBytes())) != 0) {
     const int err = errno;
     // A full disk (or file-size limit / quota) is the one storage failure a
@@ -88,7 +90,16 @@ void FileBlockDevice::EnsureCapacity(BlockId blocks) {
     RecordIoError(std::move(st));
     return;
   }
-  num_blocks_ = blocks;
+  num_blocks_.store(blocks, std::memory_order_release);
+}
+
+bool FileBlockDevice::ViewRead(BlockId id, word_t* dst) {
+  // Raw positional read on the shared fd: thread-safe, and neither counters
+  // nor sticky error state of this (writer-owned) device are touched — a
+  // view reader's failure is recorded on the view, not here.
+  std::size_t transferred = 0;
+  return tokra::PreadFull(fd_, dst, BlockBytes(), id * BlockBytes(),
+                          &transferred) == 0;
 }
 
 void FileBlockDevice::Sync() {

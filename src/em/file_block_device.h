@@ -45,12 +45,20 @@ class FileBlockDevice : public BlockDevice {
   FileBlockDevice(std::uint32_t block_words, FileOptions options);
   ~FileBlockDevice() override;
 
-  BlockId NumBlocks() const override { return num_blocks_; }
+  BlockId NumBlocks() const override {
+    return num_blocks_.load(std::memory_order_acquire);
+  }
   void EnsureCapacity(BlockId blocks) override;
   void Sync() override;
   void DropOsCache() override;
 
   const std::string& path() const { return path_; }
+
+  // Shared read views: positional pread on one fd is naturally thread-safe,
+  // so any healthy file device can serve epoch readers concurrently.
+  bool ViewSupportsReads() const override { return fd_ >= 0; }
+  bool ViewRead(BlockId id, word_t* dst) override;
+  BlockId ViewNumBlocks() const override { return NumBlocks(); }
 
  protected:
   void DoRead(BlockId id, word_t* dst) override;
@@ -73,7 +81,9 @@ class FileBlockDevice : public BlockDevice {
   int fd_ = -1;
   bool durable_sync_ = false;
   bool read_only_ = false;
-  BlockId num_blocks_ = 0;
+  // Atomic only for the benefit of read views on other threads; all
+  // mutation stays on the owner's thread.
+  std::atomic<BlockId> num_blocks_{0};
 };
 
 }  // namespace tokra::em

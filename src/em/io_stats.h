@@ -36,6 +36,10 @@ struct IoStats {
   std::uint64_t injected_faults = 0;  ///< faults delivered by a
                                       ///< FaultInjectingBlockDevice wrapper
                                       ///< (0 outside fault-injection tests)
+  std::uint64_t retired_blocks = 0;   ///< COW-superseded blocks returned to
+                                      ///< the free list after their last
+                                      ///< pinned epoch drained (0 outside
+                                      ///< cow_epochs mode)
 
   /// Total block transfers — the paper's cost metric. WAL traffic lives on
   /// its own log device and is reported separately (`wal_appends`).
@@ -53,6 +57,7 @@ struct IoStats {
     fsyncs += rhs.fsyncs;
     io_errors += rhs.io_errors;
     injected_faults += rhs.injected_faults;
+    retired_blocks += rhs.retired_blocks;
     return *this;
   }
 
@@ -69,6 +74,7 @@ struct IoStats {
     d.fsyncs = fsyncs - rhs.fsyncs;
     d.io_errors = io_errors - rhs.io_errors;
     d.injected_faults = injected_faults - rhs.injected_faults;
+    d.retired_blocks = retired_blocks - rhs.retired_blocks;
     return d;
   }
 
@@ -82,7 +88,8 @@ struct IoStats {
            " wal_appends=" + std::to_string(wal_appends) +
            " fsyncs=" + std::to_string(fsyncs) +
            " io_errors=" + std::to_string(io_errors) +
-           " injected_faults=" + std::to_string(injected_faults);
+           " injected_faults=" + std::to_string(injected_faults) +
+           " retired_blocks=" + std::to_string(retired_blocks);
   }
 };
 

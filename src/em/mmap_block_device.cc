@@ -77,4 +77,12 @@ const word_t* MmapBlockDevice::DoBorrowRead(BlockId id) {
   return map_ == nullptr ? nullptr : BlockPtr(id);
 }
 
+bool MmapBlockDevice::ViewRead(BlockId id, word_t* dst) {
+  if (map_ == nullptr || id >= NumBlocks()) {
+    return FileBlockDevice::ViewRead(id, dst);
+  }
+  std::memcpy(dst, BlockPtr(id), BlockBytes());
+  return true;
+}
+
 }  // namespace tokra::em

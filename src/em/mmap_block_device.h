@@ -45,6 +45,14 @@ class MmapBlockDevice final : public FileBlockDevice {
   void EnsureCapacity(BlockId blocks) override;
   void DropOsCache() override;
 
+  // Read views borrow straight from the mapping: the reservation is fixed
+  // for the device's lifetime, so view pointers stay valid across growth.
+  bool ViewSupportsBorrows() const override { return map_ != nullptr; }
+  const word_t* ViewBorrow(BlockId id) override {
+    return map_ != nullptr ? BlockPtr(id) : nullptr;
+  }
+  bool ViewRead(BlockId id, word_t* dst) override;
+
  protected:
   void DoRead(BlockId id, word_t* dst) override;
   void DoReadRun(BlockId first, std::uint32_t count, word_t* dst) override;

@@ -28,7 +28,7 @@ inline constexpr BlockId kNullBlock = ~BlockId{0};
 
 /// Fixed words at the head of a pager superblock (mirrored as
 /// Pager::kSuperHeaderWords).
-inline constexpr std::uint32_t kSuperblockHeaderWords = 12;
+inline constexpr std::uint32_t kSuperblockHeaderWords = 14;
 
 /// Floor on EmOptions::block_words. A checkpoint needs the superblock
 /// header plus one word per root, and every pager client in this library
@@ -90,6 +90,19 @@ struct EmOptions {
   /// truncate, which a read-only open cannot).
   bool read_only = false;
 
+  /// Epoch-based copy-on-write checkpoints (MVCC serving; DESIGN.md §14).
+  /// On, the pager never overwrites a checkpoint-referenced block in place:
+  /// the first post-checkpoint write-back of such a block is redirected to a
+  /// freshly allocated block and the logical id remapped (the translation
+  /// map is serialized with every superblock), so the newest completed
+  /// checkpoint stays byte-intact on the device at all times. Readers pin a
+  /// published epoch (Pager::PinEpoch) and read it lock-free through shared
+  /// read-view devices; superseded blocks return to the free list only once
+  /// every pin at or before their epoch has drained. Pre-image WAL records
+  /// become unnecessary (and are skipped): COW is the undo log. A device
+  /// checkpointed in COW mode reopens in COW mode regardless of this flag.
+  bool cow_epochs = false;
+
   /// kUring: submission-queue depth of the ring — the number of block
   /// transfers a SubmitReads/SubmitWrites batch keeps in flight at once.
   /// Depth 1 degenerates to the synchronous path (one transfer at a time);
@@ -145,7 +158,9 @@ struct EmOptions {
     TOKRA_CHECK(block_words >= kMinBlockWords);
     TOKRA_CHECK(pool_frames >= 4);
     TOKRA_CHECK(backend == Backend::kMem || !path.empty());
-    TOKRA_CHECK(!read_only || backend != Backend::kMem);
+    // read_only + kMem is only reachable through Pager::OpenOn (an epoch
+    // read view aliasing a live in-memory device); Pager::Open still
+    // refuses kMem with a proper Status.
     TOKRA_CHECK(io_queue_depth >= 1);
     // A read-only pager must not own a log: scanning is fine (WalReader),
     // but attaching one implies undo writes on open and appends later.

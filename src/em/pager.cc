@@ -9,19 +9,24 @@
 namespace tokra::em {
 namespace {
 
-// Superblock word layout. Roots follow the header; the free list follows
-// the roots, spilling into whole blocks claimed from the allocator when it
-// outgrows the superblock (the region is reserved — recorded in the
-// superblock and returned to the free list only when the *next* checkpoint
-// supersedes it — so post-checkpoint allocations can never overwrite the
-// spill a recovery would read).
+// Superblock word layout. Roots follow the header; the serialized
+// allocator stream follows the roots — free-list ids, then the COW
+// name->location map as (name, location) pairs — spilling into whole
+// blocks claimed from the allocator when it outgrows the superblock (the
+// region is reserved — recorded in the superblock and returned to the free
+// list only when the *next* checkpoint supersedes it — so post-checkpoint
+// allocations can never overwrite the spill a recovery would read).
 //
 // Two superblock slots (blocks 0 and 1) alternate by epoch, and each slot
 // carries a checksum: a crash mid-checkpoint — even a torn superblock
 // write — leaves the previous slot intact, so Open() always recovers the
 // newest *complete* checkpoint.
 constexpr word_t kSuperMagic = 0x544F4B5241504752ULL;  // "TOKRAPGR"
-constexpr word_t kSuperVersion = 2;
+// Version 3: header grew 12 -> 14 words (map count + flags), and the
+// stream after the roots carries the COW map behind the free list. A
+// version-2 file is rejected as "no valid superblock" — this library makes
+// no cross-version format promise yet.
+constexpr word_t kSuperVersion = 3;
 constexpr std::size_t kWMagic = 0;
 constexpr std::size_t kWVersion = 1;
 constexpr std::size_t kWBlockWords = 2;
@@ -34,10 +39,14 @@ constexpr std::size_t kWSpillStart = 8;
 constexpr std::size_t kWEpoch = 9;
 constexpr std::size_t kWChecksum = 10;
 // LSN covered by this checkpoint: every WAL record at or below it is
-// already reflected in the checkpointed state (0 = no log). Fits in the
-// header's previously-unused 12th word, so version 2 files stay readable
-// (their word 11 was written as 0, i.e. "no log").
+// already reflected in the checkpointed state (0 = no log).
 constexpr std::size_t kWWalLsn = 11;
+// Entries in the serialized COW name->location map (0 outside COW mode).
+constexpr std::size_t kWMapCount = 12;
+// Feature flags. A set kFlagCowEpochs makes the device reopen in COW mode
+// regardless of EmOptions::cow_epochs: the map it carries is live state.
+constexpr std::size_t kWFlags = 13;
+constexpr word_t kFlagCowEpochs = 1;
 
 /// Mixes all superblock words except the checksum slot itself.
 word_t SuperChecksum(std::span<const word_t> words) {
@@ -58,6 +67,10 @@ Pager::Pager(const EmOptions& options)
   // A fresh pager formats the device; read-only only makes sense for
   // Open() on an existing checkpoint.
   TOKRA_CHECK(!options.read_only);
+  if (options.cow_epochs) {
+    cow_ = true;
+    pool_.SetTranslator(this);
+  }
   device_->EnsureCapacity(kReservedBlocks);  // the two superblock slots
   if (!options.wal_path.empty()) {
     // A fresh device makes any existing log stale: start the log fresh
@@ -97,6 +110,127 @@ Pager::Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device)
   }
 }
 
+Pager::~Pager() {
+  // A live EpochPin would call back into freed memory on release; failing
+  // here names the bug instead of leaving a use-after-free to find.
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  TOKRA_CHECK(pins_.empty() && "pager destroyed with live epoch pins");
+}
+
+EpochPin Pager::PinEpoch() {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  const std::uint64_t e = published_epoch_.load(std::memory_order_relaxed);
+  ++pins_[e];
+  return EpochPin(this, e);
+}
+
+void Pager::ReleaseEpochPin(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  auto it = pins_.find(epoch);
+  TOKRA_CHECK(it != pins_.end() && it->second > 0);
+  if (--it->second == 0) {
+    pins_.erase(it);
+    MaybeRetireLocked();
+  }
+}
+
+void Pager::MaybeRetireLocked() {
+  // A batch tagged E holds the locations checkpoint E was the last to
+  // reference; it retires once no pin at or before E remains. Batches were
+  // queued in tag order, so the scan stops at the first survivor.
+  const std::uint64_t oldest_pinned =
+      pins_.empty() ? ~std::uint64_t{0} : pins_.begin()->first;
+  while (!retire_queue_.empty() &&
+         retire_queue_.front().first < oldest_pinned) {
+    std::vector<BlockId>& batch = retire_queue_.front().second;
+    retired_total_.fetch_add(batch.size(), std::memory_order_relaxed);
+    retire_ready_.insert(retire_ready_.end(), batch.begin(), batch.end());
+    retire_queue_.pop_front();
+  }
+  if (!retire_ready_.empty()) {
+    retire_ready_flag_.store(true, std::memory_order_release);
+  }
+}
+
+void Pager::DrainRetired() {
+  // Lock-free fast path: the flag is only set while holding epochs_mu_,
+  // so a clear read here means nothing is waiting.
+  if (!retire_ready_flag_.load(std::memory_order_acquire)) return;
+  std::vector<BlockId> ready;
+  {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    ready.swap(retire_ready_);
+    retire_ready_flag_.store(false, std::memory_order_relaxed);
+  }
+  for (BlockId loc : ready) {
+    if (map_.count(loc) != 0) {
+      // The client still holds `loc` as a *name* (remapped elsewhere):
+      // handing the id out as a fresh name would collide. Park it; the
+      // name's Free() releases both roles.
+      orphans_.insert(loc);
+    } else {
+      free_list_.push_back(loc);
+    }
+  }
+}
+
+BlockId Pager::RedirectWrite(BlockId id) {
+  if (id < kReservedBlocks) return id;  // superblock protocol is its own
+  auto it = map_.find(id);
+  const BlockId home = it != map_.end() ? it->second : id;
+  // In place only when the home location was born after the last publish:
+  // no published checkpoint (hence no pinned reader) can reference it.
+  if (interval_fresh_.count(home) != 0) return home;
+  DrainRetired();
+  const BlockId fresh = AllocLocation();
+  map_[id] = fresh;
+  deferred_.push_back(home);
+  return fresh;
+}
+
+void Pager::CowFree(BlockId id) {
+  DrainRetired();
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    ReleaseLocation(id);
+    return;
+  }
+  const BlockId loc = it->second;
+  map_.erase(it);
+  ReleaseLocation(loc);
+  if (orphans_.erase(id) != 0) {
+    // The identity location already retired while the name was held; with
+    // the name now freed too, the id is free in both roles.
+    free_list_.push_back(id);
+  }
+  // Else location `id` is still parked (deferred/retire queue): when it
+  // drains, the map key is gone, so it lands on the free list there.
+}
+
+void Pager::ReleaseLocation(BlockId loc) {
+  if (interval_fresh_.erase(loc) != 0) {
+    free_list_.push_back(loc);  // never reached a published checkpoint
+  } else {
+    // The last published checkpoint references it: a pinned reader may be
+    // walking it right now. Park until the next publish supersedes it.
+    deferred_.push_back(loc);
+  }
+}
+
+StatusOr<std::unique_ptr<Pager>> Pager::OpenOn(
+    std::unique_ptr<BlockDevice> device, EmOptions options) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("OpenOn: no device (read view refused?)");
+  }
+  options.read_only = true;   // the device refuses writes anyway
+  options.wal_path.clear();   // a snapshot reader never logs
+  options.fault = nullptr;    // fault injection belongs to the owner
+  if (options.path.empty()) options.path = "<read-view>";
+  auto pager = std::unique_ptr<Pager>(new Pager(options, std::move(device)));
+  TOKRA_RETURN_IF_ERROR(pager->LoadSuperblock());
+  return pager;
+}
+
 Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   if (options_.read_only) {
     return Status::FailedPrecondition("pager is read-only (snapshot mode)");
@@ -114,16 +248,83 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   obs::ScopedTimer timer(options_.metrics != nullptr
                              ? options_.metrics->checkpoint_us
                              : nullptr);
+  if (cow_) DrainRetired();
+  // In COW mode the flush is what performs the interval's redirects (the
+  // pool's write-backs go through RedirectWrite), so the translation map is
+  // final only after it — serialize below, never before.
   pool_.FlushAll();
 
-  // The previous checkpoint's spill region becomes free the moment this
-  // checkpoint supersedes it; until then its blocks stayed reserved, so no
-  // post-checkpoint allocation could have overwritten data a recovery of
-  // the previous checkpoint would read.
-  for (std::uint32_t i = 0; i < spill_count_; ++i) {
-    free_list_.push_back(spill_start_ + i);
+  // Spill-region rotation, mirroring the superblock's two-slot protocol:
+  // the committed checkpoint's region must stay intact until this commit
+  // supersedes it (a fallback recovery reads it), so the new stream spills
+  // into the SPARE region — the one from two checkpoints ago — when the
+  // stream still fits it exactly, and claims fresh high-water space only
+  // when the stream changed size. Steady-state churn (one checkpoint per
+  // COW epoch publish) thus recycles one region pair forever instead of
+  // leaking a region per checkpoint. A released spare's ids rejoin the
+  // free list, and hence this checkpoint's persisted free set. (COW note:
+  // an epoch reader loads its superblock + spill once at open, so reusing
+  // a superseded spill region never races a pinned reader's data reads.)
+  std::size_t stream_len = free_list_.size() + spill_count_;
+  if (cow_) {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    auto tally = [&](BlockId loc) {
+      if (map_.count(loc) == 0) ++stream_len;
+    };
+    for (BlockId loc : deferred_) tally(loc);
+    for (const auto& [tag, batch] : retire_queue_) {
+      for (BlockId loc : batch) tally(loc);
+    }
+    for (BlockId loc : retire_ready_) tally(loc);
+    stream_len += 2 * map_.size();
   }
-  spill_count_ = 0;
+  const std::size_t head_cap = b - kSuperHeaderWords - roots.size();
+  const std::uint32_t needed = static_cast<std::uint32_t>(
+      CeilDiv(stream_len > head_cap ? stream_len - head_cap : 0,
+              std::size_t{b}));
+  const bool reuse_spare = needed > 0 && needed == spare_spill_count_;
+  if (!reuse_spare && spare_spill_count_ > 0) {
+    for (std::uint32_t i = 0; i < spare_spill_count_; ++i) {
+      free_list_.push_back(spare_spill_start_ + i);
+    }
+    spare_spill_count_ = 0;
+  }
+
+  // The serialized allocator stream: persisted free ids, then the COW map
+  // as (name, location) pairs. The persisted free set is the runtime free
+  // list plus every parked-for-retirement location whose name is not
+  // client-held — recovery has no epoch pins, so all pending garbage is
+  // free the moment this checkpoint is the newest. A parked location whose
+  // name IS still held (a map_ key) must not be handed out as a fresh name;
+  // it is recoverable anyway: reopen seeds the orphan set from the map
+  // keys, and freeing the name releases both roles.
+  std::vector<word_t> stream(free_list_.begin(), free_list_.end());
+  std::size_t persisted_free = free_list_.size();
+  // The outgoing region becomes the spare once this commit lands; persist
+  // its ids as free — recovery has no rotation history, and nothing this
+  // superblock commits ever reads that region again.
+  for (std::uint32_t i = 0; i < spill_count_; ++i) {
+    stream.push_back(spill_start_ + i);
+    ++persisted_free;
+  }
+  if (cow_) {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    auto persist = [&](BlockId loc) {
+      if (map_.count(loc) == 0) {
+        stream.push_back(loc);
+        ++persisted_free;
+      }
+    };
+    for (BlockId loc : deferred_) persist(loc);
+    for (const auto& [tag, batch] : retire_queue_) {
+      for (BlockId loc : batch) persist(loc);
+    }
+    for (BlockId loc : retire_ready_) persist(loc);
+    for (const auto& [name, loc] : map_) {
+      stream.push_back(name);
+      stream.push_back(loc);
+    }
+  }
 
   std::vector<word_t> super(b, 0);
   super[kWMagic] = kSuperMagic;
@@ -131,32 +332,43 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   super[kWBlockWords] = b;
   super[kWBlocksInUse] = blocks_in_use_;
   super[kWRootCount] = roots.size();
-  super[kWFreeCount] = free_list_.size();
+  super[kWFreeCount] = persisted_free;
+  super[kWMapCount] = map_.size();
+  super[kWFlags] = cow_ ? kFlagCowEpochs : 0;
   std::size_t w = kSuperHeaderWords;
   for (std::uint64_t r : roots) super[w++] = r;
 
   const std::size_t inline_cap = b - w;
-  const std::size_t n_inline = std::min(free_list_.size(), inline_cap);
-  for (std::size_t i = 0; i < n_inline; ++i) super[w++] = free_list_[i];
+  const std::size_t n_inline = std::min(stream.size(), inline_cap);
+  for (std::size_t i = 0; i < n_inline; ++i) super[w++] = stream[i];
 
-  const std::size_t spill = free_list_.size() - n_inline;
+  const std::size_t spill = stream.size() - n_inline;
   const std::uint32_t spill_blocks =
       static_cast<std::uint32_t>(CeilDiv(spill, std::size_t{b}));
+  BlockId new_spill_start = 0;
   if (spill_blocks > 0) {
-    // Claim a fresh reserved region at the high-water mark; it is excluded
-    // from blocks_in_use_ (pager-internal, not application space).
-    spill_start_ = next_block_;
-    spill_count_ = spill_blocks;
-    next_block_ += spill_blocks;
+    if (reuse_spare) {
+      // Steady state: overwrite the region from two checkpoints ago. The
+      // committed checkpoint never references it, so a crash before this
+      // commit still recovers cleanly from the old superblock.
+      TOKRA_CHECK(spill_blocks == spare_spill_count_);
+      new_spill_start = spare_spill_start_;
+    } else {
+      // The stream changed size: claim a fresh reserved region at the
+      // high-water mark; it is excluded from blocks_in_use_
+      // (pager-internal, not application space).
+      new_spill_start = next_block_;
+      next_block_ += spill_blocks;
+    }
     spill_scratch_.assign(std::size_t{spill_blocks} * b, 0);
     for (std::size_t i = 0; i < spill; ++i) {
-      spill_scratch_[i] = free_list_[n_inline + i];
+      spill_scratch_[i] = stream[n_inline + i];
     }
-    device_->WriteRun(spill_start_, spill_blocks, spill_scratch_.data());
+    device_->WriteRun(new_spill_start, spill_blocks, spill_scratch_.data());
   }
   super[kWNextBlock] = next_block_;
   super[kWSpillBlocks] = spill_blocks;
-  super[kWSpillStart] = spill_start_;
+  super[kWSpillStart] = new_spill_start;
   super[kWEpoch] = epoch_ + 1;
   // Stamp the covered LSN: the FlushAll above already appended this
   // checkpoint's own pre-images (the flush goes through the WriteBarrier),
@@ -188,9 +400,37 @@ Status Pager::Checkpoint(std::span<const std::uint64_t> roots) {
   // i.e. acknowledge the checkpoint — once the superblock is provably down.
   TOKRA_RETURN_IF_ERROR(io_status());
   ++epoch_;
+  // Rotation commit: the region just written is what this checkpoint's
+  // recovery reads; the superseded region becomes the spare for the
+  // checkpoint after next.
+  const BlockId prev_spill_start = spill_start_;
+  const std::uint32_t prev_spill_count = spill_count_;
+  spill_start_ = new_spill_start;
+  spill_count_ = spill_blocks;
+  spare_spill_start_ = prev_spill_start;
+  spare_spill_count_ = prev_spill_count;
   roots_.assign(roots.begin(), roots.end());
   wal_ckpt_lsn_ = covered_lsn;
-  CaptureCheckpointLiveSet();
+  if (cow_) {
+    // Publish: new pins land on this epoch, and the interval's superseded
+    // locations enter the retire queue tagged with the epoch that last
+    // referenced them — they free once no pin at or before that epoch
+    // remains (no pins at all retires them on the spot).
+    {
+      std::lock_guard<std::mutex> lock(epochs_mu_);
+      if (!deferred_.empty()) {
+        retire_queue_.emplace_back(epoch_ - 1, std::move(deferred_));
+        deferred_.clear();  // moved-from: guarantee empty
+      }
+      MaybeRetireLocked();
+      published_epoch_.store(epoch_, std::memory_order_release);
+    }
+    // Everything the new checkpoint references is now protected: the next
+    // interval's first write to any of it must redirect.
+    interval_fresh_.clear();
+  } else {
+    CaptureCheckpointLiveSet();
+  }
   if (wal_ != nullptr) {
     // Records at or below the stamp are inert from here on; truncation
     // failing (rotation rename) leaves them inert on disk, so surface but
@@ -208,6 +448,10 @@ void Pager::CaptureCheckpointLiveSet() {
 }
 
 void Pager::BeforeHomeWrite(std::span<const BlockId> ids) {
+  // COW replaces pre-images wholesale: a checkpoint-live block is never
+  // overwritten in place (the write-back redirects), so the checkpoint
+  // needs no undo log. Logical redo records still flow through wal().
+  if (cow_) return;
   if (wal_ == nullptr) return;
   bool appended = false;
   for (BlockId id : ids) {
@@ -281,7 +525,10 @@ Status Pager::AttachWalAndUndo() {
     }
     device_->Write(payload[0], payload.data() + 1);
   }
-  CaptureCheckpointLiveSet();
+  // (The undo loop above stays unconditional even in COW mode: a device
+  // whose previous run was non-COW may carry pre-images that its torn
+  // in-place writes still need rolled back.)
+  if (!cow_) CaptureCheckpointLiveSet();
   // Undo writes on a failed device land in its overlay, not the medium:
   // that is not a recovery. Report the stack's health as the verdict.
   return io_status();
@@ -339,23 +586,46 @@ Status Pager::LoadSuperblock() {
   roots_.assign(super.begin() + w, super.begin() + w + root_count);
   w += root_count;
 
-  free_list_.clear();
-  free_list_.reserve(free_count);
-  const std::size_t n_inline = std::min(free_count, std::size_t{b} - w);
-  for (std::size_t i = 0; i < n_inline; ++i) free_list_.push_back(super[w++]);
-  const std::size_t spill = free_count - n_inline;
+  // The allocator stream: free ids, then (name, location) map pairs —
+  // inline after the roots, spilling into the reserved region.
+  const std::size_t map_count = super[kWMapCount];
+  const std::size_t stream_len = free_count + 2 * map_count;
+  std::vector<word_t> stream;
+  stream.reserve(stream_len);
+  const std::size_t n_inline = std::min(stream_len, std::size_t{b} - w);
+  for (std::size_t i = 0; i < n_inline; ++i) stream.push_back(super[w++]);
+  const std::size_t spill = stream_len - n_inline;
   if (CeilDiv(spill, std::size_t{b}) != spill_blocks) {
-    return Status::FailedPrecondition("corrupt superblock free list");
+    return Status::FailedPrecondition("corrupt superblock allocator stream");
   }
   if (spill_blocks > 0) {
     if (spill_start_ + spill_blocks > device_->NumBlocks()) {
-      return Status::FailedPrecondition("truncated free-list spill");
+      return Status::FailedPrecondition("truncated allocator-stream spill");
     }
     spill_scratch_.assign(std::size_t{spill_blocks} * b, 0);
     device_->ReadRun(spill_start_, spill_blocks, spill_scratch_.data());
-    for (std::size_t i = 0; i < spill; ++i) {
-      free_list_.push_back(spill_scratch_[i]);
-    }
+    stream.insert(stream.end(), spill_scratch_.begin(),
+                  spill_scratch_.begin() + spill);
+  }
+  free_list_.assign(stream.begin(), stream.begin() + free_count);
+
+  // COW state: the flag in the file wins over the option — a COW device's
+  // translation map is live state that cannot be dropped; an option-enabled
+  // reopen of a non-COW device starts COW from here (empty map).
+  cow_ = options_.cow_epochs || (super[kWFlags] & kFlagCowEpochs) != 0;
+  map_.clear();
+  orphans_.clear();
+  for (std::size_t i = 0; i < map_count; ++i) {
+    const BlockId name = stream[free_count + 2 * i];
+    const BlockId loc = stream[free_count + 2 * i + 1];
+    map_[name] = loc;
+    // A mapped name's original location was persisted as neither live nor
+    // free: its name is still client-held. Reserve it until that free.
+    orphans_.insert(name);
+  }
+  if (cow_) {
+    pool_.SetTranslator(this);
+    published_epoch_.store(epoch_, std::memory_order_release);
   }
   return Status::Ok();
 }

@@ -24,11 +24,17 @@
 #ifndef TOKRA_EM_PAGER_H_
 #define TOKRA_EM_PAGER_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "em/block_device.h"
@@ -111,6 +117,42 @@ class PageRef {
   bool dirty_ = false;
 };
 
+/// RAII hold on one published checkpoint epoch (cow_epochs mode). While any
+/// pin at or before epoch E is alive, no block that epoch E references is
+/// reused or overwritten — the immutability window that makes lock-free
+/// snapshot reads through ShareReadView()/OpenOn() safe. Move-only; thread-
+/// safe to create and release from any thread.
+class EpochPin {
+ public:
+  EpochPin() = default;
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  EpochPin(EpochPin&& other) noexcept
+      : pager_(other.pager_), epoch_(other.epoch_) {
+    other.pager_ = nullptr;
+  }
+  EpochPin& operator=(EpochPin&& other) noexcept {
+    Release();
+    pager_ = other.pager_;
+    epoch_ = other.epoch_;
+    other.pager_ = nullptr;
+    return *this;
+  }
+  ~EpochPin() { Release(); }
+
+  bool valid() const { return pager_ != nullptr; }
+  std::uint64_t epoch() const { return epoch_; }
+  void Release();
+
+ private:
+  friend class Pager;
+  EpochPin(Pager* pager, std::uint64_t epoch)
+      : pager_(pager), epoch_(epoch) {}
+
+  Pager* pager_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
 /// Block-accounting snapshot — the measurement seed for free-space
 /// compaction: a long-lived file device never shrinks (freed blocks are
 /// reused but the file keeps its high-water mark), and the gap between
@@ -121,10 +163,13 @@ struct SpaceStats {
   std::uint64_t free_blocks = 0;       ///< on the allocator free list
   std::uint64_t reserved_blocks = 0;   ///< superblock slots + spill region
   std::uint64_t file_blocks = 0;       ///< device high-water mark
+  std::uint64_t retiring_blocks = 0;   ///< COW-superseded, awaiting epoch-pin
+                                       ///< drain before rejoining the free
+                                       ///< list (0 outside cow_epochs mode)
 };
 
 /// Owns the device + pool; allocates and frees blocks; hands out pins.
-class Pager : private WriteBarrier {
+class Pager : private WriteBarrier, private BlockTranslator {
  public:
   /// A fresh pager on a fresh device (a file backend truncates any existing
   /// contents). Blocks 0 and 1 are reserved as superblock slots; allocation
@@ -168,23 +213,23 @@ class Pager : private WriteBarrier {
   /// costs no I/O; the block's first materialization to disk is charged when
   /// its frame is evicted or flushed.
   BlockId Allocate() {
-    BlockId id;
-    if (!free_list_.empty()) {
-      id = free_list_.back();
-      free_list_.pop_back();
-    } else {
-      id = next_block_++;
-      device_->EnsureCapacity(next_block_);
-    }
+    if (cow_) DrainRetired();
+    BlockId id = AllocLocation();
     ++blocks_in_use_;
     return id;
   }
 
-  /// Returns a block to the free list; any cached copy is discarded.
+  /// Returns a block to the free list; any cached copy is discarded. In
+  /// cow_epochs mode a block the last published checkpoint references is
+  /// parked for epoch retirement instead of becoming reusable immediately.
   void Free(BlockId id) {
     TOKRA_CHECK(id != kNullBlock);
     pool_.Invalidate(id);
-    free_list_.push_back(id);
+    if (cow_) {
+      CowFree(id);
+    } else {
+      free_list_.push_back(id);
+    }
     TOKRA_CHECK(blocks_in_use_ > 0);
     --blocks_in_use_;
   }
@@ -262,8 +307,15 @@ class Pager : private WriteBarrier {
     SpaceStats s;
     s.allocated_blocks = blocks_in_use_;
     s.free_blocks = free_list_.size();
-    s.reserved_blocks = kReservedBlocks + spill_count_;
+    s.reserved_blocks = kReservedBlocks + spill_count_ + spare_spill_count_;
     s.file_blocks = device_->NumBlocks();
+    if (cow_) {
+      std::lock_guard<std::mutex> lock(epochs_mu_);
+      s.retiring_blocks = deferred_.size() + retire_ready_.size();
+      for (const auto& [tag, batch] : retire_queue_) {
+        s.retiring_blocks += batch.size();
+      }
+    }
     return s;
   }
 
@@ -278,6 +330,7 @@ class Pager : private WriteBarrier {
         device_->io_errors() + (wal_ != nullptr ? wal_->io_errors() : 0);
     s.injected_faults = device_->injected_faults() +
                         (wal_ != nullptr ? wal_->injected_faults() : 0);
+    s.retired_blocks = retired_total_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -285,6 +338,54 @@ class Pager : private WriteBarrier {
 
   /// Flushes and empties the pool: the next pins all miss (cold cache).
   void DropCache() { pool_.DropAll(); }
+
+  // ---- Epoch-based MVCC serving (cow_epochs mode; DESIGN.md §14) ----
+
+  /// Whether this pager runs copy-on-write checkpoints (the option, or a
+  /// device whose last checkpoint was written in COW mode — such a device
+  /// reopens COW regardless of the flag: its translation map is live).
+  bool cow_epochs() const { return cow_; }
+
+  /// Epoch of the newest completed (published) checkpoint. 0 until the
+  /// first Checkpoint() commits. Thread-safe.
+  std::uint64_t published_epoch() const {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the newest published epoch: until the pin is released, every
+  /// block that checkpoint references stays byte-intact on the device.
+  /// Thread-safe; O(lg #distinct-pinned-epochs).
+  EpochPin PinEpoch();
+
+  /// Number of distinct epochs currently pinned. Thread-safe.
+  std::uint64_t PinnedEpochs() const {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    return pins_.size();
+  }
+
+  /// Total superseded blocks retired to the free list over this pager's
+  /// lifetime (epoch pins drained + newer epoch published). Thread-safe.
+  std::uint64_t retired_blocks_total() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Read-only alias of the home device for lock-free snapshot serving, or
+  /// nullptr when the backend cannot share one. Pair with PinEpoch() and
+  /// OpenOn(): the pin freezes the published checkpoint, the view reads it
+  /// without touching this pager's pool or counters.
+  std::unique_ptr<BlockDevice> ShareReadView() {
+    return device_->TryShareReadView();
+  }
+
+  /// Opens a read-only pager directly on `device` — typically a
+  /// ShareReadView() alias of a live COW pager, whose newest published
+  /// checkpoint it loads. Forces read_only, never attaches a WAL, works on
+  /// any backend (including the in-memory one: the view aliases live
+  /// memory, there is no file to reopen). The caller must hold an EpochPin
+  /// on the owning pager for this pager's whole lifetime, and the owning
+  /// device must outlive it.
+  static StatusOr<std::unique_ptr<Pager>> OpenOn(
+      std::unique_ptr<BlockDevice> device, EmOptions options);
 
   /// Fixed words at the head of the superblock, preceding roots and the
   /// inline free list. EmOptions::Validate() enforces block_words >= this,
@@ -294,12 +395,67 @@ class Pager : private WriteBarrier {
   /// Blocks reserved at the front of every device (the superblock slots).
   static constexpr BlockId kReservedBlocks = 2;
 
+  ~Pager();
+
  private:
+  friend class EpochPin;
+
   Pager(const EmOptions& options, std::unique_ptr<BlockDevice> device);
 
   /// Restores allocator state + roots from the superblock. Non-OK on a
   /// device that was never checkpointed or disagrees with `options_`.
   Status LoadSuperblock();
+
+  // ---- COW epoch machinery (cow_ only; see DESIGN.md §14) ----
+  //
+  // One id space serves two roles: the *name* a client holds (stable across
+  // checkpoints) and the *location* on the device. map_ carries every name
+  // whose current location differs from itself; absence means identity.
+  // The free list only ever holds ids free in BOTH roles, so AllocLocation
+  // can hand one out for either purpose.
+
+  /// BlockTranslator: where a block's current contents live.
+  BlockId TranslateRead(BlockId id) override {
+    auto it = map_.find(id);
+    return it != map_.end() ? it->second : id;
+  }
+  /// BlockTranslator: where this write-back lands. In place when the home
+  /// location was allocated this interval (no published checkpoint can
+  /// reference it); otherwise redirected to a fresh location, the old one
+  /// parked for retirement at the next publish.
+  BlockId RedirectWrite(BlockId id) override;
+
+  /// Pops a location from the free list (else the high-water mark),
+  /// marking it interval-fresh in COW mode. No blocks_in_use_ accounting —
+  /// that counts client-named blocks only, which the Allocate() wrapper
+  /// tracks; redirect targets are locations, not names.
+  BlockId AllocLocation() {
+    BlockId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = next_block_++;
+      device_->EnsureCapacity(next_block_);
+    }
+    if (cow_) interval_fresh_.insert(id);
+    return id;
+  }
+
+  void CowFree(BlockId id);
+  /// Location `loc` is no longer referenced by the live state: free it
+  /// immediately if interval-fresh, else park it for epoch retirement.
+  void ReleaseLocation(BlockId loc);
+
+  void ReleaseEpochPin(std::uint64_t epoch);
+  /// Moves every retire-queue batch whose epoch no pin can still observe
+  /// into retire_ready_. Caller holds epochs_mu_.
+  void MaybeRetireLocked();
+  /// Writer-thread: folds retire_ready_ back into the allocator — an id
+  /// whose name is still client-held (a map_ key) becomes an orphan
+  /// (location free, name reserved until the client frees it); the rest
+  /// rejoin the free list.
+  void DrainRetired();
 
   /// WriteBarrier: appends undo pre-images of checkpoint-live blocks about
   /// to be overwritten in place (first overwrite per interval only), then
@@ -322,10 +478,19 @@ class Pager : private WriteBarrier {
   BlockId next_block_ = kReservedBlocks;
   std::uint64_t blocks_in_use_ = 0;
   std::vector<std::uint64_t> roots_;
-  // Last checkpoint's free-list spill region: reserved (excluded from both
-  // allocation and blocks_in_use_) until the next checkpoint reclaims it.
+  // Allocator-stream spill regions rotate like the superblock slots: the
+  // committed checkpoint's region (spill_start_/spill_count_, persisted in
+  // its superblock) must stay intact until the next commit supersedes it,
+  // so the next checkpoint spills into the *spare* — the region from two
+  // checkpoints ago — when the stream still fits it exactly, and claims
+  // fresh high-water space only when the stream changed size. Both regions
+  // are reserved (excluded from allocation and blocks_in_use_); the spare's
+  // ids ARE persisted as free — a recovery has no rotation history, so to
+  // it the spare is plain free space.
   BlockId spill_start_ = 0;
   std::uint32_t spill_count_ = 0;
+  BlockId spare_spill_start_ = 0;
+  std::uint32_t spare_spill_count_ = 0;
   // Scratch for spill-run transfers: hoisted so repeated checkpoints reuse
   // one allocation instead of building a fresh vector per spill run.
   std::vector<word_t> spill_scratch_;
@@ -342,7 +507,30 @@ class Pager : private WriteBarrier {
   std::unordered_set<BlockId> ckpt_free_;
   std::unordered_set<BlockId> preimaged_;  // guarded this interval already
   std::vector<word_t> preimage_scratch_;
+
+  // COW epoch state. Writer-thread only: map_, interval_fresh_, deferred_,
+  // orphans_ (plus free_list_ above). Shared with pinning threads, guarded
+  // by epochs_mu_: pins_, retire_queue_, retire_ready_.
+  bool cow_ = false;
+  std::unordered_map<BlockId, BlockId> map_;  // name -> location (else id.)
+  std::unordered_set<BlockId> interval_fresh_;  // locations born post-publish
+  std::vector<BlockId> deferred_;  // superseded this interval
+  std::unordered_set<BlockId> orphans_;  // retired locations, names held
+  mutable std::mutex epochs_mu_;
+  std::map<std::uint64_t, std::uint64_t> pins_;  // epoch -> pin count
+  std::deque<std::pair<std::uint64_t, std::vector<BlockId>>> retire_queue_;
+  std::vector<BlockId> retire_ready_;
+  std::atomic<bool> retire_ready_flag_{false};  // lock-free Allocate gate
+  std::atomic<std::uint64_t> published_epoch_{0};
+  std::atomic<std::uint64_t> retired_total_{0};
 };
+
+inline void EpochPin::Release() {
+  if (pager_ != nullptr) {
+    pager_->ReleaseEpochPin(epoch_);
+    pager_ = nullptr;
+  }
+}
 
 inline std::size_t PageRef::WordsPerBlock() const {
   TOKRA_DCHECK(pool_ != nullptr);

@@ -147,6 +147,21 @@ struct EngineOptions {
   /// workers plus the calling thread).
   std::uint32_t snapshot_replicas = 0;
 
+  /// Serve-while-updating MVCC (DESIGN.md §14). Every shard pager runs
+  /// epoch-based copy-on-write checkpoints (em.cow_epochs forced on), and
+  /// after each per-shard checkpoint the engine publishes an epoch-pinned
+  /// read view of the shard: queries route through the view's lock-free
+  /// read handles instead of taking the shard mutex, so readers scale with
+  /// threads while writers proceed on the live epoch. Works on every
+  /// backend, including kMem. A query finds no published view only before
+  /// the shard's first checkpoint (or when every handle is busy and
+  /// contention-free rotation fails) and falls back to the locked probe.
+  bool mvcc = false;
+
+  /// MVCC: read handles published per shard view. Each serves one query at
+  /// a time (rotation picks a free one). 0 derives threads + 1.
+  std::uint32_t mvcc_read_handles = 0;
+
   /// Whether the engine runs write-ahead logs at all.
   bool WalEnabled() const {
     return durability == Durability::kWal ||
@@ -163,6 +178,9 @@ struct EngineOptions {
   /// a WAL durability mode, the per-shard log) applied.
   em::EmOptions ShardEm(std::uint32_t shard) const {
     em::EmOptions o = em;
+    // Before the storage_dir block so memory-backed MVCC engines work too:
+    // a pager-level COW checkpoint needs no file, only the epoch protocol.
+    if (mvcc) o.cow_epochs = true;
     if (!storage_dir.empty()) {
       if (o.backend == em::Backend::kMem) o.backend = em::Backend::kFile;
       o.path = storage_dir + "/shard-" + std::to_string(shard) + ".tokra";

@@ -277,6 +277,19 @@ std::string ShardedTopkEngine::DumpMetrics() const {
       // file blocks is each shard's compactable high-water mark, and
       // file_blocks is what a replication bootstrap of this shard ships.
       const std::string shard_label = "shard=\"" + std::to_string(i) + "\"";
+      if (options_.mvcc && !snapshot_) {
+        // MVCC epoch health (DESIGN.md §14): the live (newest published)
+        // epoch, how many distinct epochs readers still pin (a stuck pin
+        // shows up as this gauge never draining), and the lifetime count of
+        // superseded blocks retirement handed back to the free list.
+        std::lock_guard<std::mutex> g(sh->mu);
+        r.GetGauge("tokra_engine_live_epoch", shard_label)
+            ->Set(static_cast<std::int64_t>(sh->pager->published_epoch()));
+        r.GetGauge("tokra_engine_pinned_epochs", shard_label)
+            ->Set(static_cast<std::int64_t>(sh->pager->PinnedEpochs()));
+        r.GetGauge("tokra_pager_retired_blocks_total", shard_label)
+            ->Set(static_cast<std::int64_t>(sh->pager->retired_blocks_total()));
+      }
       r.GetGauge("tokra_pager_space_allocated_blocks", shard_label)
           ->Set(static_cast<std::int64_t>(s.allocated_blocks));
       r.GetGauge("tokra_pager_space_free_blocks", shard_label)
@@ -527,6 +540,15 @@ Status ShardedTopkEngine::BuildShardsLocked(std::vector<Point> points) {
   }
   shards_ = std::move(fresh);
   lower_bounds_ = std::move(bounds);
+  // MVCC: publish each new shard's first epoch view now, so queries go
+  // lock-free from the first request instead of waiting for a checkpoint.
+  // (Failures leave view null; those shards serve via the locked fallback.)
+  if (options_.mvcc && !snapshot_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::lock_guard<std::mutex> g(shards_[i]->mu);
+      PublishShardLocked(i, *shards_[i]);
+    }
+  }
   return Status::Ok();
 }
 
@@ -693,10 +715,15 @@ Status ShardedTopkEngine::Insert(const Point& p) {
   // Shard mutex before the registry: every operation on a given x
   // serializes on its owning shard's mutex, so a registry reservation is
   // never observable while its index apply is still in flight.
-  Shard& sh = *shards_[ShardFor(p.x)];
+  const std::size_t i = ShardFor(p.x);
+  Shard& sh = *shards_[i];
   std::lock_guard<std::mutex> g(sh.mu);
   TOKRA_RETURN_IF_ERROR(ShardUpdateStatus(sh));
-  return InsertLocked(sh, p, nullptr);
+  Status st = InsertLocked(sh, p, nullptr);
+  // MVCC: every accepted direct update checkpoints + publishes a fresh
+  // epoch, so lock-free readers observe it on their very next query.
+  if (st.ok() && options_.mvcc) PublishShardLocked(i, sh);
+  return st;
 }
 
 Status ShardedTopkEngine::Delete(const Point& p) {
@@ -704,10 +731,13 @@ Status ShardedTopkEngine::Delete(const Point& p) {
   obs::ScopedTimer timer(mset_.update_latency_us);
   std::shared_lock<std::shared_mutex> tl(topology_mu_);
   TOKRA_RETURN_IF_ERROR(RefuseWalAfterStorageFailureLocked());
-  Shard& sh = *shards_[ShardFor(p.x)];
+  const std::size_t i = ShardFor(p.x);
+  Shard& sh = *shards_[i];
   std::lock_guard<std::mutex> g(sh.mu);
   TOKRA_RETURN_IF_ERROR(ShardUpdateStatus(sh));
-  return DeleteLocked(sh, p, nullptr);
+  Status st = DeleteLocked(sh, p, nullptr);
+  if (st.ok() && options_.mvcc) PublishShardLocked(i, sh);
+  return st;
 }
 
 Status ShardedTopkEngine::RefuseWalAfterStorageFailureLocked() const {
@@ -754,6 +784,21 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
   std::vector<std::vector<Point>> parts(q);
   std::vector<Status> statuses(q);
   std::vector<em::IoStats> deltas(q);
+
+  // MVCC (DESIGN.md §14): capture each overlapping shard's published view
+  // ONCE, up front, and use that same view for both routing and probing —
+  // the fence the router consults must describe the epoch the probe will
+  // read, or pruning could hide a point the view still holds. A null view
+  // (shard never published, or publication failed) routes on the live
+  // fence and probes under the shard mutex, exactly the pre-MVCC path.
+  const bool mvcc = options_.mvcc && !snapshot_;
+  std::vector<std::shared_ptr<const ShardView>> views;
+  if (mvcc) {
+    views.resize(q);
+    for (std::size_t j = 0; j < q; ++j) {
+      views[j] = shards_[s1 + j]->view.load(std::memory_order_acquire);
+    }
+  }
 
   auto run_one = [&](std::size_t j, em::Pager* pager,
                      core::TopkIndex* index) {
@@ -810,7 +855,34 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
       run_one(j, rep->pager.get(), rep->index.get());
       return;
     }
+    if (mvcc && views[j] != nullptr) {
+      // Lock-free epoch read: claim any free handle of the captured view
+      // (same rotation discipline as the snapshot replicas above). The
+      // handle mutex serializes queries on ONE handle; the shard mutex —
+      // the writer's lock — is never touched.
+      const ShardView& view = *views[j];
+      const std::size_t nh = view.handles.size();
+      const std::uint32_t start =
+          view.next.fetch_add(1, std::memory_order_relaxed);
+      ReadHandle* handle = nullptr;
+      std::unique_lock<std::mutex> lk;
+      for (std::size_t t = 0; t < nh && handle == nullptr; ++t) {
+        ReadHandle* c = view.handles[(start + t) % nh].get();
+        std::unique_lock<std::mutex> l(c->mu, std::try_to_lock);
+        if (l.owns_lock()) {
+          handle = c;
+          lk = std::move(l);
+        }
+      }
+      if (handle == nullptr) {
+        handle = view.handles[start % nh].get();
+        lk = std::unique_lock<std::mutex>(handle->mu);
+      }
+      run_one(j, handle->pager.get(), handle->index.get());
+      return;
+    }
     std::lock_guard<std::mutex> g(sh.mu);
+    n_query_shard_locks_.fetch_add(1, std::memory_order_relaxed);
     run_one(j, sh.pager.get(), sh.index.get());
   };
 
@@ -831,6 +903,27 @@ StatusOr<std::vector<Point>> ShardedTopkEngine::TopKLocked(
     const Shard& sh = *shards_[s1 + j];
     double bound = kInf;
     if (prune) {
+      if (mvcc && views[j] != nullptr) {
+        // Route with the captured view's own fence snapshot (immutable, no
+        // lock): it describes exactly the epoch the probe will serve, so
+        // pruning stays answer-preserving for that epoch.
+        const ShardView& view = *views[j];
+        if (view.has_fence) {
+          ++fence_checks;
+          if (x1 == x2 && !view.fence.MightContain(x1)) {
+            ++pruned;
+            continue;
+          }
+          const sketch::FenceBound fb = view.fence.RangeBound(x1, x2);
+          if (!fb.maybe_nonempty) {
+            ++pruned;
+            continue;
+          }
+          bound = fb.best_score;
+        }
+        cands.push_back({j, bound});
+        continue;
+      }
       std::lock_guard<std::mutex> fg(sh.fence_mu);
       if (sh.has_fence) {
         ++fence_checks;
@@ -1036,7 +1129,12 @@ void ShardedTopkEngine::ExecuteBatch(std::span<const Request> batch,
         for (std::size_t i : groups[s]) {
           if ((*out)[i].status.ok()) (*out)[i].status = ls;
         }
+        return;
       }
+      // MVCC: publish the whole group as ONE fresh epoch before phase 3,
+      // so this batch's own queries (and every later lock-free reader)
+      // observe all of its updates — read-your-writes at batch granularity.
+      if (options_.mvcc) PublishShardLocked(s, sh);
     });
   }
   pool_.RunAll(std::move(update_tasks));
@@ -1127,44 +1225,12 @@ Status ShardedTopkEngine::CheckpointLocked(
   // shard's own durability barriers completed, so a failed checkpoint
   // retries the shard next time.
   auto checkpoint_shard = [&](std::size_t i) -> Status {
-    Shard& sh = *shards_[i];
-    // A failed shard cannot commit (its pager refuses; its device overlay
-    // holds post-failure writes off the medium). Fail fast so the fence
-    // chain below isn't pointlessly rewritten — the healthy shards still
-    // checkpoint, and the first error is what the caller gets back.
-    if (Status st = sh.pager->io_status(); !st.ok()) return st;
-    if (options_.skip_clean_shard_checkpoints &&
-        !sh.dirty.load(std::memory_order_relaxed)) {
-      // A clean shard's fence is also unchanged, so its old fence root (or
-      // kNullBlock) is still exactly right.
-      return Status::Ok();
-    }
-    // Root 4 is the fence chain head. Rewrite it fresh each checkpoint (the
-    // fence mutates with every update); the old chain's blocks are freed
-    // first so a long-lived shard doesn't leak a chain per checkpoint. A
-    // crash inside this window is safe: the superseded superblock still
-    // references the old chain's blocks, and the pager's checkpoint
-    // machinery keeps a referenced block's storage live until the NEXT
-    // completed checkpoint stops referencing it.
-    if (sh.has_fence || sh.fence_root != em::kNullBlock) {
-      if (sh.fence_root != em::kNullBlock) {
-        FreeFenceChain(sh.pager.get(), sh.fence_root);
-        sh.fence_root = em::kNullBlock;
-      }
-      if (sh.has_fence) {
-        std::vector<em::word_t> blob;
-        {
-          std::lock_guard<std::mutex> fg(sh.fence_mu);
-          blob = sh.fence.Serialize();
-        }
-        sh.fence_root = WriteFenceChain(sh.pager.get(), blob);
-      }
-    }
-    const std::uint64_t extra[kShardCheckpointRoots - 1] = {
-        std::bit_cast<std::uint64_t>(lower_bounds_[i]),
-        options_.num_shards, generation_, sh.fence_root};
-    Status st = sh.index->Checkpoint(extra);
-    if (st.ok()) sh.dirty.store(false, std::memory_order_relaxed);
+    Status st = CheckpointShardLocked(i, *shards_[i], nullptr);
+    // MVCC: a full checkpoint is also a publication point — refresh every
+    // shard's epoch view (clean shards included: their view may predate an
+    // earlier clean checkpoint skip and still be perfectly current, in
+    // which case this no-ops on the epoch match).
+    if (st.ok()) PublishShardLocked(i, *shards_[i]);
     return st;
   };
   std::vector<Status> statuses(shards_.size());
@@ -1196,6 +1262,103 @@ Status ShardedTopkEngine::CheckpointLocked(
     }
   }
   return Status::Ok();
+}
+
+Status ShardedTopkEngine::CheckpointShardLocked(std::size_t i, Shard& sh,
+                                                std::uint64_t* covered_lsn) {
+  // A failed shard cannot commit (its pager refuses; its device overlay
+  // holds post-failure writes off the medium). Fail fast so the fence
+  // chain below isn't pointlessly rewritten — the healthy shards still
+  // checkpoint, and the first error is what the caller gets back.
+  if (Status st = sh.pager->io_status(); !st.ok()) return st;
+  if (options_.skip_clean_shard_checkpoints &&
+      !sh.dirty.load(std::memory_order_relaxed)) {
+    // A clean shard's fence is also unchanged, so its old fence root (or
+    // kNullBlock) is still exactly right.
+    if (covered_lsn != nullptr) *covered_lsn = sh.pager->wal_checkpoint_lsn();
+    return Status::Ok();
+  }
+  // Root 4 is the fence chain head. Rewrite it fresh each checkpoint (the
+  // fence mutates with every update); the old chain's blocks are freed
+  // first so a long-lived shard doesn't leak a chain per checkpoint. A
+  // crash inside this window is safe: the superseded superblock still
+  // references the old chain's blocks, and the pager's checkpoint
+  // machinery keeps a referenced block's storage live until the NEXT
+  // completed checkpoint stops referencing it.
+  if (sh.has_fence || sh.fence_root != em::kNullBlock) {
+    if (sh.fence_root != em::kNullBlock) {
+      FreeFenceChain(sh.pager.get(), sh.fence_root);
+      sh.fence_root = em::kNullBlock;
+    }
+    if (sh.has_fence) {
+      std::vector<em::word_t> blob;
+      {
+        std::lock_guard<std::mutex> fg(sh.fence_mu);
+        blob = sh.fence.Serialize();
+      }
+      sh.fence_root = WriteFenceChain(sh.pager.get(), blob);
+    }
+  }
+  const std::uint64_t extra[kShardCheckpointRoots - 1] = {
+      std::bit_cast<std::uint64_t>(lower_bounds_[i]),
+      options_.num_shards, generation_, sh.fence_root};
+  Status st = sh.index->Checkpoint(extra);
+  if (st.ok()) sh.dirty.store(false, std::memory_order_relaxed);
+  if (covered_lsn != nullptr) *covered_lsn = sh.pager->wal_checkpoint_lsn();
+  return st;
+}
+
+void ShardedTopkEngine::PublishShardLocked(std::size_t i, Shard& sh) {
+  if (!options_.mvcc || snapshot_) return;
+  if (!sh.pager->io_status().ok()) return;  // keep serving the old epoch
+  // An epoch is a completed pager checkpoint: a dirty shard must commit one
+  // before there is anything new to publish. (Note this is a PAGER-level
+  // commit — it works on memory-backed shards too; the engine-level
+  // storage_dir/durability gates only guard the public Checkpoint() API's
+  // durability promise, which publication does not make.)
+  if (sh.dirty.load(std::memory_order_relaxed)) {
+    if (!CheckpointShardLocked(i, sh, nullptr).ok()) return;
+  }
+  const std::uint64_t epoch = sh.pager->published_epoch();
+  if (epoch == 0) return;  // nothing published yet (checkpoint skipped?)
+  {
+    auto cur = sh.view.load(std::memory_order_acquire);
+    if (cur != nullptr && cur->epoch == epoch) return;  // already current
+  }
+  auto view = std::make_shared<ShardView>();
+  // Pin before opening handles: the pin freezes every block this epoch
+  // references, so the handles below read an immutable image no matter how
+  // far the writer runs ahead. An abandoned publication (any failure below)
+  // destroys the view, which closes the handles and releases the pin.
+  view->pin = sh.pager->PinEpoch();
+  view->epoch = epoch;
+  {
+    // The fence snapshot is taken under the same shard lock that applied
+    // the updates this epoch covers, so it describes the epoch exactly.
+    std::lock_guard<std::mutex> fg(sh.fence_mu);
+    if (sh.has_fence) {
+      view->fence = sh.fence;
+      view->has_fence = true;
+    }
+  }
+  const std::uint32_t nh = options_.mvcc_read_handles > 0
+                               ? options_.mvcc_read_handles
+                               : options_.threads + 1;
+  view->handles.reserve(nh);
+  for (std::uint32_t h = 0; h < nh; ++h) {
+    auto dev = sh.pager->ShareReadView();
+    if (dev == nullptr) return;  // backend can't share views: locked serving
+    auto pg = em::Pager::OpenOn(std::move(dev), options_.ShardEm(
+                                    static_cast<std::uint32_t>(i)));
+    if (!pg.ok()) return;
+    auto handle = std::make_unique<ReadHandle>();
+    handle->pager = std::move(*pg);
+    auto idx = core::TopkIndex::Open(handle->pager.get());
+    if (!idx.ok()) return;
+    handle->index = std::move(*idx);
+    view->handles.push_back(std::move(handle));
+  }
+  sh.view.store(std::move(view), std::memory_order_release);
 }
 
 StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
@@ -1432,6 +1595,15 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::Recover(
   }
   engine->shards_ = std::move(shards);
   engine->lower_bounds_ = std::move(bounds);
+  // MVCC: publish each recovered shard's epoch before serving. A shard
+  // whose WAL tail was replayed is dirty and checkpoints first, so readers
+  // never see the pre-replay state.
+  if (engine->options_.mvcc) {
+    for (std::size_t i = 0; i < engine->shards_.size(); ++i) {
+      std::lock_guard<std::mutex> g(engine->shards_[i]->mu);
+      engine->PublishShardLocked(i, *engine->shards_[i]);
+    }
+  }
   if (engine->mset_.recover_us != nullptr) {
     engine->mset_.recover_us->Record(obs::NowUs() - t_recover);
   }
@@ -1502,8 +1674,18 @@ StatusOr<std::unique_ptr<ShardedTopkEngine>> ShardedTopkEngine::OpenSnapshot(
         // updates this read-only snapshot could not serve, or torn
         // in-place writes only undo can repair; both need a Recover()
         // first — the same rule as the interrupted rebalance above.
-        TOKRA_RETURN_IF_ERROR(RequireNoWalTail(
-            options, i, rep->pager->wal_checkpoint_lsn(), "snapshot"));
+        //
+        // EXCEPT on a COW directory (DESIGN.md §14): copy-on-write
+        // checkpoints never overwrite a published epoch's blocks in place,
+        // so the stamped checkpoint is byte-intact regardless of what was
+        // written after it — no torn state exists for undo to repair, and
+        // the tail is merely newer epochs' work. Serving the file as-is IS
+        // pinning the last published epoch, which is exactly what a
+        // snapshot of a live-updating directory should do.
+        if (!rep->pager->cow_epochs()) {
+          TOKRA_RETURN_IF_ERROR(RequireNoWalTail(
+              options, i, rep->pager->wal_checkpoint_lsn(), "snapshot"));
+        }
         // Pruning for read-only serving comes straight from checkpoint root
         // 4; a snapshot never scans, so a fence-less checkpoint simply
         // serves this shard unpruned (has_fence stays false).
@@ -1686,6 +1868,7 @@ EngineCounters ShardedTopkEngine::counters() const {
   c.shards_pruned = n_shards_pruned_.load(std::memory_order_relaxed);
   c.fence_checks = n_fence_checks_.load(std::memory_order_relaxed);
   c.query_waves = n_query_waves_.load(std::memory_order_relaxed);
+  c.query_shard_locks = n_query_shard_locks_.load(std::memory_order_relaxed);
   return c;
 }
 

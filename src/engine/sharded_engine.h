@@ -132,6 +132,10 @@ struct EngineCounters {
   std::uint64_t shards_pruned = 0;  ///< fence-skipped shard probes (lifetime)
   std::uint64_t fence_checks = 0;   ///< fence consultations (lifetime)
   std::uint64_t query_waves = 0;    ///< dispatch waves across all queries
+  std::uint64_t query_shard_locks = 0;  ///< shard-mutex acquisitions on the
+                                        ///< query path; stays 0 while every
+                                        ///< probe rides an MVCC read view —
+                                        ///< the lock-free-reads assertion
 };
 
 class ShardedTopkEngine {
@@ -294,6 +298,33 @@ class ShardedTopkEngine {
     std::mutex mu;
   };
 
+  /// MVCC (options_.mvcc; DESIGN.md §14): one lock-free read handle inside a
+  /// published ShardView — a read-only pager over a shared read view of the
+  /// live shard's device, plus an index view opened on that pager. mu
+  /// serializes queries on this handle only (rotation finds a free one).
+  struct ReadHandle {
+    std::unique_ptr<em::Pager> pager;
+    std::unique_ptr<core::TopkIndex> index;
+    std::mutex mu;
+  };
+
+  /// An immutable epoch of one shard, published after a per-shard checkpoint
+  /// and read without the shard mutex. The pin is declared FIRST so it is
+  /// released LAST: the handles' pagers read blocks the pin keeps alive
+  /// (retirement waits for the oldest pin), so they must close before the
+  /// pin returns those blocks to the writer's free list.
+  struct ShardView {
+    em::EpochPin pin;
+    std::uint64_t epoch = 0;
+    // Fence snapshot taken at publication: the router prunes with the
+    // view's own fence so routing decisions match the data the view serves
+    // (the live fence may already reflect post-epoch updates).
+    sketch::ShardFence fence;
+    bool has_fence = false;
+    std::vector<std::unique_ptr<ReadHandle>> handles;
+    mutable std::atomic<std::uint32_t> next{0};
+  };
+
   struct Shard {
     Shard() = default;  // Recover fills pager/index from the checkpoint
     explicit Shard(const em::EmOptions& em)
@@ -321,6 +352,12 @@ class ShardedTopkEngine {
     // Pager block chain holding the fence blob of the LAST checkpoint
     // (kNullBlock before the first); freed and rewritten by the next one.
     em::BlockId fence_root = em::kNullBlock;
+    // MVCC: the currently published epoch view (null before the first
+    // publication; queries then fall back to the locked probe). Declared
+    // LAST so it is destroyed FIRST — its handles' pagers alias this
+    // shard's device and its pin unregisters with this shard's pager, both
+    // of which must still be alive.
+    std::atomic<std::shared_ptr<const ShardView>> view;
   };
 
   explicit ShardedTopkEngine(EngineOptions options);
@@ -395,6 +432,21 @@ class ShardedTopkEngine {
   /// Checkpoint body. Caller holds topology_mu_ exclusively.
   Status CheckpointLocked(std::vector<std::uint64_t>* covered_lsns);
 
+  /// Checkpoints shard `i` (fence chain rewrite + pager Checkpoint with the
+  /// engine roots) if dirty; the single checkpoint implementation shared by
+  /// CheckpointLocked and PublishShardLocked. Caller holds sh.mu (or has
+  /// exclusive ownership of the shard). `covered_lsn`, when non-null,
+  /// receives the stamped WAL LSN (0 without a log).
+  Status CheckpointShardLocked(std::size_t i, Shard& sh,
+                               std::uint64_t* covered_lsn);
+
+  /// MVCC: checkpoints shard `i` if dirty and publishes a fresh epoch view
+  /// (pin + read handles over a shared device read view). No-op unless
+  /// options_.mvcc on a live (non-snapshot) engine. Caller holds sh.mu.
+  /// Failures leave the previous view in place — readers just keep serving
+  /// the older epoch.
+  void PublishShardLocked(std::size_t i, Shard& sh);
+
   EngineOptions options_;
   // Telemetry sits directly after options_ so it is destroyed LAST: shard
   // pagers/pools/WALs and the thread pool all hold raw pointers into the
@@ -433,6 +485,10 @@ class ShardedTopkEngine {
       n_queries_{0}, n_rejected_{0}, n_batches_{0}, n_rebalances_{0};
   mutable std::atomic<std::uint64_t> n_shards_pruned_{0}, n_fence_checks_{0},
       n_query_waves_{0};
+  // Shard-mutex acquisitions by the query path. Non-MVCC engines count
+  // every probe here; MVCC engines count only locked fallbacks, so a test
+  // can assert 0 to prove every probe rode a published view.
+  mutable std::atomic<std::uint64_t> n_query_shard_locks_{0};
 };
 
 }  // namespace tokra::engine

@@ -442,6 +442,9 @@ Status Follower::HandleSnapshot(Conn& conn, const SnapBeginMsg& begin) {
     engine::EngineOptions eo = options_.engine;
     eo.storage_dir = options_.storage_dir;
     eo.durability = engine::Durability::kCheckpoint;
+    // eo.mvcc passes through from the template: a bootstrapped MVCC
+    // replica publishes epoch views at Recover and after every applied
+    // tail record, so its readers never block on the apply stream.
     auto recovered = engine::ShardedTopkEngine::Recover(eo);
     if (!recovered.ok()) {
       // Corrupt transfer: force a clean refetch next session instead of

@@ -64,6 +64,10 @@ class Follower {
     /// Engine template for the local replica: num_shards and em geometry
     /// must match the primary's; storage_dir and durability are overridden
     /// (kCheckpoint — the follower's redo stream IS the primary's WAL).
+    /// engine.mvcc passes through: with it set, every applied tail record
+    /// publishes a fresh epoch view on its shard (DESIGN.md §14), so
+    /// replica reads are lock-free and advance by EPOCH SWAP — only a full
+    /// re-bootstrap still replaces the whole engine shared_ptr.
     engine::EngineOptions engine;
     /// No frame (tail, snapshot chunk, or heartbeat) for this long means
     /// the primary is dead or partitioned: degrade and reconnect.

@@ -579,5 +579,141 @@ TEST(ShardedEngineTest, BloomPrunesAbsentPointLookups) {
   engine->CheckInvariants();
 }
 
+// --- MVCC epoch-based serving (DESIGN.md §14) -------------------------------
+
+EngineOptions MvccOpts(std::uint32_t shards = 4, std::uint32_t threads = 4) {
+  EngineOptions o = Opts(shards, threads);
+  o.mvcc = true;
+  return o;
+}
+
+// Every probe of an MVCC engine rides a published epoch view: answers are
+// byte-identical to the oracle and the query path never takes a shard
+// mutex (the lock-free-reads acceptance assertion).
+TEST(MvccEngineTest, LockFreeQueriesMatchOracleWithZeroShardLocks) {
+  Rng rng(21);
+  std::vector<Point> pts = RandomPoints(&rng, 1200);
+  auto engine = ShardedTopkEngine::Build(pts, MvccOpts(5, 4)).value();
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.UniformDouble(-100.0, 1100.0);
+    double b = rng.UniformDouble(-100.0, 1100.0);
+    if (a > b) std::swap(a, b);
+    std::uint64_t k = 1 + rng.Uniform(50);
+    auto got = engine->TopK(a, b, k);
+    ASSERT_TRUE(got.ok());
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectPointsEqual(*got, internal::NaiveTopK(pts, a, b, k)));
+  }
+  EXPECT_EQ(engine->counters().query_shard_locks, 0u);
+  engine->CheckInvariants();
+}
+
+// Updates publish a fresh epoch before returning, so a single client reads
+// its own writes immediately — still without any query-path shard lock.
+TEST(MvccEngineTest, ReadYourWritesAcrossEpochs) {
+  Rng rng(23);
+  std::vector<Point> live = RandomPoints(&rng, 300);
+  auto engine = ShardedTopkEngine::Build(live, MvccOpts(4, 2)).value();
+  auto fresh_xs = rng.DistinctDoubles(200, 2000.0, 3000.0);
+  auto fresh_scores = rng.DistinctDoubles(200, 1.0, 2.0);
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i % 2 == 0) {
+      Point p{fresh_xs[i], fresh_scores[i]};
+      ASSERT_TRUE(engine->Insert(p).ok());
+      live.push_back(p);
+    } else {
+      std::size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(engine->Delete(live[victim]).ok());
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    double a = rng.UniformDouble(-100.0, 3100.0);
+    double b = rng.UniformDouble(-100.0, 3100.0);
+    if (a > b) std::swap(a, b);
+    std::uint64_t k = 1 + rng.Uniform(20);
+    auto got = engine->TopK(a, b, k);
+    ASSERT_TRUE(got.ok());
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectPointsEqual(*got, internal::NaiveTopK(live, a, b, k)))
+        << "after update " << i;
+  }
+  EXPECT_EQ(engine->counters().query_shard_locks, 0u);
+  // The update stream superseded COW blocks across many epochs; with the
+  // old views dropped, retirement must have recycled some of them.
+  EXPECT_GT(engine->AggregatedIoStats().retired_blocks, 0u);
+  engine->CheckInvariants();
+}
+
+// The concurrent acceptance test: reader threads hammer wide top-k queries
+// while writer threads churn low-scored points. The base points own the
+// globally highest scores, so every consistent snapshot answers the SAME
+// top-16 — any torn or half-applied epoch a reader observed would break
+// the comparison. Probes must never fall back to the shard mutex.
+TEST(MvccEngineTest, ConcurrentReadersSeeConsistentTopKDuringUpdateStorm) {
+  std::vector<Point> base;
+  for (int i = 0; i < 64; ++i) {
+    base.push_back({i * 10.0, 100.0 + i});
+  }
+  auto engine = ShardedTopkEngine::Build(base, MvccOpts(4, 4)).value();
+  const std::vector<Point> expect =
+      internal::NaiveTopK(base, -kInf, kInf, 16);
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  constexpr int kOpsPerWriter = 150;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  // Writers churn thread-distinct x namespaces with scores strictly below
+  // every base score, so the global top-16 is invariant under the storm.
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        Point p{100000.0 + t * 10000.0 + i * 0.5,
+                1e-4 * (t * kOpsPerWriter + i + 1)};
+        if (!engine->Insert(p).ok()) failed = true;
+        if (i % 2 == 0 && !engine->Delete(p).ok()) failed = true;
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = engine->TopK(-kInf, kInf, 16);
+        if (!r.ok() || r->size() != expect.size()) {
+          failed = true;
+          continue;
+        }
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          if ((*r)[i].x != expect[i].x || (*r)[i].score != expect[i].score) {
+            failed = true;
+          }
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  stop = true;
+  for (int t = kWriters; t < kWriters + kReaders; ++t) threads[t].join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(engine->counters().query_shard_locks, 0u);
+  EXPECT_GT(engine->AggregatedIoStats().retired_blocks, 0u);
+  engine->CheckInvariants();
+}
+
+// A rebalance replaces every shard (and its epoch views) wholesale; the
+// fresh views serve the re-split content and stay lock-free.
+TEST(MvccEngineTest, RebalancePublishesFreshViews) {
+  Rng rng(29);
+  std::vector<Point> pts = RandomPoints(&rng, 500);
+  auto engine = ShardedTopkEngine::Build(pts, MvccOpts(4, 2)).value();
+  ASSERT_TRUE(engine->Rebalance().ok());
+  auto got = engine->TopK(-kInf, kInf, 40);
+  ASSERT_TRUE(got.ok());
+  ExpectPointsEqual(*got, internal::NaiveTopK(pts, -kInf, kInf, 40));
+  EXPECT_EQ(engine->counters().query_shard_locks, 0u);
+  engine->CheckInvariants();
+}
+
 }  // namespace
 }  // namespace tokra::engine

@@ -81,8 +81,8 @@ TEST(PagerPersistenceTest, CheckpointRestoresAllocatorAndRoots) {
   {
     em::Pager pager(opts);
     // 64 blocks with known contents; free every third one — enough to spill
-    // the free list past the superblock's inline capacity (16 words - 12
-    // header - 2 roots = 2 inline slots).
+    // the free list past the superblock's inline capacity (16 words - 14
+    // header - 2 roots = 0 inline slots).
     std::vector<em::BlockId> ids;
     for (int i = 0; i < 64; ++i) ids.push_back(pager.Allocate());
     for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -1303,6 +1303,171 @@ TEST(SnapshotServingTest, SnapshotPrunesWithCheckpointedFence) {
     pruned += stats.shards_pruned;
   }
   EXPECT_GT(pruned, 0u) << "snapshot never pruned: fence not loaded";
+}
+
+// ---------------------------------------------------------------------------
+// COW epoch checkpoints (DESIGN.md §14): pinned-epoch stability, retirement
+// space accounting, and crash recovery between publish and retirement.
+
+em::EmOptions CowOpts(const std::string& path) {
+  return em::EmOptions{.block_words = 16,
+                       .pool_frames = 8,
+                       .backend = em::Backend::kFile,
+                       .path = path,
+                       .cow_epochs = true};
+}
+
+// A pinned epoch's view pager keeps serving the frozen checkpoint contents
+// while the live pager overwrites every block and publishes newer epochs.
+TEST(CowEpochTest, PinnedEpochServesFrozenContentUnderChurn) {
+  TempDir dir("cow-pin");
+  em::Pager pager(CowOpts(dir.File("dev.blk")));
+  std::vector<em::BlockId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(pager.Allocate());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    pager.Create(ids[i]).Set(0, 1000 + i);
+  }
+  std::uint64_t roots[1] = {ids[0]};
+  ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  const std::uint64_t pinned_epoch = pager.published_epoch();
+  ASSERT_GT(pinned_epoch, 0u);
+
+  // Freeze the published epoch and open a zero-copy read view on it.
+  em::EpochPin pin = pager.PinEpoch();
+  ASSERT_TRUE(pin.valid());
+  EXPECT_EQ(pin.epoch(), pinned_epoch);
+  EXPECT_EQ(pager.PinnedEpochs(), 1u);
+  auto view_dev = pager.ShareReadView();
+  ASSERT_NE(view_dev, nullptr);
+  auto view =
+      em::Pager::OpenOn(std::move(view_dev), CowOpts(dir.File("dev.blk")));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  // Churn the live pager across several newer epochs: every block gets a
+  // new value, twice, with a publish in between.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      pager.Fetch(ids[i]).Set(0, 5000 + round * 1000 + i);
+    }
+    ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  }
+  ASSERT_GT(pager.published_epoch(), pinned_epoch);
+
+  // The view still reads the pinned epoch's bytes; the live pager reads
+  // the newest. Same block names, different physical locations (COW).
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ((*view)->Fetch(ids[i]).Get(0), 1000 + i);
+    EXPECT_EQ(pager.Fetch(ids[i]).Get(0), 6000 + i);
+  }
+  // While the pin is held, superseded blocks park instead of recycling.
+  EXPECT_GT(pager.Space().retiring_blocks, 0u);
+
+  view->reset();  // close handles before releasing the pin
+  pin.Release();
+  EXPECT_EQ(pager.PinnedEpochs(), 0u);
+}
+
+// Superseded blocks return to the free list once no pin can reach them:
+// steady-state churn does not grow the file, and after the pins are gone
+// allocated/free space returns to the post-baseline shape.
+TEST(CowEpochTest, RetirementReturnsSpaceToBaseline) {
+  TempDir dir("cow-retire");
+  em::Pager pager(CowOpts(dir.File("dev.blk")));
+  std::vector<em::BlockId> ids;
+  for (int i = 0; i < 24; ++i) ids.push_back(pager.Allocate());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    pager.Create(ids[i]).Set(0, i);
+  }
+  std::uint64_t roots[1] = {ids[0]};
+  ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  const em::SpaceStats baseline = pager.Space();
+
+  // Pin the baseline epoch, churn several epochs: the superseded blocks
+  // must all park (the pin reaches every one of them).
+  {
+    em::EpochPin pin = pager.PinEpoch();
+    for (int round = 0; round < 3; ++round) {
+      for (em::BlockId id : ids) pager.Fetch(id).Set(0, 100 + round);
+      ASSERT_TRUE(pager.Checkpoint(roots).ok());
+    }
+    EXPECT_GT(pager.Space().retiring_blocks, 0u);
+    EXPECT_EQ(pager.Space().allocated_blocks, baseline.allocated_blocks);
+  }
+  // Pin released: the next publish drains the parked batches back to the
+  // free list and the retirement counter advances.
+  ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  EXPECT_EQ(pager.Space().retiring_blocks, 0u);
+  EXPECT_GT(pager.retired_blocks_total(), 0u);
+  EXPECT_EQ(pager.Space().allocated_blocks, baseline.allocated_blocks);
+
+  // Steady-state churn with no pins is space-bounded: the file high-water
+  // mark stops growing once the recycle loop is primed.
+  for (int round = 0; round < 3; ++round) {
+    for (em::BlockId id : ids) pager.Fetch(id).Set(0, 200 + round);
+    ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  }
+  const std::uint64_t primed = pager.Space().file_blocks;
+  for (int round = 0; round < 8; ++round) {
+    for (em::BlockId id : ids) pager.Fetch(id).Set(0, 300 + round);
+    ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  }
+  EXPECT_EQ(pager.Space().file_blocks, primed)
+      << "COW churn must recycle retired blocks, not grow the device";
+}
+
+// Crash between epoch publish and retirement: a checkpoint persists every
+// parked-for-retirement location as free (recovery has no pins), so a copy
+// of the device taken while a pin was blocking retirement reopens with the
+// full space recovered and byte-identical content.
+TEST(CowEpochTest, CrashBetweenPublishAndRetirementRecovers) {
+  TempDir dir("cow-crash");
+  em::Pager pager(CowOpts(dir.File("dev.blk")));
+  std::vector<em::BlockId> ids;
+  for (int i = 0; i < 24; ++i) ids.push_back(pager.Allocate());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    pager.Create(ids[i]).Set(0, 1000 + i);
+  }
+  std::uint64_t roots[2] = {ids[0], 77};
+  ASSERT_TRUE(pager.Checkpoint(roots).ok());
+  const em::SpaceStats baseline = pager.Space();
+
+  em::EpochPin pin = pager.PinEpoch();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    pager.Fetch(ids[i]).Set(0, 2000 + i);
+  }
+  ASSERT_TRUE(pager.Checkpoint(roots).ok());  // publish; retirement blocked
+  ASSERT_GT(pager.Space().retiring_blocks, 0u);
+
+  // "Crash": the checkpoint is durable, so the file as it sits on disk is
+  // exactly what a post-crash recovery reads. Copy it out from under the
+  // live pager (which still holds the pin) and reopen the copy.
+  const std::string crash_path = dir.File("crash.blk");
+  fs::copy_file(dir.File("dev.blk"), crash_path);
+  auto reopened = em::Pager::Open(CowOpts(crash_path));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  em::Pager& rec = **reopened;
+  EXPECT_TRUE(rec.cow_epochs());
+  ASSERT_EQ(rec.roots().size(), 2u);
+  EXPECT_EQ(rec.roots()[1], 77u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(rec.Fetch(ids[i]).Get(0), 2000 + i);
+  }
+  // The blocks the crash caught mid-retirement came back as free space:
+  // nothing parks forever, nothing leaks, live count matches the source.
+  EXPECT_EQ(rec.Space().retiring_blocks, 0u);
+  EXPECT_EQ(rec.Space().allocated_blocks, baseline.allocated_blocks);
+  EXPECT_GE(rec.Space().free_blocks, baseline.free_blocks);
+  // Recovered allocator still hands out sound names: fresh allocations
+  // never collide with a live block.
+  for (int i = 0; i < 32; ++i) {
+    em::BlockId fresh = rec.Allocate();
+    for (em::BlockId id : ids) ASSERT_NE(fresh, id);
+    rec.Create(fresh).Set(0, 9);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(rec.Fetch(ids[i]).Get(0), 2000 + i);
+  }
+  pin.Release();
 }
 
 }  // namespace
